@@ -1,0 +1,168 @@
+// Command fftbench regenerates the paper's 3D-FFT application-kernel
+// figures (Figs 9-12): the four communication patterns (pipelined, tiled,
+// windowed, window-tiled) under LibNBC (fixed linear algorithm), ADCL
+// (runtime-tuned), blocking MPI, and the extended ADCL function set that may
+// select the blocking algorithm.
+//
+// Example:
+//
+//	fftbench -fig 9           # LibNBC vs ADCL on crill
+//	fftbench -fig 11 -full    # extended function set vs MPI, larger scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nbctune/internal/bench"
+	"nbctune/internal/fft"
+	"nbctune/internal/platform"
+)
+
+func must(p platform.Platform, err error) platform.Platform {
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func main() {
+	var (
+		fig  = flag.Int("fig", 0, "paper figure to regenerate: 9..12 (0 = all)")
+		full = flag.Bool("full", false, "larger process counts and iteration counts (slower)")
+		csv  = flag.Bool("csv", false, "emit CSV tables")
+	)
+	flag.Parse()
+
+	figs := []int{9, 10, 11, 12}
+	if *fig != 0 {
+		figs = []int{*fig}
+	}
+	for _, f := range figs {
+		var t *bench.Table
+		var err error
+		switch f {
+		case 9:
+			t, err = fig9(*full)
+		case 10:
+			t, err = fig10(*full)
+		case 11:
+			t, err = fig11(*full)
+		case 12:
+			t, err = fig12(*full)
+		default:
+			err = fmt.Errorf("unknown figure %d (supported: 9-12)", f)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *csv {
+			t.RenderCSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+}
+
+// grid picks the process counts / grid size / iteration count for the FFT
+// figures. The paper ran 160, 358, 500 and 1024 ranks for 350 iterations;
+// scaled values keep the same per-pair message regimes.
+func grid(full bool) (nps []int, n, iters int) {
+	if full {
+		return []int{64, 128}, 256, 100
+	}
+	return []int{32, 128}, 256, 40
+}
+
+func addFFTRows(t *bench.Table, spec bench.FFTSpec, rs []bench.FFTResult) {
+	for _, r := range rs {
+		note := ""
+		if r.Winner != "" && r.Winner != r.Label {
+			note = "winner=" + r.Winner
+		}
+		post := ""
+		if r.PostLearnPerIter > 0 {
+			post = bench.Ms(r.PostLearnPerIter)
+		}
+		t.AddRow(spec.Platform.Name, spec.Procs, spec.Pattern.String(), r.Label,
+			bench.Sec(r.Total), bench.Ms(r.PerIter), post, note)
+	}
+}
+
+func runMatrix(title string, plats []platform.Platform, full bool, flavors ...fft.Flavor) (*bench.Table, error) {
+	nps, n, iters := grid(full)
+	t := bench.NewTable(title,
+		"platform", "np", "pattern", "flavor", "total_s", "periter_ms", "postlearn_ms", "note")
+	seed := int64(91)
+	for _, plat := range plats {
+		for _, np := range nps {
+			for _, pat := range fft.Patterns {
+				seed++
+				spec := bench.FFTSpec{
+					Platform: plat, Procs: np, N: n, Pattern: pat,
+					Iterations: iters, Seed: seed, EvalsPerFn: 2,
+				}
+				rs, err := bench.FFTComparison(spec, flavors...)
+				if err != nil {
+					return nil, err
+				}
+				addFFTRows(t, spec, rs)
+			}
+		}
+	}
+	return t, nil
+}
+
+// fig9: LibNBC vs ADCL on crill (paper: 160 and 500 procs).
+func fig9(full bool) (*bench.Table, error) {
+	crill := must(platform.ByName("crill"))
+	return runMatrix("Fig 9: 3D FFT crill — LibNBC vs ADCL per pattern",
+		[]platform.Platform{crill}, full, fft.FlavorNBC, fft.FlavorADCL)
+}
+
+// fig10: LibNBC vs ADCL vs blocking MPI on whale (paper: 160 and 358 procs).
+func fig10(full bool) (*bench.Table, error) {
+	whale := must(platform.ByName("whale"))
+	return runMatrix("Fig 10: 3D FFT whale — LibNBC vs ADCL vs blocking MPI",
+		[]platform.Platform{whale}, full, fft.FlavorNBC, fft.FlavorADCL, fft.FlavorMPI)
+}
+
+// fig11: the extended ADCL function set (including the blocking alltoall)
+// vs MPI on whale and crill, with the learning phase split out.
+func fig11(full bool) (*bench.Table, error) {
+	whale := must(platform.ByName("whale"))
+	crill := must(platform.ByName("crill"))
+	return runMatrix("Fig 11: 3D FFT — extended ADCL function set (incl. blocking) vs MPI; postlearn_ms excludes the learning phase",
+		[]platform.Platform{whale, crill}, full, fft.FlavorADCLExt, fft.FlavorMPI)
+}
+
+// fig12: the BlueGene/P-like platform (paper: 1024 procs; scaled here —
+// DESIGN.md substitution 3).
+func fig12(full bool) (*bench.Table, error) {
+	bgp := must(platform.ByName("bgp"))
+	np := 128
+	n := 256
+	iters := 20
+	if full {
+		np, iters = 256, 40
+	}
+	t := bench.NewTable("Fig 12: 3D FFT BlueGene/P-like — extended ADCL vs MPI vs LibNBC (scaled from 1024 ranks)",
+		"platform", "np", "pattern", "flavor", "total_s", "periter_ms", "postlearn_ms", "note")
+	seed := int64(121)
+	for _, pat := range fft.Patterns {
+		seed++
+		spec := bench.FFTSpec{
+			Platform: bgp, Procs: np, N: n, Pattern: pat,
+			Iterations: iters, Seed: seed, EvalsPerFn: 2,
+		}
+		rs, err := bench.FFTComparison(spec, fft.FlavorADCLExt, fft.FlavorMPI, fft.FlavorNBC)
+		if err != nil {
+			return nil, err
+		}
+		addFFTRows(t, spec, rs)
+	}
+	return t, nil
+}

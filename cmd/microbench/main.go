@@ -1,0 +1,247 @@
+// Command microbench regenerates the paper's micro-benchmark figures
+// (Figs 2-7). Each -fig preset reproduces one figure's scenario grid, scaled
+// to simulation size (see DESIGN.md substitutions and EXPERIMENTS.md for the
+// paper-vs-measured record).
+//
+// Example:
+//
+//	microbench -fig 4          # message-size crossover on crill
+//	microbench -fig 7 -full    # progress-call crossover at full scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nbctune/internal/bench"
+	"nbctune/internal/platform"
+)
+
+func must(p platform.Platform, err error) platform.Platform {
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func main() {
+	var (
+		fig  = flag.Int("fig", 0, "paper figure to regenerate: 2..7 (0 = all)")
+		full = flag.Bool("full", false, "use larger process counts / iteration counts (slower)")
+		csv  = flag.Bool("csv", false, "emit CSV tables")
+	)
+	flag.Parse()
+
+	figs := []int{2, 3, 4, 5, 6, 7}
+	if *fig != 0 {
+		figs = []int{*fig}
+	}
+	for _, f := range figs {
+		var t *bench.Table
+		var err error
+		switch f {
+		case 2:
+			t, err = fig2(*full)
+		case 3:
+			t, err = fig3(*full)
+		case 4:
+			t, err = fig4(*full)
+		case 5:
+			t, err = fig5(*full)
+		case 6:
+			t, err = fig6(*full)
+		case 7:
+			t, err = fig7(*full)
+		default:
+			err = fmt.Errorf("unknown figure %d (supported: 2-7)", f)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *csv {
+			t.RenderCSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+}
+
+func scaleNP(full bool, paper, scaled int) int {
+	if full {
+		return paper
+	}
+	return scaled
+}
+
+// fig2: Ialltoall verification runs, 128KB, 50s total compute, whale and
+// crill at several process counts; fixed implementations vs ADCL selections.
+func fig2(full bool) (*bench.Table, error) {
+	whale := must(platform.ByName("whale"))
+	crill := must(platform.ByName("crill"))
+	t := bench.NewTable("Fig 2: Ialltoall verification runs (128KB/pair, 50ms compute/iter, 5 progress calls)",
+		"platform", "np", "implementation", "total_s", "correct")
+	type cell struct {
+		plat platform.Platform
+		np   int
+	}
+	cells := []cell{
+		{whale, scaleNP(full, 32, 16)}, {whale, scaleNP(full, 128, 32)},
+		{crill, scaleNP(full, 32, 16)}, {crill, scaleNP(full, 128, 32)},
+	}
+	if full {
+		cells = append(cells, cell{crill, 256})
+	}
+	iters := 20
+	if full {
+		iters = 40
+	}
+	for _, c := range cells {
+		spec := bench.MicroSpec{
+			Platform: c.plat, Procs: c.np, MsgSize: 128 * 1024, Op: bench.OpIalltoall,
+			ComputePerIter: 0.05, Iterations: iters, ProgressCalls: 5, Seed: 21, EvalsPerFn: 2,
+		}
+		v, err := bench.RunVerification(spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range v.Fixed {
+			t.AddRow(c.plat.Name, c.np, r.Impl, bench.Sec(r.Total), "")
+		}
+		for i, r := range v.ADCL {
+			t.AddRow(c.plat.Name, c.np, r.Impl+" -> "+r.Winner, bench.Sec(r.Total),
+				fmt.Sprintf("%v", v.Correct(i)))
+		}
+	}
+	return t, nil
+}
+
+// fig3: network influence — same scenario on whale (InfiniBand) vs
+// whale-tcp (GigE).
+func fig3(full bool) (*bench.Table, error) {
+	np := scaleNP(full, 32, 32)
+	t := bench.NewTable(fmt.Sprintf("Fig 3: Ialltoall np=%d, 128KB, 50ms compute/iter, 5 progress calls — whale vs whale-tcp", np),
+		"platform", "implementation", "total_s", "periter_ms")
+	for _, name := range []string{"whale", "whale-tcp"} {
+		plat := must(platform.ByName(name))
+		spec := bench.MicroSpec{
+			Platform: plat, Procs: np, MsgSize: 128 * 1024, Op: bench.OpIalltoall,
+			ComputePerIter: 0.05, Iterations: 30, ProgressCalls: 5, Seed: 31,
+		}
+		rs, err := bench.RunAllFixed(spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			t.AddRow(name, r.Impl, bench.Sec(r.Total), bench.Ms(r.PerIter))
+		}
+	}
+	return t, nil
+}
+
+// fig4: message-length influence on crill — 1KB vs 128KB per pair.
+func fig4(full bool) (*bench.Table, error) {
+	crill := must(platform.ByName("crill"))
+	np := scaleNP(full, 256, 128)
+	np1k := scaleNP(full, 256, 256) // the small-message effect needs scale
+	t := bench.NewTable(fmt.Sprintf("Fig 4: Ialltoall crill, 10s compute, 5 progress calls — 1KB (np=%d) vs 128KB (np=%d)", np1k, np),
+		"msg", "np", "implementation", "total_s", "periter_ms")
+	cases := []struct {
+		msg, np, iters int
+		compute        float64
+	}{
+		{1024, np1k, 15, 1e-3},
+		{128 * 1024, np, 20, 1e-2},
+	}
+	for _, c := range cases {
+		spec := bench.MicroSpec{
+			Platform: crill, Procs: c.np, MsgSize: c.msg, Op: bench.OpIalltoall,
+			ComputePerIter: c.compute, Iterations: c.iters, ProgressCalls: 5, Seed: 41,
+		}
+		rs, err := bench.RunAllFixed(spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			t.AddRow(c.msg, c.np, r.Impl, bench.Sec(r.Total), bench.Ms(r.PerIter))
+		}
+	}
+	return t, nil
+}
+
+// fig5: process-count influence on whale — 1KB, 100 progress calls,
+// 32 vs 128 procs.
+func fig5(full bool) (*bench.Table, error) {
+	whale := must(platform.ByName("whale"))
+	t := bench.NewTable("Fig 5: Ialltoall whale, 1KB, 100 progress calls — 32 vs 128 procs",
+		"np", "implementation", "total_s", "periter_ms")
+	for _, np := range []int{32, 128} {
+		spec := bench.MicroSpec{
+			Platform: whale, Procs: np, MsgSize: 1024, Op: bench.OpIalltoall,
+			ComputePerIter: 1e-3, Iterations: 40, ProgressCalls: 100, Seed: 51,
+		}
+		rs, err := bench.RunAllFixed(spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			t.AddRow(np, r.Impl, bench.Sec(r.Total), bench.Ms(r.PerIter))
+		}
+	}
+	return t, nil
+}
+
+// fig6: progress-call overhead — Ibcast whale 32 procs, 1KB: execution time
+// rises when too many progress calls are inserted.
+func fig6(full bool) (*bench.Table, error) {
+	whale := must(platform.ByName("whale"))
+	t := bench.NewTable("Fig 6: Ibcast whale np=32, 1KB, 5ms compute/iter — time vs number of progress calls",
+		"progress_calls", "implementation", "periter_ms")
+	counts := []int{1, 2, 5, 10, 100, 1000}
+	for _, pc := range counts {
+		spec := bench.MicroSpec{
+			Platform: whale, Procs: 32, MsgSize: 1024, Op: bench.OpIbcast,
+			ComputePerIter: 5e-3, Iterations: 30, ProgressCalls: pc, Seed: 61,
+		}
+		r, err := bench.RunFixed(spec, 0)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(pc, r.Impl, bench.Ms(r.PerIter))
+	}
+	return t, nil
+}
+
+// fig7: the progress-call crossover — Ialltoall crill 32 procs, 128KB:
+// pairwise wins with a single progress call, linear with more.
+func fig7(full bool) (*bench.Table, error) {
+	crill := must(platform.ByName("crill"))
+	t := bench.NewTable("Fig 7: Ialltoall crill np=32, 128KB, 100ms compute/iter — best algorithm vs progress calls",
+		"progress_calls", "implementation", "total_s", "periter_ms", "best")
+	for _, pc := range []int{1, 2, 5, 10, 100} {
+		spec := bench.MicroSpec{
+			Platform: crill, Procs: 32, MsgSize: 128 * 1024, Op: bench.OpIalltoall,
+			ComputePerIter: 0.1, Iterations: 20, ProgressCalls: pc, Seed: 71,
+		}
+		rs, err := bench.RunAllFixed(spec)
+		if err != nil {
+			return nil, err
+		}
+		best := 0
+		for i := range rs {
+			if rs[i].Total < rs[best].Total {
+				best = i
+			}
+		}
+		for i, r := range rs {
+			mark := ""
+			if i == best {
+				mark = "<--"
+			}
+			t.AddRow(pc, r.Impl, bench.Sec(r.Total), bench.Ms(r.PerIter), mark)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,71 @@
+// Command sweep reproduces the paper's aggregate statistics:
+//
+//   - suite "verification" (§IV-A): the correct-decision rate of the ADCL
+//     selection logics over a grid of micro-benchmark scenarios (paper: 90%
+//     brute force, 92% attribute heuristic over 324 runs).
+//   - suite "fft" (§IV-B): the fraction of 3D-FFT kernel tests where ADCL
+//     beats LibNBC, and the maximum improvement (paper: 74% of 393 tests,
+//     up to 40%).
+//
+// Example:
+//
+//	sweep -suite verification -fast
+//	sweep -suite fft
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nbctune/internal/bench"
+)
+
+func main() {
+	var (
+		suite = flag.String("suite", "verification", "sweep suite: verification or fft")
+		fast  = flag.Bool("fast", false, "trimmed scenario grid (minutes instead of hours)")
+		quiet = flag.Bool("quiet", false, "suppress per-scenario progress lines")
+	)
+	flag.Parse()
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	switch *suite {
+	case "verification":
+		specs := bench.VerificationScenarios(*fast)
+		selectors := []string{"brute-force", "attr-heuristic", "factorial-2k"}
+		st, err := bench.VerificationSweep(specs, selectors, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t := bench.NewTable(fmt.Sprintf("Verification sweep: %d scenarios (paper §IV-A: 324 runs, 90%% / 92%%)", st.Total),
+			"selector", "correct", "total", "rate")
+		for _, sel := range st.Selectors {
+			t.AddRow(sel, st.Correct[sel], st.Total, fmt.Sprintf("%.1f%%", st.Rate(sel)*100))
+		}
+		t.Render(os.Stdout)
+
+	case "fft":
+		specs := bench.FFTScenarios(*fast)
+		st, err := bench.FFTSweep(specs, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t := bench.NewTable(fmt.Sprintf("FFT sweep: %d scenarios (paper §IV-B: ADCL faster in 74%% of 393 tests, up to 40%%)", st.Total),
+			"metric", "value")
+		t.AddRow("adcl faster than libnbc", fmt.Sprintf("%d/%d (%.1f%%)", st.ADCLFaster, st.Total, st.FasterRate()*100))
+		t.AddRow("on par (within 2%)", st.OnPar)
+		t.AddRow("max improvement vs libnbc", fmt.Sprintf("%.1f%%", st.MaxImprovement*100))
+		t.Render(os.Stdout)
+
+	default:
+		fmt.Fprintf(os.Stderr, "unknown suite %q (verification, fft)\n", *suite)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,158 @@
+// Command tune runs one ADCL auto-tuning session on a simulated platform
+// and prints the full tuning report: every implementation's robust score,
+// sample counts, the decision, and the learning cost. With -history it
+// persists the winner and reuses it on the next invocation (ADCL's historic
+// learning).
+//
+// Examples:
+//
+//	tune -op ialltoall -platform crill -np 32 -msg 131072
+//	tune -op ibcast -selector attr-heuristic -np 16
+//	tune -op ialltoall-prim -np 16         # algorithm x primitive (put/get) set
+//	tune -op ialltoall -history /tmp/adcl.json   # run twice to see the hit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nbctune/internal/core"
+	"nbctune/internal/mpi"
+	"nbctune/internal/platform"
+)
+
+func main() {
+	var (
+		platName = flag.String("platform", "crill", "platform preset: crill, whale, whale-tcp, bgp")
+		np       = flag.Int("np", 16, "number of ranks")
+		op       = flag.String("op", "ialltoall", "operation: ialltoall, ialltoall-ext, ialltoall-prim, ibcast, iallgather, iallreduce, neighborhood")
+		msg      = flag.Int("msg", 128*1024, "message size in bytes")
+		compute  = flag.Float64("compute", 0.02, "compute seconds per iteration")
+		progress = flag.Int("progress", 5, "progress calls per iteration")
+		iters    = flag.Int("iters", 0, "loop iterations (0 = enough for learning + 10)")
+		selName  = flag.String("selector", "brute-force", "selection logic: brute-force, attr-heuristic, factorial-2k")
+		evals    = flag.Int("evals", 3, "measurements per implementation")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		histPath = flag.String("history", "", "history file for persistent learning (optional)")
+	)
+	flag.Parse()
+
+	plat, err := platform.ByName(*platName)
+	if err != nil {
+		fail(err)
+	}
+	eng, world, err := plat.NewWorld(*np, *seed)
+	if err != nil {
+		fail(err)
+	}
+	var hist *core.History
+	var histKey string
+	if *histPath != "" {
+		hist, err = core.LoadHistory(*histPath)
+		if err != nil {
+			fail(err)
+		}
+		histKey = core.HistoryKey(*op, plat.Name, *np, *msg)
+	}
+
+	var report string
+	var winnerName string
+	var evalsUsed int
+	world.Start(func(c *mpi.Comm) {
+		fs, err := buildSet(c, *op, *msg)
+		if err != nil {
+			fail(err)
+		}
+		sel, err := core.SelectorByName(*selName, fs, *evals)
+		if err != nil {
+			fail(err)
+		}
+		hit := false
+		if hist != nil {
+			sel, hit = core.SelectorWithHistory(hist, histKey, fs, sel)
+		}
+		if c.Rank() == 0 && hit {
+			fmt.Printf("history hit for %q: learning phase skipped\n\n", histKey)
+		}
+		req := core.MustRequest(fs, sel, c.Now)
+		timer := core.MustTimer(c.Now, req)
+
+		n := *iters
+		if n == 0 {
+			n = *evals*len(fs.Fns) + 10
+		}
+		for it := 0; it < n; it++ {
+			timer.Start()
+			req.Init()
+			for k := 0; k < *progress; k++ {
+				c.Compute(*compute / float64(*progress))
+				req.Progress()
+			}
+			req.Wait()
+			core.StopMaybeSynced(c, timer, req)
+		}
+		if c.Rank() == 0 {
+			report = core.TuningReport(req)
+			if w := req.Winner(); w != nil {
+				winnerName = w.Name
+				evalsUsed = req.Selector().Evals()
+			}
+		}
+	})
+	eng.Run()
+
+	fmt.Printf("platform %s, %d ranks, %d-byte messages, %g s compute/iter, %d progress calls\n\n",
+		plat.Name, *np, *msg, *compute, *progress)
+	fmt.Print(report)
+
+	if hist != nil && winnerName != "" {
+		hist.Record(histKey, core.HistoryEntry{Winner: winnerName, Evals: evalsUsed})
+		if err := hist.Save(*histPath); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nwinner stored in %s under key %q\n", *histPath, histKey)
+	}
+}
+
+func buildSet(c *mpi.Comm, op string, msg int) (*core.FunctionSet, error) {
+	switch op {
+	case "ialltoall":
+		return core.IalltoallSet(c, nil, nil, msg, false), nil
+	case "ialltoall-ext":
+		return core.IalltoallSet(c, nil, nil, msg, true), nil
+	case "ialltoall-prim":
+		return core.IalltoallPrimitivesSet(c, nil, nil, msg), nil
+	case "ibcast":
+		return core.IbcastSet(c, 0, nil, msg), nil
+	case "iallgather":
+		return core.IallgatherSet(c, nil, nil, msg), nil
+	case "iallreduce":
+		return core.IallreduceSet(c, nil, nil, msg, nil), nil
+	case "neighborhood":
+		// Square periodic process grid; msg bytes per field row.
+		g := 1
+		for (g+1)*(g+1) <= c.Size() {
+			g++
+		}
+		if g*g != c.Size() {
+			return nil, fmt.Errorf("neighborhood needs a square rank count, have %d", c.Size())
+		}
+		cols := msg / 8
+		if cols < 4 {
+			cols = 4
+		}
+		halo, err := core.Grid2D(c, g, g, cols, cols, 8, nil)
+		if err != nil {
+			return nil, err
+		}
+		return core.NeighborhoodSet(c, halo)
+	default:
+		return nil, fmt.Errorf("unknown operation %q", op)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tune:", err)
+	os.Exit(1)
+}

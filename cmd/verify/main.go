@@ -1,0 +1,87 @@
+// Command verify runs the paper's verification-run methodology (§IV-A,
+// Fig 2) on one scenario: it measures every fixed implementation of a
+// non-blocking collective, then the ADCL runtime selections, and reports
+// whether ADCL picked a correct winner (within 5% of the best fixed run).
+//
+// Example:
+//
+//	verify -platform crill -np 32 -op ialltoall -msg 131072 -compute 0.05 -progress 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nbctune/internal/bench"
+	"nbctune/internal/platform"
+)
+
+func main() {
+	var (
+		platName  = flag.String("platform", "crill", "platform preset: crill, whale, whale-tcp, bgp")
+		np        = flag.Int("np", 32, "number of ranks")
+		op        = flag.String("op", "ialltoall", "operation: ialltoall or ibcast")
+		msg       = flag.Int("msg", 128*1024, "message size in bytes (per pair for ialltoall)")
+		compute   = flag.Float64("compute", 0.05, "compute seconds per iteration")
+		iters     = flag.Int("iters", 30, "loop iterations")
+		progress  = flag.Int("progress", 5, "progress calls per iteration")
+		selectors = flag.String("selectors", "brute-force,attr-heuristic", "comma-separated selection logics")
+		evals     = flag.Int("evals", 2, "ADCL measurements per implementation")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		report    = flag.Bool("report", false, "print the full per-implementation tuning report for each selector")
+	)
+	flag.Parse()
+
+	plat, err := platform.ByName(*platName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	spec := bench.MicroSpec{
+		Platform: plat, Procs: *np, MsgSize: *msg, Op: *op,
+		ComputePerIter: *compute, Iterations: *iters,
+		ProgressCalls: *progress, Seed: *seed, EvalsPerFn: *evals,
+	}
+	sels := strings.Split(*selectors, ",")
+	v, err := bench.RunVerification(spec, sels...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	t := bench.NewTable(fmt.Sprintf("Verification run: %s", spec),
+		"implementation", "total_s", "periter_ms", "vs_best", "note")
+	best := v.Fixed[v.Best].Total
+	for i, r := range v.Fixed {
+		note := ""
+		if i == v.Best {
+			note = "best fixed"
+		}
+		t.AddRow(r.Impl, bench.Sec(r.Total), bench.Ms(r.PerIter),
+			fmt.Sprintf("%+.1f%%", (r.Total-best)/best*100), note)
+	}
+	for i, r := range v.ADCL {
+		note := fmt.Sprintf("winner=%s evals=%d correct=%v", r.Winner, r.Evals, v.Correct(i))
+		t.AddRow(r.Impl, bench.Sec(r.Total), bench.Ms(r.PerIter),
+			fmt.Sprintf("%+.1f%%", (r.Total-best)/best*100), note)
+	}
+	if *csv {
+		t.RenderCSV(os.Stdout)
+	} else {
+		t.Render(os.Stdout)
+	}
+	if *report {
+		for i, r := range v.ADCL {
+			fmt.Printf("\n--- tuning report: %s ---\n", r.Impl)
+			rep, err := bench.TuningReportFor(spec, sels[i])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Print(rep)
+		}
+	}
+}

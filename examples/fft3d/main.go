@@ -1,0 +1,93 @@
+// fft3d: the paper's application kernel — a slab-decomposed 3D FFT whose
+// transpose runs over auto-tuned non-blocking all-to-all operations, here
+// with real data so the numerics are verifiable end to end.
+//
+// The example runs the window-tiled pattern under three back ends (blocking
+// MPI, LibNBC's fixed linear algorithm, ADCL runtime tuning), validates the
+// result against a forward+inverse round trip, and reports the virtual
+// execution times.
+//
+// Run with: go run ./examples/fft3d
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+	"math/rand"
+
+	"nbctune/internal/fft"
+	"nbctune/internal/mpi"
+	"nbctune/internal/platform"
+)
+
+func main() {
+	const (
+		N     = 32 // grid points per dimension
+		P     = 8  // ranks
+		iters = 12
+	)
+	plat, err := platform.ByName("whale")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, flavor := range []fft.Flavor{fft.FlavorMPI, fft.FlavorNBC, fft.FlavorADCL} {
+		eng, world, err := plat.NewWorld(P, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var loopTime float64
+		var winner string
+		var maxErr float64
+		world.Start(func(c *mpi.Comm) {
+			pl, err := fft.NewPlan(c, fft.Config{
+				N:        N,
+				Pattern:  fft.WindowTiled,
+				Flavor:   flavor,
+				FlopRate: plat.FlopRate,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Fill this rank's slab with deterministic pseudo-random data.
+			rng := rand.New(rand.NewSource(int64(c.Rank() + 1)))
+			orig := make([]complex128, len(pl.Slab()))
+			for i := range orig {
+				orig[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+
+			c.Barrier()
+			t0 := c.Now()
+			for it := 0; it < iters; it++ {
+				copy(pl.Slab(), orig)
+				if err := pl.Forward(); err != nil {
+					log.Fatal(err)
+				}
+			}
+			c.Barrier()
+			if c.Rank() == 0 {
+				loopTime = c.Now() - t0
+				if _, name := pl.Decided(); name != "" {
+					winner = name
+				}
+			}
+			// Validate numerics: forward then inverse must return the input.
+			copy(pl.Slab(), orig)
+			if err := pl.Forward(); err != nil {
+				log.Fatal(err)
+			}
+			if err := pl.Inverse(); err != nil {
+				log.Fatal(err)
+			}
+			for i := range orig {
+				if e := cmplx.Abs(pl.Slab()[i] - orig[i]); e > maxErr {
+					maxErr = e
+				}
+			}
+		})
+		eng.Run()
+		fmt.Printf("%-8s %2d iterations of %d^3 FFT on %d ranks: %8.3fs virtual  (winner=%s, roundtrip err=%.2e)\n",
+			flavor, iters, N, P, loopTime, winner, maxErr)
+	}
+}

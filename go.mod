@@ -1,0 +1,3 @@
+module nbctune
+
+go 1.22

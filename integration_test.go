@@ -1,0 +1,227 @@
+package nbctune_test
+
+// Cross-stack integration tests: scenarios that exercise the whole pipeline
+// (sim -> netmodel -> mpi -> nbc -> core -> bench) rather than one layer.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"nbctune/internal/bench"
+	"nbctune/internal/core"
+	"nbctune/internal/fft"
+	"nbctune/internal/mpi"
+	"nbctune/internal/platform"
+	"nbctune/internal/sim"
+)
+
+// TestIntegration_PutPrimitiveWinsWhenProgressStarved drives the paper's
+// proposed primitive attribute end to end: with rendezvous-sized blocks and
+// a single progress call right before the wait, the two-sided algorithms
+// cannot complete their handshakes during compute, while the one-sided
+// linear variant flows autonomously on RDMA. ADCL must discover this.
+func TestIntegration_PutPrimitiveWinsWhenProgressStarved(t *testing.T) {
+	plat, err := platform.ByName("crill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const np = 8
+	const msg = 256 * 1024
+	eng, world, err := plat.NewWorld(np, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var winner string
+	world.Start(func(c *mpi.Comm) {
+		fs := core.IalltoallPrimitivesSet(c, nil, nil, msg)
+		req := core.MustRequest(fs, core.NewBruteForce(len(fs.Fns), 3), c.Now)
+		timer := core.MustTimer(c.Now, req)
+		for it := 0; it < 25; it++ {
+			timer.Start()
+			req.Init()
+			c.Compute(30e-3) // no progress calls during compute
+			req.Progress()   // a single call right before the wait
+			req.Wait()
+			core.StopMaybeSynced(c, timer, req)
+		}
+		if c.Rank() == 0 {
+			winner = req.Winner().Name
+		}
+	})
+	eng.Run()
+	if winner != "ialltoall-linear-put" {
+		t.Fatalf("winner = %q, expected the one-sided linear algorithm in a progress-starved regime", winner)
+	}
+}
+
+// TestIntegration_HistoryAcrossSimulatedRuns exercises ADCL's historic
+// learning across two independent simulations (two "application runs").
+func TestIntegration_HistoryAcrossSimulatedRuns(t *testing.T) {
+	histPath := filepath.Join(t.TempDir(), "hist.json")
+	plat, err := platform.ByName("whale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (winner string, evals int) {
+		hist, err := core.LoadHistory(histPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := core.HistoryKey("ialltoall", plat.Name, 8, 64*1024)
+		eng, world, err := plat.NewWorld(8, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		world.Start(func(c *mpi.Comm) {
+			fs := core.IalltoallSet(c, nil, nil, 64*1024, false)
+			sel, _ := core.SelectorWithHistory(hist, key, fs, core.NewBruteForce(len(fs.Fns), 4))
+			req := core.MustRequest(fs, sel, c.Now)
+			timer := core.MustTimer(c.Now, req)
+			for it := 0; it < 20; it++ {
+				timer.Start()
+				req.Init()
+				for k := 0; k < 4; k++ {
+					c.Compute(2e-3)
+					req.Progress()
+				}
+				req.Wait()
+				core.StopMaybeSynced(c, timer, req)
+			}
+			if c.Rank() == 0 {
+				winner = req.Winner().Name
+				evals = req.Selector().Evals()
+			}
+		})
+		eng.Run()
+		hist.Record(key, core.HistoryEntry{Winner: winner, Evals: evals})
+		if err := hist.Save(histPath); err != nil {
+			t.Fatal(err)
+		}
+		return winner, evals
+	}
+	w1, e1 := run()
+	w2, e2 := run()
+	if w1 != w2 {
+		t.Fatalf("winners differ across runs: %q vs %q", w1, w2)
+	}
+	if e1 == 0 {
+		t.Fatal("first run should have learned")
+	}
+	if e2 != 0 {
+		t.Fatalf("second run consumed %d evals; history should have skipped learning", e2)
+	}
+}
+
+// TestIntegration_VerificationDeterministic: the whole verification pipeline
+// is reproducible bit-for-bit for a fixed seed.
+func TestIntegration_VerificationDeterministic(t *testing.T) {
+	plat, err := platform.ByName("crill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := bench.MicroSpec{
+		Platform: plat, Procs: 8, MsgSize: 64 * 1024, Op: bench.OpIalltoall,
+		ComputePerIter: 5e-3, Iterations: 15, ProgressCalls: 3, Seed: 77, EvalsPerFn: 2,
+	}
+	v1, err := bench.RunVerification(spec, "brute-force")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := bench.RunVerification(spec, "brute-force")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v1.Fixed {
+		if v1.Fixed[i].Total != v2.Fixed[i].Total {
+			t.Fatalf("fixed run %d differs: %g vs %g", i, v1.Fixed[i].Total, v2.Fixed[i].Total)
+		}
+	}
+	if v1.ADCL[0].Total != v2.ADCL[0].Total || v1.ADCL[0].Winner != v2.ADCL[0].Winner {
+		t.Fatal("ADCL run not deterministic")
+	}
+}
+
+// TestIntegration_TraceObservesRendezvous: attach a trace and check the
+// library's protocol transitions are visible.
+func TestIntegration_TraceObservesRendezvous(t *testing.T) {
+	plat, err := platform.ByName("whale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, world, err := plat.NewWorld(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := sim.NewTrace(eng, 10000)
+	world.Start(func(c *mpi.Comm) {
+		c.Alltoall(nil, 64*1024, nil) // rendezvous-sized blocking alltoall
+	})
+	eng.Run()
+	sends := tr.Filter("isend")
+	bulks := tr.Filter("bulk-done")
+	if len(sends) != 4*3 {
+		t.Fatalf("traced %d isends, want 12", len(sends))
+	}
+	if len(bulks) != 4*3 {
+		t.Fatalf("traced %d bulk completions, want 12", len(bulks))
+	}
+	// Every bulk completion happens after the first send.
+	for _, b := range bulks {
+		if b.T < sends[0].T {
+			t.Fatal("bulk completion precedes first isend")
+		}
+	}
+}
+
+// TestIntegration_FFTFlavorsConsistentTimes: for one scenario, every flavor
+// produces a positive, finite, deterministic virtual time, and the ADCL
+// flavors decide.
+func TestIntegration_FFTFlavorsConsistentTimes(t *testing.T) {
+	plat, err := platform.ByName("bgp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := bench.FFTSpec{
+		Platform: plat, Procs: 16, N: 64, Pattern: fft.WindowTiled,
+		Iterations: 12, Seed: 13, EvalsPerFn: 1,
+	}
+	rs, err := bench.FFTComparison(spec, fft.FlavorMPI, fft.FlavorNBC, fft.FlavorADCL, fft.FlavorADCLExt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Total <= 0 {
+			t.Fatalf("%s: nonpositive total", r.Label)
+		}
+	}
+	if rs[2].Winner == "" || rs[3].Winner == "" {
+		t.Fatal("ADCL flavors did not decide")
+	}
+	// The extended set includes everything the plain set has, so its winner
+	// should never be *slower* than the plain set's in steady state.
+	if rs[3].PostLearnPerIter > rs[2].PostLearnPerIter*1.05 {
+		t.Fatalf("extended set post-learning %.4g worse than plain %.4g",
+			rs[3].PostLearnPerIter, rs[2].PostLearnPerIter)
+	}
+}
+
+// TestIntegration_SweepMachinery: tiny sweeps produce sane aggregates.
+func TestIntegration_SweepMachinery(t *testing.T) {
+	plat, err := platform.ByName("crill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []bench.MicroSpec{{
+		Platform: plat, Procs: 8, MsgSize: 128 * 1024, Op: bench.OpIalltoall,
+		ComputePerIter: 2e-2, Iterations: 14, ProgressCalls: 5, Seed: 3, EvalsPerFn: 3,
+	}}
+	st, err := bench.VerificationSweep(specs, []string{"brute-force", "attr-heuristic"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sel := range st.Selectors {
+		if r := st.Rate(sel); r < 0 || r > 1 {
+			t.Fatalf("%s rate = %g", sel, r)
+		}
+	}
+}

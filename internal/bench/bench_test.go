@@ -1,0 +1,279 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nbctune/internal/fft"
+	"nbctune/internal/platform"
+)
+
+func smallSpec(t *testing.T) MicroSpec {
+	t.Helper()
+	plat, err := platform.ByName("crill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 evals per implementation: enough samples for the outlier filter to
+	// absorb the simulated OS-noise spikes, so correctness assertions are
+	// stable (with 2 evals, occasional mis-picks are expected — that is the
+	// paper's own ~90% correct-decision rate).
+	return MicroSpec{
+		Platform: plat, Procs: 8, MsgSize: 64 * 1024, Op: OpIalltoall,
+		ComputePerIter: 5e-3, Iterations: 24, ProgressCalls: 4, Seed: 3, EvalsPerFn: 5,
+	}
+}
+
+func TestFunctionNames(t *testing.T) {
+	spec := smallSpec(t)
+	names := spec.FunctionNames()
+	if len(names) != 3 {
+		t.Fatalf("ialltoall function set has %d names", len(names))
+	}
+	spec.Op = OpIbcast
+	if n := len(spec.FunctionNames()); n != 21 {
+		t.Fatalf("ibcast function set has %d names, want 21", n)
+	}
+}
+
+func TestRunFixedDeterministic(t *testing.T) {
+	spec := smallSpec(t)
+	r1, err := RunFixed(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunFixed(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Total != r2.Total {
+		t.Fatalf("same seed gave %g and %g", r1.Total, r2.Total)
+	}
+	if r1.Total <= 0 || r1.PerIter <= 0 {
+		t.Fatal("non-positive run time")
+	}
+}
+
+func TestRunFixedOutOfRange(t *testing.T) {
+	if _, err := RunFixed(smallSpec(t), 99); err == nil {
+		t.Fatal("out-of-range implementation accepted")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	spec := smallSpec(t)
+	spec.Procs = 1
+	if _, err := RunFixed(spec, 0); err == nil {
+		t.Error("1-proc spec accepted")
+	}
+	spec = smallSpec(t)
+	spec.Op = "igather"
+	if _, err := runLoop(spec, "x", nil); err == nil {
+		t.Error("unknown op accepted")
+	}
+	spec = smallSpec(t)
+	spec.ProgressCalls = 0
+	if _, err := runLoop(spec, "x", nil); err == nil {
+		t.Error("zero progress calls accepted")
+	}
+}
+
+func TestRunADCLDecides(t *testing.T) {
+	spec := smallSpec(t)
+	r, err := RunADCL(spec, "brute-force")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Winner == "" {
+		t.Fatal("ADCL run did not decide")
+	}
+	if r.Evals != 15 { // 3 impls x 5 evals
+		t.Fatalf("evals = %d, want 15", r.Evals)
+	}
+	if r.DecidedIter != 15 {
+		t.Fatalf("decided at iteration %d, want 15", r.DecidedIter)
+	}
+	if r.PostLearnPerIter <= 0 {
+		t.Fatal("no post-learning timing recorded")
+	}
+}
+
+func TestRunADCLUnknownSelector(t *testing.T) {
+	if _, err := RunADCL(smallSpec(t), "magic"); err == nil {
+		t.Fatal("unknown selector accepted")
+	}
+}
+
+func TestVerificationCorrectness(t *testing.T) {
+	v, err := RunVerification(smallSpec(t), "brute-force")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Fixed) != 3 || len(v.ADCL) != 1 {
+		t.Fatalf("verification shape: %d fixed, %d adcl", len(v.Fixed), len(v.ADCL))
+	}
+	for i := range v.Fixed {
+		if v.Fixed[i].Total < v.Fixed[v.Best].Total {
+			t.Fatal("Best is not the minimum")
+		}
+	}
+	// The noise-free-ish small scenario should tune correctly.
+	if !v.Correct(0) {
+		t.Fatalf("brute force incorrect: picked %s, best %s", v.ADCL[0].Winner, v.Fixed[v.Best].Impl)
+	}
+}
+
+func TestVerificationScenariosIterationsSufficient(t *testing.T) {
+	// Regression test: every scenario must run long enough for the slowest
+	// selector (brute force) to finish its learning phase.
+	for _, fast := range []bool{true, false} {
+		for _, s := range VerificationScenarios(fast) {
+			impls := 3
+			if s.Op == OpIbcast {
+				impls = 21
+			}
+			if s.Iterations <= s.EvalsPerFn*impls {
+				t.Fatalf("scenario %s: %d iterations cannot cover %d learning evals",
+					s, s.Iterations, s.EvalsPerFn*impls)
+			}
+		}
+	}
+}
+
+func TestScenarioCounts(t *testing.T) {
+	if n := len(VerificationScenarios(true)); n == 0 {
+		t.Fatal("no fast verification scenarios")
+	}
+	full := len(VerificationScenarios(false))
+	fast := len(VerificationScenarios(true))
+	if full <= fast {
+		t.Fatalf("full grid (%d) not larger than fast grid (%d)", full, fast)
+	}
+	if n := len(FFTScenarios(true)); n == 0 {
+		t.Fatal("no fast FFT scenarios")
+	}
+	if len(FFTScenarios(false)) <= len(FFTScenarios(true)) {
+		t.Fatal("full FFT grid not larger than fast grid")
+	}
+}
+
+func TestFFTRunSmoke(t *testing.T) {
+	plat, err := platform.ByName("whale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FFTSpec{
+		Platform: plat, Procs: 8, N: 32, Pattern: fft.WindowTiled,
+		Iterations: 10, Seed: 5, EvalsPerFn: 2,
+	}
+	rs, err := FFTComparison(spec, fft.FlavorNBC, fft.FlavorADCL, fft.FlavorMPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for _, r := range rs {
+		if r.Total <= 0 {
+			t.Fatalf("%s: no time elapsed", r.Label)
+		}
+	}
+	if rs[1].Winner == "" {
+		t.Fatal("ADCL FFT run did not decide")
+	}
+}
+
+func TestFFTSweepSmallGrid(t *testing.T) {
+	plat, err := platform.ByName("crill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []FFTSpec{{
+		Platform: plat, Procs: 8, N: 32, Pattern: fft.Tiled,
+		Iterations: 10, Seed: 7, EvalsPerFn: 1,
+	}}
+	st, err := FFTSweep(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 1 || len(st.Rows) != 1 {
+		t.Fatalf("sweep stats: %+v", st)
+	}
+}
+
+func TestVerificationSweepSmall(t *testing.T) {
+	spec := smallSpec(t)
+	st, err := VerificationSweep([]MicroSpec{spec}, []string{"brute-force"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 1 {
+		t.Fatalf("total = %d", st.Total)
+	}
+	if st.Rate("brute-force") != 1.0 {
+		t.Fatalf("rate = %g", st.Rate("brute-force"))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("demo", "a", "bb")
+	tab.AddRow("x", 1.5)
+	tab.AddRow("longer", "v")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "## demo") || !strings.Contains(out, "longer") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	var csv bytes.Buffer
+	tab.RenderCSV(&csv)
+	if !strings.HasPrefix(csv.String(), "a,bb\n") {
+		t.Fatalf("csv output: %s", csv.String())
+	}
+}
+
+func TestMsSecFormat(t *testing.T) {
+	if Ms(0.0015) != "1.500" {
+		t.Fatalf("Ms = %s", Ms(0.0015))
+	}
+	if Sec(1.23456) != "1.2346" {
+		t.Fatalf("Sec = %s", Sec(1.23456))
+	}
+}
+
+func TestImbalanceStretchesLoop(t *testing.T) {
+	spec := smallSpec(t)
+	even, err := RunFixed(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Imbalance = 0.5 // slowest rank computes 50% longer
+	skewed, err := RunFixed(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop is paced by the slowest rank; with 50% imbalance the total
+	// must grow by roughly the imbalance of the compute share.
+	if skewed.Total < even.Total*1.2 {
+		t.Fatalf("imbalance had no effect: %g vs %g", skewed.Total, even.Total)
+	}
+}
+
+func TestImbalanceChangesRanking(t *testing.T) {
+	// Under imbalance the collective absorbs skew differently per
+	// algorithm; the harness must still tune consistently.
+	spec := smallSpec(t)
+	spec.Imbalance = 0.3
+	r, err := RunADCL(spec, "brute-force")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Winner == "" {
+		t.Fatal("no decision under imbalance")
+	}
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+
+	"nbctune/internal/fft"
+	"nbctune/internal/mpi"
+	"nbctune/internal/platform"
+)
+
+// FFTSpec describes one 3D-FFT application-kernel run (paper §IV-B).
+type FFTSpec struct {
+	Platform        platform.Platform
+	Procs           int
+	N               int // grid points per dimension
+	Pattern         fft.Pattern
+	Flavor          fft.Flavor
+	Selector        string
+	EvalsPerFn      int
+	Iterations      int
+	ProgressPerTile int
+	Seed            int64
+	Placement       platform.Placement // Cyclic (default) or Block
+}
+
+func (s FFTSpec) String() string {
+	return fmt.Sprintf("fft3d/%s np=%d N=%d %s/%s iters=%d",
+		s.Platform.Name, s.Procs, s.N, s.Pattern, s.Flavor, s.Iterations)
+}
+
+// FFTResult is the outcome of one FFT kernel run.
+type FFTResult struct {
+	Spec             FFTSpec
+	Label            string
+	Total            float64 // barrier-to-barrier, rank-max
+	PerIter          float64
+	Winner           string // ADCL flavors: decided implementation
+	Evals            int
+	DecidedIter      int
+	PostLearnPerIter float64 // mean per-iteration time after the decision
+	LearnTime        float64 // time spent until the decision locked in
+}
+
+// RunFFT executes the kernel with timing-only payloads (the paper's loop of
+// 350 iterations on random data, scaled down; correctness of the FFT itself
+// is covered by the fft package's tests on real data).
+func RunFFT(spec FFTSpec) (FFTResult, error) {
+	if spec.Iterations < 1 {
+		return FFTResult{}, fmt.Errorf("bench: iterations must be >= 1")
+	}
+	sel := spec.Selector
+	if sel == "" {
+		sel = "brute-force"
+	}
+	label := spec.Flavor.String()
+	if spec.Flavor == fft.FlavorADCL || spec.Flavor == fft.FlavorADCLExt {
+		label += ":" + sel
+	}
+	eng, w, err := spec.Platform.NewWorldPlaced(spec.Procs, spec.Seed, spec.Placement)
+	if err != nil {
+		return FFTResult{}, err
+	}
+	res := FFTResult{Spec: spec, Label: label, DecidedIter: -1}
+	starts := make([]float64, spec.Procs)
+	ends := make([]float64, spec.Procs)
+	var planErr error
+
+	w.Start(func(c *mpi.Comm) {
+		me := c.Rank()
+		pl, err := fft.NewPlan(c, fft.Config{
+			N:               spec.N,
+			Pattern:         spec.Pattern,
+			Flavor:          spec.Flavor,
+			Selector:        sel,
+			EvalsPerFn:      spec.EvalsPerFn,
+			ProgressPerTile: spec.ProgressPerTile,
+			Virtual:         true,
+			FlopRate:        spec.Platform.FlopRate,
+		})
+		if err != nil {
+			planErr = err
+			return
+		}
+		c.Barrier()
+		starts[me] = c.Now()
+		var postSum float64
+		var postN int
+		for it := 0; it < spec.Iterations; it++ {
+			iterStart := c.Now()
+			if err := pl.Forward(); err != nil {
+				planErr = err
+				return
+			}
+			if me == 0 {
+				if done, name := pl.Decided(); done {
+					if res.DecidedIter < 0 {
+						res.DecidedIter = it
+						res.Winner = name
+						res.LearnTime = iterStart - starts[me]
+					}
+					postSum += c.Now() - iterStart
+					postN++
+				}
+			}
+		}
+		c.Barrier()
+		ends[me] = c.Now()
+		if me == 0 {
+			res.Evals = pl.Evals()
+			if postN > 0 {
+				res.PostLearnPerIter = postSum / float64(postN)
+			}
+			if res.Winner == "" {
+				if _, name := pl.Decided(); name != "" {
+					res.Winner = name
+				}
+			}
+		}
+	})
+	eng.Run()
+	if planErr != nil {
+		return FFTResult{}, planErr
+	}
+	for me := 0; me < spec.Procs; me++ {
+		if d := ends[me] - starts[me]; d > res.Total {
+			res.Total = d
+		}
+	}
+	res.PerIter = res.Total / float64(spec.Iterations)
+	return res, nil
+}
+
+// FFTComparison runs the kernel under several flavors on the same scenario,
+// the structure of Figs 9-12.
+func FFTComparison(spec FFTSpec, flavors ...fft.Flavor) ([]FFTResult, error) {
+	out := make([]FFTResult, 0, len(flavors))
+	for _, fl := range flavors {
+		s := spec
+		s.Flavor = fl
+		r, err := RunFFT(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,333 @@
+// Package bench implements the paper's measurement harnesses: the §IV-A
+// overlap micro-benchmark (initiate a non-blocking collective, compute in
+// chunks with progress calls in between, wait), the verification-run
+// methodology of Fig 2, and the table/CSV reporting used by the cmd/
+// drivers and the repository's benchmark suite.
+package bench
+
+import (
+	"fmt"
+
+	"nbctune/internal/core"
+	"nbctune/internal/mpi"
+	"nbctune/internal/platform"
+)
+
+// MicroSpec describes one micro-benchmark configuration.
+type MicroSpec struct {
+	Platform       platform.Platform
+	Procs          int
+	MsgSize        int // per process pair (ialltoall) or total (ibcast)
+	Op             string
+	ComputePerIter float64 // seconds of application compute per iteration
+	Iterations     int
+	ProgressCalls  int // progress calls per iteration (>= 1)
+	Seed           int64
+	EvalsPerFn     int                // ADCL measurements per implementation (default 3)
+	Placement      platform.Placement // Cyclic (default) or Block
+	// Imbalance models process arrival patterns (Faraj et al., cited in the
+	// paper's §I): each rank's compute phase is stretched by up to this
+	// fraction, deterministically staggered across ranks, so ranks enter
+	// the collective at different times.
+	Imbalance float64
+}
+
+// Ops supported by the micro-benchmark.
+const (
+	OpIalltoall = "ialltoall"
+	OpIbcast    = "ibcast"
+)
+
+func (s MicroSpec) String() string {
+	return fmt.Sprintf("%s/%s np=%d msg=%dB compute=%gs progress=%d iters=%d",
+		s.Op, s.Platform.Name, s.Procs, s.MsgSize, s.ComputePerIter, s.ProgressCalls, s.Iterations)
+}
+
+func (s MicroSpec) validate() error {
+	if s.Procs < 2 {
+		return fmt.Errorf("bench: need at least 2 procs")
+	}
+	if s.Iterations < 1 || s.ProgressCalls < 1 {
+		return fmt.Errorf("bench: iterations and progress calls must be >= 1")
+	}
+	if s.Op != OpIalltoall && s.Op != OpIbcast {
+		return fmt.Errorf("bench: unknown op %q", s.Op)
+	}
+	return nil
+}
+
+func (s MicroSpec) evals() int {
+	if s.EvalsPerFn > 0 {
+		return s.EvalsPerFn
+	}
+	return 3
+}
+
+// functionSet builds the op's function set on a communicator with virtual
+// payloads (timing only).
+func (s MicroSpec) functionSet(c *mpi.Comm) *core.FunctionSet {
+	switch s.Op {
+	case OpIalltoall:
+		return core.IalltoallSet(c, nil, nil, s.MsgSize, false)
+	case OpIbcast:
+		return core.IbcastSet(c, 0, nil, s.MsgSize)
+	default:
+		panic("bench: unknown op " + s.Op)
+	}
+}
+
+// FunctionNames lists the implementation names of the spec's function set,
+// in index order, without running a simulation.
+func (s MicroSpec) FunctionNames() []string {
+	// The set structure is rank-independent; build it against a throwaway
+	// 2-rank world.
+	tmp := s
+	tmp.Procs = 2
+	var names []string
+	eng, w, err := tmp.Platform.NewWorld(2, 1)
+	if err != nil {
+		panic(err)
+	}
+	w.Start(func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			names = tmp.functionSet(c).FunctionNames()
+		}
+	})
+	eng.Run()
+	_ = eng
+	return names
+}
+
+// MicroResult is the outcome of one micro-benchmark run.
+type MicroResult struct {
+	Spec             MicroSpec
+	Impl             string  // implementation or "adcl:<selector>"
+	Total            float64 // barrier-to-barrier loop time, rank-max (seconds)
+	PerIter          float64 // Total / Iterations
+	Winner           string  // ADCL runs: decided implementation
+	Evals            int     // ADCL runs: learning-phase measurements
+	DecidedIter      int     // ADCL runs: iteration at which the winner locked in
+	PostLearnPerIter float64 // ADCL runs: mean per-iteration time after decision
+}
+
+// runLoop executes the §IV-A benchmark loop on every rank with the given
+// selector factory and returns the aggregate result.
+func runLoop(spec MicroSpec, label string, mkSel func(fs *core.FunctionSet) core.Selector) (MicroResult, error) {
+	if err := spec.validate(); err != nil {
+		return MicroResult{}, err
+	}
+	eng, w, err := spec.Platform.NewWorldPlaced(spec.Procs, spec.Seed, spec.Placement)
+	if err != nil {
+		return MicroResult{}, err
+	}
+	res := MicroResult{Spec: spec, Impl: label, DecidedIter: -1}
+	chunk := spec.ComputePerIter / float64(spec.ProgressCalls)
+
+	starts := make([]float64, spec.Procs)
+	ends := make([]float64, spec.Procs)
+
+	w.Start(func(c *mpi.Comm) {
+		me := c.Rank()
+		fs := spec.functionSet(c)
+		req := core.MustRequest(fs, mkSel(fs), c.Now)
+		timer := core.MustTimer(c.Now, req)
+
+		c.Barrier()
+		starts[me] = c.Now()
+		var postSum float64
+		var postN int
+		skew := 0.0
+		if spec.Imbalance > 0 && spec.Procs > 1 {
+			// Deterministic stagger (process arrival patterns): rank r
+			// computes Imbalance*r/(P-1) longer than rank 0, so ranks enter
+			// the collective at different times.
+			skew = spec.Imbalance * float64(me) / float64(spec.Procs-1)
+		}
+		for it := 0; it < spec.Iterations; it++ {
+			iterStart := c.Now()
+			timer.Start()
+			req.Init()
+			if res.DecidedIter < 0 && me == 0 && req.Decided() {
+				res.DecidedIter = it
+			}
+			for k := 0; k < spec.ProgressCalls; k++ {
+				c.Compute(chunk * (1 + skew))
+				req.Progress()
+			}
+			req.Wait()
+			core.StopMaybeSynced(c, timer, req)
+			if me == 0 && req.Decided() {
+				postSum += c.Now() - iterStart
+				postN++
+			}
+		}
+		c.Barrier()
+		ends[me] = c.Now()
+		if me == 0 {
+			if wf := req.Winner(); wf != nil {
+				res.Winner = wf.Name
+			}
+			res.Evals = req.Selector().Evals()
+			if postN > 0 {
+				res.PostLearnPerIter = postSum / float64(postN)
+			}
+		}
+	})
+	eng.Run()
+
+	for me := 0; me < spec.Procs; me++ {
+		if d := ends[me] - starts[me]; d > res.Total {
+			res.Total = d
+		}
+	}
+	res.PerIter = res.Total / float64(spec.Iterations)
+	return res, nil
+}
+
+// RunFixed runs the benchmark pinned to implementation index fn.
+func RunFixed(spec MicroSpec, fn int) (MicroResult, error) {
+	names := spec.FunctionNames()
+	if fn < 0 || fn >= len(names) {
+		return MicroResult{}, fmt.Errorf("bench: implementation index %d out of range (%d impls)", fn, len(names))
+	}
+	r, err := runLoop(spec, names[fn], func(fs *core.FunctionSet) core.Selector {
+		return &core.FixedSelector{Fn: fn}
+	})
+	if err != nil {
+		return r, err
+	}
+	r.Winner = r.Impl
+	return r, nil
+}
+
+// RunAllFixed measures every implementation of the spec's function set.
+func RunAllFixed(spec MicroSpec) ([]MicroResult, error) {
+	names := spec.FunctionNames()
+	out := make([]MicroResult, 0, len(names))
+	for i := range names {
+		r, err := RunFixed(spec, i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunADCL runs the benchmark under a runtime selection logic
+// ("brute-force", "attr-heuristic", or "factorial-2k").
+func RunADCL(spec MicroSpec, selector string) (MicroResult, error) {
+	var selErr error
+	r, err := runLoop(spec, "adcl:"+selector, func(fs *core.FunctionSet) core.Selector {
+		sel, err := core.SelectorByName(selector, fs, spec.evals())
+		if err != nil {
+			selErr = err
+			return &core.FixedSelector{Fn: 0}
+		}
+		return sel
+	})
+	if selErr != nil {
+		return MicroResult{}, selErr
+	}
+	return r, err
+}
+
+// TuningReportFor reruns the ADCL benchmark loop for a selector and returns
+// the full per-implementation tuning report (core.TuningReport) from rank 0.
+func TuningReportFor(spec MicroSpec, selector string) (string, error) {
+	if err := spec.validate(); err != nil {
+		return "", err
+	}
+	eng, w, err := spec.Platform.NewWorldPlaced(spec.Procs, spec.Seed, spec.Placement)
+	if err != nil {
+		return "", err
+	}
+	chunk := spec.ComputePerIter / float64(spec.ProgressCalls)
+	var out string
+	var selErr error
+	w.Start(func(c *mpi.Comm) {
+		fs := spec.functionSet(c)
+		sel, err := core.SelectorByName(selector, fs, spec.evals())
+		if err != nil {
+			selErr = err
+			return
+		}
+		req := core.MustRequest(fs, sel, c.Now)
+		timer := core.MustTimer(c.Now, req)
+		for it := 0; it < spec.Iterations; it++ {
+			timer.Start()
+			req.Init()
+			for k := 0; k < spec.ProgressCalls; k++ {
+				c.Compute(chunk)
+				req.Progress()
+			}
+			req.Wait()
+			core.StopMaybeSynced(c, timer, req)
+		}
+		if c.Rank() == 0 {
+			out = core.TuningReport(req)
+		}
+	})
+	if selErr != nil {
+		return "", selErr
+	}
+	eng.Run()
+	return out, nil
+}
+
+// Verification reproduces the paper's verification-run methodology (Fig 2):
+// every fixed implementation plus the ADCL selectors on the same scenario.
+type Verification struct {
+	Spec  MicroSpec
+	Fixed []MicroResult
+	ADCL  []MicroResult
+	Best  int // index into Fixed of the fastest fixed implementation
+}
+
+// RunVerification executes the full verification run for a spec.
+func RunVerification(spec MicroSpec, selectors ...string) (*Verification, error) {
+	if len(selectors) == 0 {
+		selectors = []string{"brute-force", "attr-heuristic"}
+	}
+	fixed, err := RunAllFixed(spec)
+	if err != nil {
+		return nil, err
+	}
+	v := &Verification{Spec: spec, Fixed: fixed}
+	for i, r := range fixed {
+		if r.Total < fixed[v.Best].Total {
+			v.Best = i
+		}
+		_ = i
+	}
+	for _, sel := range selectors {
+		r, err := RunADCL(spec, sel)
+		if err != nil {
+			return nil, err
+		}
+		v.ADCL = append(v.ADCL, r)
+	}
+	return v, nil
+}
+
+// CorrectTolerance is the paper's definition of a correct decision: the
+// chosen implementation performs within 5% of the best fixed run.
+const CorrectTolerance = 0.05
+
+// Correct reports whether the i-th ADCL run picked a correct winner under
+// the paper's 5% criterion.
+func (v *Verification) Correct(i int) bool {
+	winner := v.ADCL[i].Winner
+	var winnerTime float64 = -1
+	for _, f := range v.Fixed {
+		if f.Impl == winner {
+			winnerTime = f.Total
+			break
+		}
+	}
+	if winnerTime < 0 {
+		return false
+	}
+	best := v.Fixed[v.Best].Total
+	return winnerTime <= best*(1+CorrectTolerance)
+}

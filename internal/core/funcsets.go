@@ -1,0 +1,217 @@
+package core
+
+import (
+	"nbctune/internal/mpi"
+	"nbctune/internal/nbc"
+)
+
+// Built-in function sets: the paper's ADCL_Ibcast (21 implementations:
+// 7 tree fan-outs x 3 segment sizes) and ADCL_Ialltoall (linear,
+// dissemination, pairwise), plus the extended Ialltoall set that also
+// contains the blocking MPI_Alltoall (paper §IV-B-f), and sets for the other
+// converted operations.
+
+// Attribute value used for the blocking implementation in the extended
+// Ialltoall function set.
+const AlltoallBlocking = 3
+
+// IbcastSet builds the paper's default Ibcast function set over buf (or a
+// virtual message of vsize bytes) from root on comm. Schedules are compiled
+// once and reused per execution (persistent request semantics).
+func IbcastSet(c *mpi.Comm, root int, buf []byte, vsize int) *FunctionSet {
+	n, me := c.Size(), c.Rank()
+	fanouts := nbc.DefaultFanouts
+	segs := nbc.DefaultSegSizes
+	fs := &FunctionSet{
+		Name: "ibcast",
+		AttrSet: &AttributeSet{Attrs: []Attribute{
+			{Name: "fanout", Values: []int{nbc.FanoutBinomial, 0, 1, 2, 3, 4, 5}},
+			{Name: "segsize", Values: append([]int(nil), segs...)},
+		}},
+	}
+	for _, f := range fanouts {
+		for _, s := range segs {
+			f, s := f, s
+			sched := nbc.Ibcast(n, me, root, buf, vsize, f, s)
+			fs.Fns = append(fs.Fns, &Function{
+				Name:  sched.Name,
+				Attrs: []int{f, s},
+				Start: func() Started { return nbc.Start(c, sched) },
+			})
+		}
+	}
+	return fs
+}
+
+// IalltoallSet builds the paper's Ialltoall function set exchanging
+// blockSize bytes per rank pair. With includeBlocking the set also contains
+// the blocking MPI_Alltoall as a function whose wait pointer is nil — the
+// modified function set of §IV-B-f that lets ADCL decide at runtime whether
+// a code region benefits from a non-blocking operation at all.
+func IalltoallSet(c *mpi.Comm, send, recv []byte, blockSize int, includeBlocking bool) *FunctionSet {
+	n, me := c.Size(), c.Rank()
+	algoVals := []int{int(nbc.AlgoLinear), int(nbc.AlgoBruck), int(nbc.AlgoPairwise)}
+	if includeBlocking {
+		algoVals = append(algoVals, AlltoallBlocking)
+	}
+	name := "ialltoall"
+	if includeBlocking {
+		name = "ialltoall-ext"
+	}
+	fs := &FunctionSet{
+		Name: name,
+		AttrSet: &AttributeSet{Attrs: []Attribute{
+			{Name: "algorithm", Values: algoVals},
+		}},
+	}
+	for _, a := range nbc.DefaultAlltoallAlgos {
+		a := a
+		sched := nbc.Ialltoall(n, me, send, recv, blockSize, a)
+		fs.Fns = append(fs.Fns, &Function{
+			Name:  sched.Name,
+			Attrs: []int{int(a)},
+			Start: func() Started { return nbc.Start(c, sched) },
+		})
+	}
+	if includeBlocking {
+		fs.Fns = append(fs.Fns, &Function{
+			Name:  "alltoall-blocking",
+			Attrs: []int{AlltoallBlocking},
+			Start: func() Started {
+				c.Alltoall(send, blockSize, recv)
+				return nil
+			},
+		})
+	}
+	return fs
+}
+
+// Primitive attribute values for IalltoallPrimitivesSet.
+const (
+	PrimitiveP2P = 0 // Isend/Irecv
+	PrimitivePut = 1 // one-sided Put
+)
+
+// IalltoallPrimitivesSet builds the two-dimensional Ialltoall function set
+// the paper proposes as an extension (§III-E): algorithm x data-transfer
+// primitive. The put-based variants deposit blocks directly into a shared
+// receive window; the dissemination algorithm has no put variant (its
+// store-and-forward staging defeats one-sided deposits), so the attribute
+// grid is intentionally incomplete — selection logics that require full
+// grids fall back to brute force.
+func IalltoallPrimitivesSet(c *mpi.Comm, send, recv []byte, blockSize int) *FunctionSet {
+	n, me := c.Size(), c.Rank()
+	fs := &FunctionSet{
+		Name: "ialltoall-prim",
+		AttrSet: &AttributeSet{Attrs: []Attribute{
+			{Name: "algorithm", Values: []int{int(nbc.AlgoLinear), int(nbc.AlgoBruck), int(nbc.AlgoPairwise)}},
+			{Name: "primitive", Values: []int{PrimitiveP2P, PrimitivePut}},
+		}},
+	}
+	for _, a := range nbc.DefaultAlltoallAlgos {
+		a := a
+		sched := nbc.Ialltoall(n, me, send, recv, blockSize, a)
+		fs.Fns = append(fs.Fns, &Function{
+			Name:  sched.Name,
+			Attrs: []int{int(a), PrimitiveP2P},
+			Start: func() Started { return nbc.Start(c, sched) },
+		})
+	}
+	win := nbc.IalltoallWindows(c, recv, blockSize)
+	linPut := nbc.IalltoallLinearPut(n, me, send, recv, blockSize, win)
+	pwPut := nbc.IalltoallPairwisePut(n, me, send, recv, blockSize, win)
+	fs.Fns = append(fs.Fns,
+		&Function{Name: linPut.Name, Attrs: []int{int(nbc.AlgoLinear), PrimitivePut},
+			Start: func() Started { return nbc.Start(c, linPut) }},
+		&Function{Name: pwPut.Name, Attrs: []int{int(nbc.AlgoPairwise), PrimitivePut},
+			Start: func() Started { return nbc.Start(c, pwPut) }},
+	)
+	return fs
+}
+
+// IallgatherSet builds a function set over the two Iallgather algorithms.
+func IallgatherSet(c *mpi.Comm, send, recv []byte, bs int) *FunctionSet {
+	n, me := c.Size(), c.Rank()
+	fs := &FunctionSet{
+		Name: "iallgather",
+		AttrSet: &AttributeSet{Attrs: []Attribute{
+			{Name: "algorithm", Values: []int{int(nbc.AllgatherRing), int(nbc.AllgatherLinear)}},
+		}},
+	}
+	for _, a := range []nbc.AllgatherAlgo{nbc.AllgatherRing, nbc.AllgatherLinear} {
+		a := a
+		sched := nbc.Iallgather(n, me, send, recv, bs, a)
+		fs.Fns = append(fs.Fns, &Function{
+			Name:  sched.Name,
+			Attrs: []int{int(a)},
+			Start: func() Started { return nbc.Start(c, sched) },
+		})
+	}
+	return fs
+}
+
+// IreduceSet builds a function set over the Ireduce algorithms.
+func IreduceSet(c *mpi.Comm, root int, send, recv []byte, vsize int, op mpi.ReduceOp) *FunctionSet {
+	n, me := c.Size(), c.Rank()
+	fs := &FunctionSet{
+		Name: "ireduce",
+		AttrSet: &AttributeSet{Attrs: []Attribute{
+			{Name: "algorithm", Values: []int{int(nbc.ReduceBinomial), int(nbc.ReduceChain)}},
+		}},
+	}
+	for _, a := range []nbc.ReduceAlgo{nbc.ReduceBinomial, nbc.ReduceChain} {
+		a := a
+		sched := nbc.Ireduce(n, me, root, send, recv, vsize, op, a)
+		fs.Fns = append(fs.Fns, &Function{
+			Name:  sched.Name,
+			Attrs: []int{int(a)},
+			Start: func() Started { return nbc.Start(c, sched) },
+		})
+	}
+	return fs
+}
+
+// IallreduceSet builds a function set over the Iallreduce algorithms.
+func IallreduceSet(c *mpi.Comm, send, recv []byte, vsize int, op mpi.ReduceOp) *FunctionSet {
+	n, me := c.Size(), c.Rank()
+	fs := &FunctionSet{
+		Name: "iallreduce",
+		AttrSet: &AttributeSet{Attrs: []Attribute{
+			{Name: "algorithm", Values: []int{int(nbc.AllreduceRecursiveDoubling), int(nbc.AllreduceReduceBcast)}},
+		}},
+	}
+	for _, a := range []nbc.AllreduceAlgo{nbc.AllreduceRecursiveDoubling, nbc.AllreduceReduceBcast} {
+		a := a
+		sched := nbc.Iallreduce(n, me, send, recv, vsize, op, a)
+		fs.Fns = append(fs.Fns, &Function{
+			Name:  sched.Name,
+			Attrs: []int{int(a)},
+			Start: func() Started { return nbc.Start(c, sched) },
+		})
+	}
+	// On non-power-of-two communicators both algorithms compile to
+	// reduce-bcast; de-duplicate by name to keep the set valid.
+	if fs.Fns[0].Name == fs.Fns[1].Name {
+		fs.Fns = fs.Fns[:1]
+		fs.AttrSet.Attrs[0].Values = fs.AttrSet.Attrs[0].Values[1:]
+		fs.Fns[0].Attrs = []int{int(nbc.AllreduceReduceBcast)}
+	}
+	return fs
+}
+
+// CustomFunction registers a user-supplied implementation, the low-level
+// ADCL interface that lets applications auto-tune their own communication
+// patterns with ADCL's selection logic and statistics.
+func CustomFunction(name string, attrs []int, start func() Started) *Function {
+	return &Function{Name: name, Attrs: attrs, Start: start}
+}
+
+// NewFunctionSet assembles a function set from user functions (low-level
+// API).
+func NewFunctionSet(name string, attrSet *AttributeSet, fns ...*Function) (*FunctionSet, error) {
+	fs := &FunctionSet{Name: name, AttrSet: attrSet, Fns: fns}
+	if err := fs.Validate(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}

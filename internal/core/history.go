@@ -1,0 +1,104 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// History implements ADCL's historic learning (paper §IV-B): winners found
+// in earlier executions are persisted and looked up by a scenario key, so a
+// later run can skip the learning phase entirely.
+type History struct {
+	Entries map[string]HistoryEntry `json:"entries"`
+}
+
+// HistoryEntry records one tuned scenario.
+type HistoryEntry struct {
+	Winner string  `json:"winner"`          // function name
+	Score  float64 `json:"score,omitempty"` // robust score of the winner, if known
+	Evals  int     `json:"evals,omitempty"` // learning cost that produced it
+}
+
+// HistoryKey builds the canonical scenario key: operation, platform,
+// communicator size, and message size fully determine a tuning scenario in
+// this library (the paper's §IV-A parameters; progress-call count is a
+// property of the code region, not the scenario).
+func HistoryKey(fnset, platform string, nprocs, msgSize int) string {
+	return fmt.Sprintf("%s|%s|np%d|%dB", fnset, platform, nprocs, msgSize)
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{Entries: map[string]HistoryEntry{}}
+}
+
+// LoadHistory reads a history file; a missing file yields an empty history.
+func LoadHistory(path string) (*History, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return NewHistory(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	h := NewHistory()
+	if err := json.Unmarshal(data, h); err != nil {
+		return nil, fmt.Errorf("adcl: corrupt history %s: %w", path, err)
+	}
+	if h.Entries == nil {
+		h.Entries = map[string]HistoryEntry{}
+	}
+	return h, nil
+}
+
+// Save writes the history file atomically.
+func (h *History) Save(path string) error {
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Record stores a tuning outcome.
+func (h *History) Record(key string, e HistoryEntry) {
+	h.Entries[key] = e
+}
+
+// Lookup returns the recorded winner for a scenario key.
+func (h *History) Lookup(key string) (HistoryEntry, bool) {
+	e, ok := h.Entries[key]
+	return e, ok
+}
+
+// Keys returns all scenario keys, sorted.
+func (h *History) Keys() []string {
+	ks := make([]string, 0, len(h.Entries))
+	for k := range h.Entries {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// SelectorWithHistory returns a FixedSelector when the history already knows
+// the winner for key (and the function still exists in fs); otherwise it
+// returns fallback. The returned bool reports a history hit.
+func SelectorWithHistory(h *History, key string, fset *FunctionSet, fallback Selector) (Selector, bool) {
+	if h != nil {
+		if e, ok := h.Lookup(key); ok {
+			if idx := fset.IndexOf(e.Winner); idx >= 0 {
+				return &FixedSelector{Fn: idx}, true
+			}
+		}
+	}
+	return fallback, false
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nbctune/internal/stats"
+)
+
+// Reporter is implemented by selectors that expose their per-implementation
+// measurements; all built-in selectors except FixedSelector do.
+type Reporter interface {
+	// Scores returns the robust score per measured implementation index.
+	Scores() map[int]float64
+	// Samples returns the raw measurements of one implementation.
+	Samples(fn int) []float64
+}
+
+func (m *measStore) scores() map[int]float64 {
+	out := make(map[int]float64, len(m.meas))
+	for fn := range m.meas {
+		out[fn] = m.score(fn)
+	}
+	return out
+}
+
+// Scores implements Reporter.
+func (b *BruteForce) Scores() map[int]float64 { return b.store.scores() }
+
+// Samples implements Reporter.
+func (b *BruteForce) Samples(fn int) []float64 {
+	return append([]float64(nil), b.store.meas[fn]...)
+}
+
+// Scores implements Reporter, merging the heuristic's phase measurements
+// with its final brute-force pass.
+func (h *AttrHeuristic) Scores() map[int]float64 {
+	out := h.store.scores()
+	if h.final != nil {
+		for fn, s := range h.final.Scores() {
+			out[fn] = s
+		}
+	}
+	return out
+}
+
+// Samples implements Reporter.
+func (h *AttrHeuristic) Samples(fn int) []float64 {
+	out := append([]float64(nil), h.store.meas[fn]...)
+	if h.final != nil {
+		out = append(out, h.final.Samples(fn)...)
+	}
+	return out
+}
+
+// Scores implements Reporter.
+func (f *Factorial2K) Scores() map[int]float64 {
+	out := f.store.scores()
+	if f.final != nil {
+		for fn, s := range f.final.Scores() {
+			out[fn] = s
+		}
+	}
+	return out
+}
+
+// Samples implements Reporter.
+func (f *Factorial2K) Samples(fn int) []float64 {
+	out := append([]float64(nil), f.store.meas[fn]...)
+	if f.final != nil {
+		out = append(out, f.final.Samples(fn)...)
+	}
+	return out
+}
+
+// TuningReport renders a human-readable summary of a request's tuning state:
+// which implementations were measured, their robust scores and sample
+// spreads, and the decision.
+func TuningReport(req *Request) string {
+	var b strings.Builder
+	fs := req.FunctionSet()
+	fmt.Fprintf(&b, "function set %q (%d implementations), selector %s\n",
+		fs.Name, len(fs.Fns), req.Selector().Name())
+	if req.Decided() {
+		fmt.Fprintf(&b, "decision: %s after %d measurements (locked in at t=%.6f)\n",
+			req.Winner().Name, req.Selector().Evals(), req.DecidedAt())
+	} else {
+		fmt.Fprintf(&b, "decision: still learning (%d measurements so far)\n", req.Selector().Evals())
+	}
+	rep, ok := req.Selector().(Reporter)
+	if !ok {
+		fmt.Fprintf(&b, "(selector exposes no measurements)\n")
+		return b.String()
+	}
+	scores := rep.Scores()
+	idx := make([]int, 0, len(scores))
+	for fn := range scores {
+		idx = append(idx, fn)
+	}
+	sort.Slice(idx, func(a, c int) bool { return scores[idx[a]] < scores[idx[c]] })
+	for rank, fn := range idx {
+		samples := rep.Samples(fn)
+		kept := stats.FilterOutliers(samples)
+		fmt.Fprintf(&b, "%2d. %-32s score=%.6gs  samples=%d (%d kept)  min=%.6g max=%.6g\n",
+			rank+1, fs.Fns[fn].Name, scores[fn], len(samples), len(kept),
+			stats.Min(samples), stats.Max(samples))
+	}
+	return b.String()
+}

@@ -1,0 +1,457 @@
+package core
+
+import (
+	"fmt"
+
+	"nbctune/internal/stats"
+)
+
+// Selector is a runtime selection logic: it dictates which implementation
+// the next iteration uses and consumes one measurement per iteration until
+// it decides on a winner.
+//
+// Protocol: call Next() to learn the implementation for the upcoming
+// iteration; after measuring the iteration, call Record with that index.
+// Once Next reports decided=true the winner is fixed and Record becomes a
+// no-op.
+type Selector interface {
+	Name() string
+	Next() (fn int, decided bool)
+	Record(fn int, t float64)
+	// Winner returns the decided function index; only valid once Next
+	// reports decided.
+	Winner() int
+	// Evals returns the number of measurements consumed so far (the cost of
+	// the learning phase).
+	Evals() int
+}
+
+// measStore accumulates per-function measurements and reduces them with
+// ADCL's robust score (outlier-filtered mean) or a caller-supplied scoring
+// function (used by the outlier-filter ablation).
+type measStore struct {
+	meas   map[int][]float64
+	n      int
+	score0 func([]float64) float64
+}
+
+func newMeasStore() measStore { return measStore{meas: map[int][]float64{}} }
+
+func (m *measStore) record(fn int, t float64) {
+	m.meas[fn] = append(m.meas[fn], t)
+	m.n++
+}
+
+func (m *measStore) score(fn int) float64 {
+	if m.score0 != nil {
+		return m.score0(m.meas[fn])
+	}
+	return stats.RobustScore(m.meas[fn])
+}
+
+func (m *measStore) argmin(cands []int) int {
+	best, bestScore := cands[0], m.score(cands[0])
+	for _, c := range cands[1:] {
+		if s := m.score(c); s < bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// FixedSelector always selects one implementation; used when historic
+// learning already knows the winner.
+type FixedSelector struct{ Fn int }
+
+func (s *FixedSelector) Name() string             { return "fixed" }
+func (s *FixedSelector) Next() (int, bool)        { return s.Fn, true }
+func (s *FixedSelector) Record(fn int, t float64) {}
+func (s *FixedSelector) Winner() int              { return s.Fn }
+func (s *FixedSelector) Evals() int               { return 0 }
+
+// BruteForce evaluates every candidate EvalsPerFn times (round-robin over
+// passes, so slow drift hits all candidates equally) and picks the best
+// robust score. It is guaranteed to consider every implementation, at the
+// price of the longest learning phase (paper §III-A).
+type BruteForce struct {
+	cands   []int
+	evals   int
+	seq     int
+	store   measStore
+	decided bool
+	winner  int
+}
+
+// NewBruteForce tunes over all fnCount implementations.
+func NewBruteForce(fnCount, evalsPerFn int) *BruteForce {
+	cands := make([]int, fnCount)
+	for i := range cands {
+		cands[i] = i
+	}
+	return newBruteForceOver(cands, evalsPerFn)
+}
+
+// NewBruteForceWithScore is NewBruteForce with a custom measurement scoring
+// function (e.g. stats.Mean to ablate the outlier filter).
+func NewBruteForceWithScore(fnCount, evalsPerFn int, score func([]float64) float64) *BruteForce {
+	b := NewBruteForce(fnCount, evalsPerFn)
+	b.store.score0 = score
+	return b
+}
+
+func newBruteForceOver(cands []int, evalsPerFn int) *BruteForce {
+	if len(cands) == 0 {
+		panic("adcl: brute force over empty candidate set")
+	}
+	if evalsPerFn < 1 {
+		evalsPerFn = 1
+	}
+	return &BruteForce{cands: cands, evals: evalsPerFn, store: newMeasStore()}
+}
+
+func (b *BruteForce) Name() string { return "brute-force" }
+
+func (b *BruteForce) Next() (int, bool) {
+	if b.decided {
+		return b.winner, true
+	}
+	return b.cands[b.seq%len(b.cands)], false
+}
+
+func (b *BruteForce) Record(fn int, t float64) {
+	if b.decided {
+		return
+	}
+	b.store.record(fn, t)
+	b.seq++
+	if b.seq >= b.evals*len(b.cands) {
+		b.winner = b.store.argmin(b.cands)
+		b.decided = true
+	}
+}
+
+func (b *BruteForce) Winner() int { return b.winner }
+func (b *BruteForce) Evals() int  { return b.store.n }
+
+// AttrHeuristic is ADCL's attribute-based search heuristic [13]: it assumes
+// the best implementation has the optimal value in every attribute
+// dimension, so it optimizes one attribute at a time over a "slice" of
+// implementations that differ only in that attribute, then prunes every
+// implementation without the winning value. Cost is roughly the sum of the
+// attribute cardinalities rather than their product.
+type AttrHeuristic struct {
+	fns   []*Function
+	attrs *AttributeSet
+	evals int
+
+	remaining []int
+	attr      int
+	slice     []int
+	seq       int
+	store     measStore
+
+	final   *BruteForce
+	decided bool
+	winner  int
+}
+
+// NewAttrHeuristic builds the heuristic for a function set. Function sets
+// without attributes degrade to brute force.
+func NewAttrHeuristic(fs *FunctionSet, evalsPerFn int) Selector {
+	if fs.AttrSet == nil || len(fs.AttrSet.Attrs) == 0 {
+		return NewBruteForce(len(fs.Fns), evalsPerFn)
+	}
+	if evalsPerFn < 1 {
+		evalsPerFn = 1
+	}
+	h := &AttrHeuristic{fns: fs.Fns, attrs: fs.AttrSet, evals: evalsPerFn}
+	h.remaining = make([]int, len(fs.Fns))
+	for i := range h.remaining {
+		h.remaining[i] = i
+	}
+	h.store = newMeasStore()
+	h.advancePhase()
+	return h
+}
+
+// buildSlice collects, for the current attribute, one candidate per distinct
+// value: implementations equal to remaining[0] in every other attribute.
+func (h *AttrHeuristic) buildSlice() []int {
+	base := h.fns[h.remaining[0]]
+	var out []int
+	for _, i := range h.remaining {
+		f := h.fns[i]
+		ok := true
+		for a := range f.Attrs {
+			if a != h.attr && f.Attrs[a] != base.Attrs[a] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// advancePhase moves to the next attribute with at least two live values,
+// or finishes.
+func (h *AttrHeuristic) advancePhase() {
+	for h.attr < len(h.attrs.Attrs) {
+		if len(distinctValues(h.fns, h.remaining, h.attr)) >= 2 {
+			sl := h.buildSlice()
+			if len(sl) >= 2 {
+				h.slice = sl
+				h.seq = 0
+				return
+			}
+		}
+		h.attr++
+	}
+	// All attributes processed.
+	if len(h.remaining) == 1 {
+		h.winner = h.remaining[0]
+		h.decided = true
+		return
+	}
+	h.final = newBruteForceOver(h.remaining, h.evals)
+}
+
+func (h *AttrHeuristic) Name() string { return "attr-heuristic" }
+
+func (h *AttrHeuristic) Next() (int, bool) {
+	if h.decided {
+		return h.winner, true
+	}
+	if h.final != nil {
+		fn, done := h.final.Next()
+		if done {
+			h.winner = h.final.Winner()
+			h.decided = true
+		}
+		return fn, h.decided
+	}
+	return h.slice[h.seq%len(h.slice)], false
+}
+
+func (h *AttrHeuristic) Record(fn int, t float64) {
+	if h.decided {
+		return
+	}
+	if h.final != nil {
+		h.final.Record(fn, t)
+		if _, done := h.final.Next(); done {
+			h.winner = h.final.Winner()
+			h.decided = true
+		}
+		return
+	}
+	h.store.record(fn, t)
+	h.seq++
+	if h.seq < h.evals*len(h.slice) {
+		return
+	}
+	// Decide the optimal value for this attribute and prune.
+	best := h.store.argmin(h.slice)
+	bestVal := h.fns[best].Attrs[h.attr]
+	var kept []int
+	for _, i := range h.remaining {
+		if h.fns[i].Attrs[h.attr] == bestVal {
+			kept = append(kept, i)
+		}
+	}
+	h.remaining = kept
+	h.attr++
+	h.advancePhase()
+}
+
+func (h *AttrHeuristic) Winner() int { return h.winner }
+
+func (h *AttrHeuristic) Evals() int {
+	n := h.store.n
+	if h.final != nil {
+		n += h.final.Evals()
+	}
+	return n
+}
+
+// Factorial2K is the 2^k factorial design selection logic [4,5]: it measures
+// only the corner implementations (every attribute at its extreme values),
+// estimates main effects, pins attributes with strong effects to their
+// better extreme, and brute-forces the surviving candidates. Unlike
+// AttrHeuristic it tolerates correlated attributes, because interactions are
+// visible in the corner responses.
+type Factorial2K struct {
+	fns   []*Function
+	evals int
+	// ThresholdFrac scales the strong-effect cutoff: an attribute is pinned
+	// when |main effect| > ThresholdFrac * mean corner response.
+	thresholdFrac float64
+
+	factors  []int // attribute indices participating as 2-level factors
+	lows     []int
+	highs    []int
+	corners  []stats.Corner
+	cornerFn []int
+	seq      int
+	store    measStore
+
+	final   *BruteForce
+	decided bool
+	winner  int
+}
+
+// NewFactorial2K builds the factorial-design selector; it falls back to
+// brute force when the function set has no attributes or the corner
+// implementations don't all exist.
+func NewFactorial2K(fs *FunctionSet, evalsPerFn int, thresholdFrac float64) Selector {
+	if fs.AttrSet == nil || len(fs.AttrSet.Attrs) == 0 {
+		return NewBruteForce(len(fs.Fns), evalsPerFn)
+	}
+	if evalsPerFn < 1 {
+		evalsPerFn = 1
+	}
+	if thresholdFrac <= 0 {
+		thresholdFrac = 0.02
+	}
+	all := make([]int, len(fs.Fns))
+	for i := range all {
+		all[i] = i
+	}
+	f := &Factorial2K{fns: fs.Fns, evals: evalsPerFn, thresholdFrac: thresholdFrac, store: newMeasStore()}
+	for a := range fs.AttrSet.Attrs {
+		vals := distinctValues(fs.Fns, all, a)
+		if len(vals) >= 2 {
+			f.factors = append(f.factors, a)
+			f.lows = append(f.lows, vals[0])
+			f.highs = append(f.highs, vals[len(vals)-1])
+		}
+	}
+	if len(f.factors) == 0 {
+		return NewBruteForce(len(fs.Fns), evalsPerFn)
+	}
+	f.corners = stats.Corners(len(f.factors))
+	attrCount := len(fs.AttrSet.Attrs)
+	for _, c := range f.corners {
+		// Build the attribute vector for this corner: factor attributes at
+		// their extreme, non-factor attributes at their single value.
+		want := make([]int, attrCount)
+		for a := 0; a < attrCount; a++ {
+			want[a] = fs.Fns[0].Attrs[a]
+		}
+		for fi, a := range f.factors {
+			if c.Levels[fi] {
+				want[a] = f.highs[fi]
+			} else {
+				want[a] = f.lows[fi]
+			}
+		}
+		idx := fs.FindFunction(want)
+		if idx < 0 {
+			// Incomplete design: cannot run the factorial screen.
+			return NewBruteForce(len(fs.Fns), evalsPerFn)
+		}
+		f.cornerFn = append(f.cornerFn, idx)
+	}
+	return f
+}
+
+func (f *Factorial2K) Name() string { return "factorial-2k" }
+
+func (f *Factorial2K) Next() (int, bool) {
+	if f.decided {
+		return f.winner, true
+	}
+	if f.final != nil {
+		fn, done := f.final.Next()
+		if done {
+			f.winner = f.final.Winner()
+			f.decided = true
+		}
+		return fn, f.decided
+	}
+	return f.cornerFn[f.seq%len(f.cornerFn)], false
+}
+
+func (f *Factorial2K) Record(fn int, t float64) {
+	if f.decided {
+		return
+	}
+	if f.final != nil {
+		f.final.Record(fn, t)
+		if _, done := f.final.Next(); done {
+			f.winner = f.final.Winner()
+			f.decided = true
+		}
+		return
+	}
+	f.store.record(fn, t)
+	f.seq++
+	if f.seq < f.evals*len(f.cornerFn) {
+		return
+	}
+	// Score corners and estimate effects.
+	total := 0.0
+	for i := range f.corners {
+		f.corners[i].Score = f.store.score(f.cornerFn[i])
+		total += f.corners[i].Score
+	}
+	eff := stats.ComputeEffects(f.corners)
+	threshold := f.thresholdFrac * total / float64(len(f.corners))
+	pinned := map[int]int{} // attribute index -> pinned value
+	for fi, a := range f.factors {
+		m := eff.Main[fi]
+		if m > threshold || m < -threshold {
+			if eff.BetterLevel(fi) {
+				pinned[a] = f.highs[fi]
+			} else {
+				pinned[a] = f.lows[fi]
+			}
+		}
+	}
+	var survivors []int
+	for i, fnc := range f.fns {
+		ok := true
+		for a, v := range pinned {
+			if fnc.Attrs[a] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			survivors = append(survivors, i)
+		}
+	}
+	if len(survivors) == 1 {
+		f.winner = survivors[0]
+		f.decided = true
+		return
+	}
+	f.final = newBruteForceOver(survivors, f.evals)
+}
+
+func (f *Factorial2K) Winner() int { return f.winner }
+
+func (f *Factorial2K) Evals() int {
+	n := f.store.n
+	if f.final != nil {
+		n += f.final.Evals()
+	}
+	return n
+}
+
+// SelectorByName builds a selector from its registry name; used by the
+// benchmark drivers' command lines.
+func SelectorByName(name string, fs *FunctionSet, evalsPerFn int) (Selector, error) {
+	switch name {
+	case "brute-force", "bruteforce", "bf":
+		return NewBruteForce(len(fs.Fns), evalsPerFn), nil
+	case "attr-heuristic", "heuristic":
+		return NewAttrHeuristic(fs, evalsPerFn), nil
+	case "factorial-2k", "factorial":
+		return NewFactorial2K(fs, evalsPerFn, 0), nil
+	default:
+		return nil, fmt.Errorf("adcl: unknown selector %q", name)
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import "nbctune/internal/mpi"
+
+// Decision synchronization. ADCL's selectors run one instance per rank; to
+// keep every rank switching implementations in lockstep, all instances must
+// see identical measurement streams. SyncedStop max-reduces the local timer
+// interval across the communicator before recording it, so every selector
+// receives the slowest rank's time — which is also the measurement that
+// actually matters for a collective operation. The 8-byte allreduce costs a
+// few microseconds per iteration and is only needed while a selector is
+// still learning; afterwards, use CheapStop.
+func SyncedStop(c *mpi.Comm, t *Timer) {
+	e := t.Elapsed()
+	in := mpi.Float64sToBytes([]float64{e})
+	out := make([]byte, 8)
+	c.Allreduce(in, out, 0, mpi.MaxFloat64)
+	t.StopWith(mpi.BytesToFloat64s(out)[0])
+}
+
+// StopMaybeSynced stops the timer with decision synchronization while any
+// attached request is still learning, and with a plain local stop once all
+// decisions are locked in.
+func StopMaybeSynced(c *mpi.Comm, t *Timer, reqs ...*Request) {
+	learning := false
+	for _, r := range reqs {
+		if !r.Decided() {
+			learning = true
+			break
+		}
+	}
+	if learning {
+		SyncedStop(c, t)
+		return
+	}
+	t.Stop()
+}

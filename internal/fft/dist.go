@@ -1,0 +1,529 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+
+	"nbctune/internal/core"
+	"nbctune/internal/mpi"
+	"nbctune/internal/nbc"
+)
+
+// Flavor selects the communication back end of the transpose step.
+type Flavor int
+
+const (
+	// FlavorMPI uses the blocking MPI_Alltoall (no overlap).
+	FlavorMPI Flavor = iota
+	// FlavorNBC uses LibNBC's default: the linear Ialltoall algorithm.
+	FlavorNBC
+	// FlavorADCL runtime-tunes over the non-blocking Ialltoall function set.
+	FlavorADCL
+	// FlavorADCLExt tunes over the extended function set that also contains
+	// the blocking MPI_Alltoall (paper §IV-B-f).
+	FlavorADCLExt
+)
+
+func (f Flavor) String() string {
+	switch f {
+	case FlavorMPI:
+		return "mpi"
+	case FlavorNBC:
+		return "libnbc"
+	case FlavorADCL:
+		return "adcl"
+	case FlavorADCLExt:
+		return "adcl-ext"
+	default:
+		return fmt.Sprintf("flavor(%d)", int(f))
+	}
+}
+
+// Pattern is the computation/communication interleaving of the transpose
+// (Hoefler et al. [14], paper Fig 8).
+type Pattern int
+
+const (
+	Pipelined Pattern = iota
+	Tiled
+	Windowed
+	WindowTiled
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Pipelined:
+		return "pipelined"
+	case Tiled:
+		return "tiled"
+	case Windowed:
+		return "windowed"
+	case WindowTiled:
+		return "window-tiled"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// Patterns lists all four transpose patterns.
+var Patterns = []Pattern{Pipelined, Tiled, Windowed, WindowTiled}
+
+// params returns (tile size, window size) for `planes` local planes. The
+// paper's defaults are tile=10 and window=3; at simulation scale the tile
+// size is planes/2 (at least 2), preserving tile>1 vs tile=1 and window 2
+// vs 3 distinctions.
+func (p Pattern) params(planes int) (tile, window int) {
+	bigTile := planes / 2
+	if bigTile < 2 {
+		bigTile = planes // degenerate: single tile
+	}
+	switch p {
+	case Pipelined:
+		return 1, 2
+	case Tiled:
+		return bigTile, 2
+	case Windowed:
+		return 1, 3
+	case WindowTiled:
+		return bigTile, 3
+	default:
+		panic("fft: unknown pattern")
+	}
+}
+
+// Config describes one distributed 3D-FFT setup.
+type Config struct {
+	N               int // grid points per dimension (power of two)
+	Pattern         Pattern
+	Flavor          Flavor
+	Selector        string  // ADCL flavors: selection logic name
+	EvalsPerFn      int     // ADCL flavors: measurements per implementation
+	ProgressPerTile int     // progress calls inserted per tile compute phase
+	Virtual         bool    // timing-only: no payload math or data movement
+	FlopRate        float64 // per-rank compute rate (platform.FlopRate)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Selector == "" {
+		c.Selector = "brute-force"
+	}
+	if c.EvalsPerFn == 0 {
+		c.EvalsPerFn = 3
+	}
+	if c.ProgressPerTile == 0 {
+		c.ProgressPerTile = 2
+	}
+	if c.FlopRate == 0 {
+		c.FlopRate = 2e9
+	}
+	return c
+}
+
+// slot is one window entry: buffers plus the in-flight operation state.
+type slot struct {
+	send, recv []byte
+	req        *core.Request // ADCL flavors
+	sched      *nbc.Schedule // NBC flavor
+	handle     *nbc.Handle   // NBC flavor, in flight
+	busy       bool
+	tile       int
+}
+
+// Plan is the per-rank state of the distributed 3D FFT.
+type Plan struct {
+	c   *mpi.Comm
+	cfg Config
+
+	P, me  int
+	L      int // local planes (N/P)
+	tp, T  int // tile size in planes, tile count
+	W      int // window size
+	blockB int // bytes exchanged per rank pair per tile
+
+	slab    []complex128 // [L][N][N], x-slabs (input layout)
+	trans   []complex128 // [L][N][N], y-slabs (transposed layout)
+	scratch []complex128
+
+	slots []*slot
+	timer *core.Timer // ADCL flavors
+	reqs  []*core.Request
+
+	iters int
+}
+
+// NewPlan builds the per-rank FFT plan. The communicator size must divide N,
+// and the tile size must divide the local plane count.
+func NewPlan(c *mpi.Comm, cfg Config) (*Plan, error) {
+	cfg = cfg.withDefaults()
+	P := c.Size()
+	N := cfg.N
+	if N <= 0 || N&(N-1) != 0 {
+		return nil, fmt.Errorf("fft: N=%d must be a power of two", N)
+	}
+	if N%P != 0 {
+		return nil, fmt.Errorf("fft: communicator size %d must divide N=%d", P, N)
+	}
+	L := N / P
+	tp, W := cfg.Pattern.params(L)
+	if L%tp != 0 {
+		return nil, fmt.Errorf("fft: tile size %d must divide local planes %d", tp, L)
+	}
+	T := L / tp
+	if W > T {
+		W = T
+	}
+	pl := &Plan{
+		c: c, cfg: cfg, P: P, me: c.Rank(), L: L, tp: tp, T: T, W: W,
+		blockB: tp * L * N * 16,
+	}
+	if !cfg.Virtual {
+		pl.slab = make([]complex128, L*N*N)
+		pl.trans = make([]complex128, L*N*N)
+		pl.scratch = make([]complex128, N)
+	}
+
+	// Window slots with persistent buffers and, per flavor, a persistent
+	// operation bound to them.
+	var shared core.Selector
+	for s := 0; s < pl.W; s++ {
+		sl := &slot{}
+		if !cfg.Virtual {
+			sl.send = make([]byte, P*pl.blockB)
+			sl.recv = make([]byte, P*pl.blockB)
+		}
+		switch cfg.Flavor {
+		case FlavorMPI:
+			// blocking: no persistent op needed
+		case FlavorNBC:
+			sl.sched = nbc.Ialltoall(P, pl.me, sl.send, sl.recv, pl.blockB, nbc.AlgoLinear)
+		case FlavorADCL, FlavorADCLExt:
+			fs := core.IalltoallSet(c, sl.send, sl.recv, pl.blockB, cfg.Flavor == FlavorADCLExt)
+			if shared == nil {
+				sel, err := core.SelectorByName(cfg.Selector, fs, cfg.EvalsPerFn)
+				if err != nil {
+					return nil, err
+				}
+				shared = sel
+			}
+			req, err := core.NewRequest(fs, shared, c.Now)
+			if err != nil {
+				return nil, err
+			}
+			sl.req = req
+			pl.reqs = append(pl.reqs, req)
+		default:
+			return nil, fmt.Errorf("fft: unknown flavor %d", int(cfg.Flavor))
+		}
+		pl.slots = append(pl.slots, sl)
+	}
+	if len(pl.reqs) > 0 {
+		t, err := core.NewTimer(c.Now, pl.reqs...)
+		if err != nil {
+			return nil, err
+		}
+		pl.timer = t
+	}
+	return pl, nil
+}
+
+// Slab returns the rank's input/output x-slab array ([L][N][N], index
+// (lx*N+y)*N+z). Nil in virtual mode.
+func (p *Plan) Slab() []complex128 { return p.slab }
+
+// Trans returns the transposed array ([L][N][N], index (ly*N+gx)*N+z).
+func (p *Plan) Trans() []complex128 { return p.trans }
+
+// LocalPlanes returns the number of x-planes owned by this rank.
+func (p *Plan) LocalPlanes() int { return p.L }
+
+// Window and TileSize expose the pattern geometry actually in use.
+func (p *Plan) Window() int   { return p.W }
+func (p *Plan) TileSize() int { return p.tp }
+
+// Decided reports whether the ADCL selection (if any) has converged, and
+// the winner's name.
+func (p *Plan) Decided() (bool, string) {
+	if len(p.reqs) == 0 {
+		return true, p.cfg.Flavor.String()
+	}
+	if w := p.reqs[0].Winner(); w != nil {
+		return true, w.Name
+	}
+	return false, ""
+}
+
+// Evals returns the ADCL learning cost so far (0 for fixed flavors).
+func (p *Plan) Evals() int {
+	if len(p.reqs) == 0 {
+		return 0
+	}
+	return p.reqs[0].Selector().Evals()
+}
+
+// tileComputeTime is the modeled cost of the 2D FFTs of one tile: per plane,
+// N row FFTs (z) and N column FFTs (y).
+func (p *Plan) tileComputeTime() float64 {
+	return float64(p.tp) * 2 * float64(p.cfg.N) * FFTFlops(p.cfg.N) / p.cfg.FlopRate
+}
+
+// phase3ComputeTime models the final FFT along x over all local y-planes.
+func (p *Plan) phase3ComputeTime() float64 {
+	return float64(p.L) * float64(p.cfg.N) * FFTFlops(p.cfg.N) / p.cfg.FlopRate
+}
+
+// compute2DTile performs (and charges) the 2D FFTs of tile t, interleaving
+// progress calls on outstanding window slots.
+func (p *Plan) compute2DTile(t int, inverse bool) error {
+	N := p.cfg.N
+	if !p.cfg.Virtual {
+		for i := 0; i < p.tp; i++ {
+			lx := t*p.tp + i
+			base := lx * N * N
+			for y := 0; y < N; y++ {
+				if err := fftStride(p.slab, base+y*N, N, 1, inverse, p.scratch); err != nil {
+					return err
+				}
+			}
+			for z := 0; z < N; z++ {
+				if err := fftStride(p.slab, base+z, N, N, inverse, p.scratch); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	p.chunkedCompute(p.tileComputeTime())
+	return nil
+}
+
+// chunkedCompute charges d seconds of compute split into ProgressPerTile
+// chunks, progressing outstanding slots between chunks.
+func (p *Plan) chunkedCompute(d float64) {
+	k := p.cfg.ProgressPerTile
+	for i := 0; i < k; i++ {
+		p.c.Compute(d / float64(k))
+		p.progressBusy()
+	}
+}
+
+func (p *Plan) progressBusy() {
+	for _, sl := range p.slots {
+		if !sl.busy {
+			continue
+		}
+		switch {
+		case sl.req != nil:
+			sl.req.Progress()
+		case sl.handle != nil:
+			sl.handle.Progress()
+		}
+	}
+}
+
+// pack stages tile t of the slab into the slot's send buffer, grouped by
+// destination rank.
+func (p *Plan) pack(t int, sl *slot) {
+	N, L, tp := p.cfg.N, p.L, p.tp
+	if !p.cfg.Virtual {
+		for j := 0; j < p.P; j++ {
+			dst := j * p.blockB
+			for i := 0; i < tp; i++ {
+				lx := t*tp + i
+				for ry := 0; ry < L; ry++ {
+					y := j*L + ry
+					src := (lx*N + y) * N
+					off := dst + ((i*L + ry) * N * 16)
+					putComplexRow(sl.send[off:off+N*16], p.slab[src:src+N])
+				}
+			}
+		}
+	}
+	p.c.RankState().ChargeCopy(p.P * p.blockB)
+}
+
+// unpack scatters the received tile t blocks into the transposed array.
+func (p *Plan) unpack(t int, sl *slot) {
+	N, L, tp := p.cfg.N, p.L, p.tp
+	if !p.cfg.Virtual {
+		for j := 0; j < p.P; j++ {
+			src := j * p.blockB
+			for i := 0; i < tp; i++ {
+				gx := j*L + t*tp + i
+				for ry := 0; ry < L; ry++ {
+					off := src + ((i*L + ry) * N * 16)
+					dst := (ry*N + gx) * N
+					getComplexRow(p.trans[dst:dst+N], sl.recv[off:off+N*16])
+				}
+			}
+		}
+	}
+	p.c.RankState().ChargeCopy(p.P * p.blockB)
+}
+
+// startTranspose initiates the all-to-all for tile t on the given slot.
+func (p *Plan) startTranspose(t int, sl *slot) {
+	sl.tile = t
+	switch p.cfg.Flavor {
+	case FlavorMPI:
+		p.c.Alltoall(sl.send, p.blockB, sl.recv)
+		sl.busy = true // completed, but unpack still pending
+	case FlavorNBC:
+		sl.handle = nbc.Start(p.c, sl.sched)
+		sl.busy = true
+	default:
+		sl.req.Init()
+		sl.busy = true
+	}
+}
+
+// finishTranspose completes the slot's operation and unpacks it.
+func (p *Plan) finishTranspose(sl *slot) {
+	switch p.cfg.Flavor {
+	case FlavorMPI:
+		// already complete
+	case FlavorNBC:
+		sl.handle.Wait()
+		sl.handle = nil
+	default:
+		sl.req.Wait()
+	}
+	p.unpack(sl.tile, sl)
+	sl.busy = false
+}
+
+// Forward runs one forward 3D FFT iteration: 2D FFTs + windowed/tiled
+// transpose + final FFT along x. For ADCL flavors the iteration is bracketed
+// by the plan's timer, so the runtime selection tunes the entire region.
+func (p *Plan) Forward() error {
+	p.iters++
+	if p.timer != nil {
+		p.timer.Start()
+	}
+	for t := 0; t < p.T; t++ {
+		sl := p.slots[t%p.W]
+		if sl.busy {
+			p.finishTranspose(sl)
+		}
+		if err := p.compute2DTile(t, false); err != nil {
+			return err
+		}
+		p.pack(t, sl)
+		p.startTranspose(t, sl)
+	}
+	for off := 0; off < p.W; off++ {
+		sl := p.slots[(p.T+off)%p.W]
+		if sl.busy {
+			p.finishTranspose(sl)
+		}
+	}
+	if err := p.fftAlongX(false); err != nil {
+		return err
+	}
+	if p.timer != nil {
+		core.StopMaybeSynced(p.c, p.timer, p.reqs...)
+	}
+	return nil
+}
+
+func (p *Plan) fftAlongX(inverse bool) error {
+	N := p.cfg.N
+	if !p.cfg.Virtual {
+		for ly := 0; ly < p.L; ly++ {
+			base := ly * N * N
+			for z := 0; z < N; z++ {
+				if err := fftStride(p.trans, base+z, N, N, inverse, p.scratch); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	p.c.Compute(p.phase3ComputeTime())
+	return nil
+}
+
+// Inverse undoes Forward: inverse FFT along x, transpose back (blocking),
+// and inverse 2D FFTs. It exists for round-trip validation and uses the
+// blocking all-to-all regardless of flavor.
+func (p *Plan) Inverse() error {
+	if p.cfg.Virtual {
+		return fmt.Errorf("fft: Inverse requires real data")
+	}
+	if err := p.fftAlongX(true); err != nil {
+		return err
+	}
+	N, L := p.cfg.N, p.L
+	// Transpose back in one blocking exchange: block to peer j = my y-rows
+	// of j's planes, i.e. the exact mirror of the forward unpack.
+	blockB := L * L * N * 16
+	send := make([]byte, p.P*blockB)
+	recv := make([]byte, p.P*blockB)
+	for j := 0; j < p.P; j++ {
+		off := j * blockB
+		for i := 0; i < L; i++ { // j's plane index
+			gx := j*L + i
+			for ry := 0; ry < L; ry++ {
+				src := (ry*N + gx) * N
+				o := off + ((i*L+ry)*N)*16
+				putComplexRow(send[o:o+N*16], p.trans[src:src+N])
+			}
+		}
+	}
+	p.c.RankState().ChargeCopy(p.P * blockB)
+	p.c.Alltoall(send, blockB, recv)
+	for j := 0; j < p.P; j++ {
+		off := j * blockB
+		for i := 0; i < L; i++ { // my plane index
+			lx := i
+			for ry := 0; ry < L; ry++ {
+				y := j*L + ry
+				o := off + ((i*L+ry)*N)*16
+				dst := (lx*N + y) * N
+				getComplexRow(p.slab[dst:dst+N], recv[o:o+N*16])
+			}
+		}
+	}
+	p.c.RankState().ChargeCopy(p.P * blockB)
+	// Inverse 2D FFTs per plane.
+	for lx := 0; lx < L; lx++ {
+		base := lx * N * N
+		for y := 0; y < N; y++ {
+			if err := fftStride(p.slab, base+y*N, N, 1, true, p.scratch); err != nil {
+				return err
+			}
+		}
+		for z := 0; z < N; z++ {
+			if err := fftStride(p.slab, base+z, N, N, true, p.scratch); err != nil {
+				return err
+			}
+		}
+	}
+	p.c.Compute(2 * p.phase3ComputeTime())
+	return nil
+}
+
+func putComplexRow(dst []byte, src []complex128) {
+	for i, v := range src {
+		putF64(dst[16*i:], real(v))
+		putF64(dst[16*i+8:], imag(v))
+	}
+}
+
+func getComplexRow(dst []complex128, src []byte) {
+	for i := range dst {
+		dst[i] = complex(getF64(src[16*i:]), getF64(src[16*i+8:]))
+	}
+}
+
+func putF64(b []byte, v float64) {
+	u := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+}
+
+func getF64(b []byte) float64 {
+	var u uint64
+	for i := 0; i < 8; i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	return math.Float64frombits(u)
+}

@@ -1,0 +1,110 @@
+package mpi
+
+import "fmt"
+
+// Alltoallv is the vector all-to-all: rank i sends sendCounts[j] bytes to
+// rank j and receives recvCounts[j] bytes from it, at the given byte
+// displacements into send/recv.
+//
+// Note on auto-tuning (paper §III-A): ADCL deliberately supports only
+// persistent collective operations. A non-persistent tuning interface would
+// have to identify "the same" operation across iterations by hashing its
+// arguments — but for vector collectives each process only knows its own
+// counts and displacements, so no process can reliably recognize the global
+// operation from local arguments alone. The vector operation is therefore
+// provided as a blocking MPI-level primitive here; to tune it with ADCL,
+// wrap a fixed (send/recv pattern) instance as a persistent custom function
+// set (see core.CustomFunction).
+func (c *Comm) Alltoallv(send []byte, sendCounts, sendDispls []int, recv []byte, recvCounts, recvDispls []int) error {
+	n := c.Size()
+	if len(sendCounts) != n || len(recvCounts) != n ||
+		len(sendDispls) != n || len(recvDispls) != n {
+		return fmt.Errorf("mpi: alltoallv count/displacement vectors must have length %d", n)
+	}
+	for j := 0; j < n; j++ {
+		if sendCounts[j] < 0 || recvCounts[j] < 0 {
+			return fmt.Errorf("mpi: negative count for peer %d", j)
+		}
+		if send != nil && sendDispls[j]+sendCounts[j] > len(send) {
+			return fmt.Errorf("mpi: send block for peer %d exceeds buffer", j)
+		}
+		if recv != nil && recvDispls[j]+recvCounts[j] > len(recv) {
+			return fmt.Errorf("mpi: recv block for peer %d exceeds buffer", j)
+		}
+	}
+	tag := c.nextCollTag()
+	// Self block.
+	if send != nil && recv != nil && sendCounts[c.me] > 0 {
+		nn := min(sendCounts[c.me], recvCounts[c.me])
+		copy(recv[recvDispls[c.me]:recvDispls[c.me]+nn], send[sendDispls[c.me]:sendDispls[c.me]+nn])
+	}
+	// Pairwise exchange over non-uniform blocks; zero-size transfers are
+	// skipped entirely, which is the point of the vector interface.
+	for step := 1; step < n; step++ {
+		sendTo := (c.me + step) % n
+		recvFrom := (c.me - step + n) % n
+		var reqs []*Request
+		if recvCounts[recvFrom] > 0 {
+			var blk []byte
+			if recv != nil {
+				blk = recv[recvDispls[recvFrom] : recvDispls[recvFrom]+recvCounts[recvFrom]]
+			}
+			reqs = append(reqs, c.Irecv(recvFrom, tag, blk, recvCounts[recvFrom]))
+		}
+		if sendCounts[sendTo] > 0 {
+			var blk []byte
+			if send != nil {
+				blk = send[sendDispls[sendTo] : sendDispls[sendTo]+sendCounts[sendTo]]
+			}
+			reqs = append(reqs, c.Isend(sendTo, tag, blk, sendCounts[sendTo]))
+		}
+		if len(reqs) > 0 {
+			c.Wait(reqs...)
+		}
+	}
+	return nil
+}
+
+// Iprobe performs one progress pass and reports whether a message matching
+// (src, tag) has arrived and is matchable, without receiving it. It returns
+// the matched size when found.
+func (c *Comm) Iprobe(src, tag int) (found bool, size int) {
+	c.r.Progress()
+	wsrc := c.translate(src)
+	probe := &Request{r: c.r, kind: reqRecv, peer: wsrc, tag: tag, ctx: c.ctx}
+	for _, env := range c.r.unexpEager {
+		if matches(probe, env) {
+			return true, env.size
+		}
+	}
+	for _, env := range c.r.unexpRTS {
+		if matches(probe, env) {
+			return true, env.size
+		}
+	}
+	return false, 0
+}
+
+// Probe blocks until a message matching (src, tag) is available and returns
+// its size, without receiving it.
+func (c *Comm) Probe(src, tag int) int {
+	wsrc := c.translate(src)
+	probe := &Request{r: c.r, kind: reqRecv, peer: wsrc, tag: tag, ctx: c.ctx}
+	size := -1
+	c.WaitFor(func() bool {
+		for _, env := range c.r.unexpEager {
+			if matches(probe, env) {
+				size = env.size
+				return true
+			}
+		}
+		for _, env := range c.r.unexpRTS {
+			if matches(probe, env) {
+				size = env.size
+				return true
+			}
+		}
+		return false
+	})
+	return size
+}

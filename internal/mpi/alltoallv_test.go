@@ -1,0 +1,203 @@
+package mpi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlltoallvTriangular(t *testing.T) {
+	// Rank i sends (j+1) bytes to rank j, each byte = i*16+j.
+	const n = 5
+	results := make([][]byte, n)
+	counts := make([][]int, n)
+	runProg(t, n, nil, func(c *Comm) {
+		me := c.Rank()
+		sendCounts := make([]int, n)
+		sendDispls := make([]int, n)
+		total := 0
+		for j := 0; j < n; j++ {
+			sendCounts[j] = j + 1
+			sendDispls[j] = total
+			total += j + 1
+		}
+		send := make([]byte, total)
+		for j := 0; j < n; j++ {
+			for k := 0; k < sendCounts[j]; k++ {
+				send[sendDispls[j]+k] = byte(me*16 + j)
+			}
+		}
+		recvCounts := make([]int, n)
+		recvDispls := make([]int, n)
+		rtotal := 0
+		for j := 0; j < n; j++ {
+			recvCounts[j] = me + 1 // everyone sends me me+1 bytes
+			recvDispls[j] = rtotal
+			rtotal += me + 1
+		}
+		recv := make([]byte, rtotal)
+		if err := c.Alltoallv(send, sendCounts, sendDispls, recv, recvCounts, recvDispls); err != nil {
+			t.Error(err)
+			return
+		}
+		results[me] = recv
+		counts[me] = recvCounts
+	})
+	for r := 0; r < n; r++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < r+1; k++ {
+				got := results[r][j*(r+1)+k]
+				if got != byte(j*16+r) {
+					t.Fatalf("rank %d from %d byte %d = %d, want %d", r, j, k, got, byte(j*16+r))
+				}
+			}
+		}
+	}
+}
+
+func TestAlltoallvZeroCounts(t *testing.T) {
+	// Sparse pattern: only even->odd pairs exchange.
+	const n = 4
+	results := make([][]byte, n)
+	runProg(t, n, nil, func(c *Comm) {
+		me := c.Rank()
+		sendCounts := make([]int, n)
+		sendDispls := make([]int, n)
+		recvCounts := make([]int, n)
+		recvDispls := make([]int, n)
+		var send, recv []byte
+		if me%2 == 0 {
+			for j := 1; j < n; j += 2 {
+				sendCounts[j] = 4
+			}
+			send = []byte{1, 2, 3, 4, 5, 6, 7, 8}
+			sendDispls[1] = 0
+			sendDispls[3] = 4
+		} else {
+			for j := 0; j < n; j += 2 {
+				recvCounts[j] = 4
+			}
+			recv = make([]byte, 8)
+			recvDispls[0] = 0
+			recvDispls[2] = 4
+		}
+		if err := c.Alltoallv(send, sendCounts, sendDispls, recv, recvCounts, recvDispls); err != nil {
+			t.Error(err)
+			return
+		}
+		results[me] = recv
+	})
+	// Rank 1 receives send[0:4]={1,2,3,4} from rank 0 (at displ 0) and the
+	// same block from rank 2 (at displ 4).
+	for i, want := range []byte{1, 2, 3, 4, 1, 2, 3, 4} {
+		if results[1][i] != want {
+			t.Fatalf("odd rank 1 received %v", results[1])
+		}
+	}
+	if results[0] != nil {
+		t.Fatal("even rank should have received nothing")
+	}
+}
+
+func TestAlltoallvValidation(t *testing.T) {
+	runProg(t, 2, nil, func(c *Comm) {
+		if err := c.Alltoallv(nil, []int{1}, []int{0, 0}, nil, []int{0, 0}, []int{0, 0}); err == nil {
+			t.Error("short count vector accepted")
+		}
+		if err := c.Alltoallv(nil, []int{-1, 0}, []int{0, 0}, nil, []int{0, 0}, []int{0, 0}); err == nil {
+			t.Error("negative count accepted")
+		}
+		if err := c.Alltoallv(make([]byte, 2), []int{4, 0}, []int{0, 0}, nil, []int{0, 0}, []int{0, 0}); err == nil {
+			t.Error("out-of-bounds send block accepted")
+		}
+	})
+}
+
+// Property: Alltoallv with uniform counts equals Alltoall.
+func TestAlltoallvUniformEqualsAlltoall(t *testing.T) {
+	f := func(n8 uint8, bs8 uint8) bool {
+		n := int(n8%5) + 2
+		bs := int(bs8%64) + 1
+		av := make([][]byte, n)
+		aa := make([][]byte, n)
+		ok := true
+		runProg(t, n, nil, func(c *Comm) {
+			me := c.Rank()
+			send := make([]byte, n*bs)
+			for i := range send {
+				send[i] = byte(me*31 + i)
+			}
+			counts := make([]int, n)
+			displs := make([]int, n)
+			for j := 0; j < n; j++ {
+				counts[j] = bs
+				displs[j] = j * bs
+			}
+			r1 := make([]byte, n*bs)
+			if err := c.Alltoallv(send, counts, displs, r1, counts, displs); err != nil {
+				ok = false
+				return
+			}
+			r2 := make([]byte, n*bs)
+			c.Alltoall(send, 0, r2)
+			av[me], aa[me] = r1, r2
+		})
+		if !ok {
+			return false
+		}
+		for r := 0; r < n; r++ {
+			for i := range av[r] {
+				if av[r][i] != aa[r][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10, Rand: rand.New(rand.NewSource(67))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIprobeAndProbe(t *testing.T) {
+	runProg(t, 2, nil, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 42, []byte{1, 2, 3}, 0)
+		case 1:
+			// Blocking probe sees the eager message without consuming it.
+			size := c.Probe(0, 42)
+			if size != 3 {
+				t.Errorf("probe size = %d", size)
+			}
+			found, size2 := c.Iprobe(0, 42)
+			if !found || size2 != 3 {
+				t.Errorf("iprobe = %v %d", found, size2)
+			}
+			buf := make([]byte, 3)
+			c.Recv(0, 42, buf, 0)
+			if buf[1] != 2 {
+				t.Errorf("payload after probe = %v", buf)
+			}
+			// Nothing left.
+			if found, _ := c.Iprobe(0, 42); found {
+				t.Error("iprobe found a consumed message")
+			}
+		}
+	})
+}
+
+func TestProbeRendezvous(t *testing.T) {
+	runProg(t, 2, nil, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 7, nil, 64*1024) // rendezvous: RTS visible to probe
+		case 1:
+			size := c.Probe(0, 7)
+			if size != 64*1024 {
+				t.Errorf("probe size = %d", size)
+			}
+			c.Recv(0, 7, nil, 64*1024)
+		}
+	})
+}

@@ -1,0 +1,296 @@
+package mpi
+
+// Blocking collective operations, modeled after Open MPI's "tuned" module:
+// a decision function picks an algorithm from message size and communicator
+// size, and the operation progresses continuously because the caller stays
+// inside MPI for its whole duration. These are the baselines the paper
+// compares the auto-tuned non-blocking operations against.
+
+// ReduceOp combines src into dst element-wise. A nil ReduceOp is legal and
+// means the reduction is timing-only (virtual payloads).
+type ReduceOp func(dst, src []byte)
+
+// SumFloat64 is a ReduceOp adding little-endian float64 vectors.
+func SumFloat64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst) && i+8 <= len(src); i += 8 {
+		d := float64frombytes(dst[i : i+8])
+		s := float64frombytes(src[i : i+8])
+		float64tobytes(dst[i:i+8], d+s)
+	}
+}
+
+// MaxFloat64 is a ReduceOp taking the element-wise maximum of little-endian
+// float64 vectors.
+func MaxFloat64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst) && i+8 <= len(src); i += 8 {
+		d := float64frombytes(dst[i : i+8])
+		s := float64frombytes(src[i : i+8])
+		if s > d {
+			float64tobytes(dst[i:i+8], s)
+		}
+	}
+}
+
+// pairwiseThreshold is the message size above which blocking Alltoall
+// switches from the basic linear algorithm to pairwise exchange.
+const pairwiseThreshold = 4096
+
+// Barrier blocks until all ranks reach it (dissemination algorithm).
+func (c *Comm) Barrier() {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	tag := c.nextCollTag()
+	for dist := 1; dist < n; dist *= 2 {
+		to := (c.me + dist) % n
+		from := (c.me - dist + n) % n
+		c.Sendrecv(to, tag, nil, 1, from, tag, nil, 1)
+	}
+}
+
+// Bcast broadcasts data (or a virtual message of vsize bytes) from root
+// using a binomial tree.
+func (c *Comm) Bcast(root int, data []byte, vsize int) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	size := vsize
+	if data != nil {
+		size = len(data)
+	}
+	tag := c.nextCollTag()
+	vrank := (c.me - root + n) % n
+	// Receive from parent.
+	if vrank != 0 {
+		parent := vrank & (vrank - 1) // clear lowest set bit
+		c.Recv((parent+root)%n, tag, data, size)
+	}
+	// Forward to children, highest distance first (classic binomial order).
+	for dist := nextPow2(n); dist >= 1; dist /= 2 {
+		if vrank&(dist-1) == 0 && vrank|dist != vrank && vrank+dist < n {
+			if vrank&dist == 0 {
+				c.Send((vrank+dist+root)%n, tag, data, size)
+			}
+		}
+	}
+}
+
+// Reduce combines contributions element-wise onto root (binomial tree).
+// sendbuf may equal recvbuf at root. Virtual payloads pass nil buffers.
+func (c *Comm) Reduce(root int, sendbuf, recvbuf []byte, vsize int, op ReduceOp) {
+	n := c.Size()
+	size := vsize
+	if sendbuf != nil {
+		size = len(sendbuf)
+	}
+	var acc []byte
+	if sendbuf != nil {
+		acc = append([]byte(nil), sendbuf...)
+	}
+	if n > 1 {
+		tag := c.nextCollTag()
+		vrank := (c.me - root + n) % n
+		for dist := 1; dist < n; dist *= 2 {
+			if vrank&dist != 0 {
+				c.Send((vrank-dist+root)%n, tag, acc, size)
+				acc = nil
+				break
+			}
+			peer := vrank + dist
+			if peer < n {
+				var tmp []byte
+				if acc != nil {
+					tmp = make([]byte, size)
+				}
+				c.Recv((peer+root)%n, tag, tmp, size)
+				c.chargeReduce(size)
+				if op != nil && acc != nil {
+					op(acc, tmp)
+				}
+			}
+		}
+	}
+	if c.me == root && recvbuf != nil && acc != nil {
+		copy(recvbuf, acc)
+	}
+}
+
+// chargeReduce accounts the CPU cost of combining size bytes.
+func (c *Comm) chargeReduce(size int) {
+	c.r.charge(c.r.net().Params().CopyTime(size))
+}
+
+// Allreduce reduces to rank 0 and broadcasts the result.
+func (c *Comm) Allreduce(sendbuf, recvbuf []byte, vsize int, op ReduceOp) {
+	size := vsize
+	if sendbuf != nil {
+		size = len(sendbuf)
+	}
+	var tmp []byte
+	if recvbuf != nil {
+		tmp = recvbuf
+	}
+	c.Reduce(0, sendbuf, tmp, size, op)
+	c.Bcast(0, tmp, size)
+}
+
+// Allgather gathers ssize bytes from each rank into recv (ring algorithm).
+// recv must hold Size()*ssize bytes when non-nil.
+func (c *Comm) Allgather(send []byte, ssize int, recv []byte) {
+	n := c.Size()
+	if send != nil {
+		ssize = len(send)
+	}
+	if recv != nil && send != nil {
+		copy(recv[c.me*ssize:], send)
+	}
+	if n == 1 {
+		return
+	}
+	tag := c.nextCollTag()
+	right := (c.me + 1) % n
+	left := (c.me - 1 + n) % n
+	cur := c.me
+	for step := 0; step < n-1; step++ {
+		prev := (cur - 1 + n) % n
+		var sblk, rblk []byte
+		if recv != nil {
+			sblk = recv[cur*ssize : (cur+1)*ssize]
+			rblk = recv[prev*ssize : (prev+1)*ssize]
+		}
+		c.Sendrecv(right, tag, sblk, ssize, left, tag, rblk, ssize)
+		cur = prev
+	}
+}
+
+// Alltoall exchanges blockSize bytes between every pair of ranks. send and
+// recv, when non-nil, must hold Size()*blockSize bytes. The decision
+// function mirrors Open MPI tuned: basic linear for small blocks, pairwise
+// exchange for large ones.
+func (c *Comm) Alltoall(send []byte, blockSize int, recv []byte) {
+	n := c.Size()
+	if send != nil {
+		blockSize = len(send) / n
+	}
+	// Self block.
+	if send != nil && recv != nil {
+		copy(recv[c.me*blockSize:(c.me+1)*blockSize], send[c.me*blockSize:(c.me+1)*blockSize])
+	}
+	if n == 1 {
+		return
+	}
+	tag := c.nextCollTag()
+	if blockSize <= pairwiseThreshold {
+		// Basic linear: post everything, wait for all.
+		reqs := make([]*Request, 0, 2*(n-1))
+		for off := 1; off < n; off++ {
+			peer := (c.me + off) % n
+			var rblk []byte
+			if recv != nil {
+				rblk = recv[peer*blockSize : (peer+1)*blockSize]
+			}
+			reqs = append(reqs, c.Irecv(peer, tag, rblk, blockSize))
+		}
+		for off := 1; off < n; off++ {
+			peer := (c.me - off + n) % n
+			var sblk []byte
+			if send != nil {
+				sblk = send[peer*blockSize : (peer+1)*blockSize]
+			}
+			reqs = append(reqs, c.Isend(peer, tag, sblk, blockSize))
+		}
+		c.Wait(reqs...)
+		return
+	}
+	// Pairwise exchange: n-1 structured steps.
+	for step := 1; step < n; step++ {
+		sendTo := (c.me + step) % n
+		recvFrom := (c.me - step + n) % n
+		var sblk, rblk []byte
+		if send != nil {
+			sblk = send[sendTo*blockSize : (sendTo+1)*blockSize]
+		}
+		if recv != nil {
+			rblk = recv[recvFrom*blockSize : (recvFrom+1)*blockSize]
+		}
+		c.Sendrecv(sendTo, tag, sblk, blockSize, recvFrom, tag, rblk, blockSize)
+	}
+}
+
+// Gather collects ssize bytes from every rank at root (linear).
+func (c *Comm) Gather(root int, send []byte, ssize int, recv []byte) {
+	n := c.Size()
+	if send != nil {
+		ssize = len(send)
+	}
+	tag := c.nextCollTag()
+	if c.me == root {
+		reqs := make([]*Request, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i == root {
+				if recv != nil && send != nil {
+					copy(recv[i*ssize:], send)
+				}
+				continue
+			}
+			var blk []byte
+			if recv != nil {
+				blk = recv[i*ssize : (i+1)*ssize]
+			}
+			reqs = append(reqs, c.Irecv(i, tag, blk, ssize))
+		}
+		c.Wait(reqs...)
+		return
+	}
+	c.Send(root, tag, send, ssize)
+}
+
+// Scatter distributes ssize-byte blocks from root to every rank (linear).
+func (c *Comm) Scatter(root int, send []byte, ssize int, recv []byte) {
+	n := c.Size()
+	if recv != nil {
+		ssize = len(recv)
+	}
+	tag := c.nextCollTag()
+	if c.me == root {
+		reqs := make([]*Request, 0, n-1)
+		for i := 0; i < n; i++ {
+			var blk []byte
+			if send != nil {
+				blk = send[i*ssize : (i+1)*ssize]
+			}
+			if i == root {
+				if recv != nil && blk != nil {
+					copy(recv, blk)
+				}
+				continue
+			}
+			reqs = append(reqs, c.Isend(i, tag, blk, ssize))
+		}
+		c.Wait(reqs...)
+		return
+	}
+	c.Recv(root, tag, recv, ssize)
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+func float64frombytes(b []byte) float64 {
+	return f64(uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56)
+}
+
+func float64tobytes(b []byte, v float64) {
+	u := u64(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+}

@@ -1,0 +1,175 @@
+package mpi
+
+import "sort"
+
+// Comm is a communicator handle held by one rank. As in MPI, every member of
+// a communicator holds its own handle; handles of the same communicator share
+// a context id so their traffic never matches other communicators' traffic.
+type Comm struct {
+	r       *Rank
+	members []int // comm rank -> world rank
+	me      int   // this rank's position in members
+	ctx     int
+	splits  int // per-handle split counter; consistent across members because Split is collective
+	collSeq int // per-handle collective sequence number, used to build tags
+}
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.members) }
+
+// Rank returns the calling process's rank within the communicator.
+func (c *Comm) Rank() int { return c.me }
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(cr int) int { return c.members[cr] }
+
+// RankState exposes the underlying library state (accounting, RNG).
+func (c *Comm) RankState() *Rank { return c.r }
+
+// Now returns the current virtual time.
+func (c *Comm) Now() float64 { return c.r.Now() }
+
+// Compute advances this rank by d seconds of application computation.
+func (c *Comm) Compute(d float64) { c.r.Compute(d) }
+
+// Progress performs one explicit progress call on the library.
+func (c *Comm) Progress() { c.r.Progress() }
+
+// translate maps a comm-rank peer (or wildcard) to a world rank.
+func (c *Comm) translate(peer int) int {
+	if peer == AnySource {
+		return AnySource
+	}
+	return c.members[peer]
+}
+
+// Isend posts a non-blocking send of data (or a virtual message of vsize
+// bytes when data is nil) to comm rank dst.
+func (c *Comm) Isend(dst, tag int, data []byte, vsize int) *Request {
+	return c.r.isend(c.members[dst], tag, c.ctx, data, vsize)
+}
+
+// Irecv posts a non-blocking receive from comm rank src (or AnySource).
+func (c *Comm) Irecv(src, tag int, buf []byte, vsize int) *Request {
+	return c.r.irecv(c.translate(src), tag, c.ctx, buf, vsize)
+}
+
+// Send performs a blocking send.
+func (c *Comm) Send(dst, tag int, data []byte, vsize int) {
+	c.r.Wait(c.Isend(dst, tag, data, vsize))
+}
+
+// Recv performs a blocking receive and returns the matched request for its
+// source/tag metadata.
+func (c *Comm) Recv(src, tag int, buf []byte, vsize int) *Request {
+	req := c.Irecv(src, tag, buf, vsize)
+	c.r.Wait(req)
+	return req
+}
+
+// Sendrecv exchanges messages with two peers, progressing both directions.
+func (c *Comm) Sendrecv(dst, sendTag int, sdata []byte, ssize int, src, recvTag int, rbuf []byte, rsize int) {
+	rq := c.Irecv(src, recvTag, rbuf, rsize)
+	sq := c.Isend(dst, sendTag, sdata, ssize)
+	c.r.Wait(rq, sq)
+}
+
+// Wait blocks until all given requests complete.
+func (c *Comm) Wait(reqs ...*Request) { c.r.Wait(reqs...) }
+
+// WaitFor blocks inside MPI until pred holds, processing protocol notices as
+// they arrive. Non-request completion conditions (put counters, window
+// states) wait through this.
+func (c *Comm) WaitFor(pred func() bool) {
+	c.r.charge(c.r.net().Params().OProgress)
+	c.r.waitUntil(pred)
+}
+
+// Test performs one progress pass and reports completion of all requests.
+func (c *Comm) Test(reqs ...*Request) bool { return c.r.Test(reqs...) }
+
+// nextCollTag returns a fresh tag for an internal collective operation.
+// Collective tags live in their own high range so they never collide with
+// application point-to-point tags.
+func (c *Comm) nextCollTag() int {
+	c.collSeq++
+	return 1<<24 + c.collSeq
+}
+
+// FreshNBTag returns a fresh base tag for a non-blocking collective
+// operation. Each base tag owns a stride of 1024 tag values so schedules can
+// disambiguate segments/phases with tag offsets. Like all collective state,
+// it relies on every member calling it in the same order.
+func (c *Comm) FreshNBTag() int {
+	c.collSeq++
+	return 1<<26 + c.collSeq*1024
+}
+
+// Dup returns a handle to a duplicate communicator (fresh context id). Every
+// member must call Dup the same number of times, in the same order, as with
+// a real collective.
+func (c *Comm) Dup() *Comm {
+	c.splits++
+	ctx := c.ctx*1000003 + c.splits
+	return &Comm{r: c.r, members: c.members, me: c.me, ctx: ctx}
+}
+
+// Split partitions the communicator by color, ordered by key then by
+// original rank. All members must call Split collectively with consistent
+// arguments; like a real MPI the result is undefined otherwise.
+func (c *Comm) Split(color, key int) *Comm {
+	c.splits++
+	// Deterministic context derivation shared by all members: same parent
+	// ctx, same split ordinal, same color.
+	ctx := (c.ctx*1000003+c.splits)*4099 + color + 1
+
+	// Gather (color,key) from all members through an allgather on the parent
+	// communicator so the membership list is consistent.
+	type ck struct{ color, key, rank int }
+	mine := []byte{byte(color >> 8), byte(color), byte(key >> 8), byte(key)}
+	all := make([]byte, 4*c.Size())
+	c.allgatherBytes(mine, all)
+	var group []ck
+	for i := 0; i < c.Size(); i++ {
+		col := int(int16(uint16(all[4*i])<<8 | uint16(all[4*i+1])))
+		k := int(int16(uint16(all[4*i+2])<<8 | uint16(all[4*i+3])))
+		if col == color {
+			group = append(group, ck{col, k, i})
+		}
+	}
+	sort.Slice(group, func(a, b int) bool {
+		if group[a].key != group[b].key {
+			return group[a].key < group[b].key
+		}
+		return group[a].rank < group[b].rank
+	})
+	members := make([]int, len(group))
+	me := -1
+	for i, g := range group {
+		members[i] = c.members[g.rank]
+		if g.rank == c.me {
+			me = i
+		}
+	}
+	return &Comm{r: c.r, members: members, me: me, ctx: ctx}
+}
+
+// allgatherBytes is a small internal allgather used by Split: each rank
+// contributes len(mine) bytes; out must hold Size()*len(mine) bytes.
+func (c *Comm) allgatherBytes(mine []byte, out []byte) {
+	n := c.Size()
+	bs := len(mine)
+	copy(out[c.me*bs:], mine)
+	tag := c.nextCollTag()
+	// Ring allgather.
+	right := (c.me + 1) % n
+	left := (c.me - 1 + n) % n
+	cur := c.me
+	for step := 0; step < n-1; step++ {
+		sendBlock := out[cur*bs : (cur+1)*bs]
+		prev := (cur - 1 + n) % n
+		recvBlock := out[prev*bs : (prev+1)*bs]
+		c.Sendrecv(right, tag, sendBlock, bs, left, tag, recvBlock, bs)
+		cur = prev
+	}
+}

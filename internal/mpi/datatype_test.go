@@ -1,0 +1,211 @@
+package mpi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestContigPackUnpack(t *testing.T) {
+	dt := Contig(5)
+	if dt.Size() != 5 || dt.Extent() != 5 {
+		t.Fatal("contig geometry wrong")
+	}
+	src := []byte{1, 2, 3, 4, 5}
+	dst := make([]byte, 5)
+	dt.Pack(dst, src)
+	back := make([]byte, 5)
+	dt.Unpack(back, dst)
+	for i := range src {
+		if back[i] != src[i] {
+			t.Fatal("contig roundtrip failed")
+		}
+	}
+}
+
+func TestVectorGeometry(t *testing.T) {
+	v := Vector{Count: 3, BlockLen: 2, Stride: 5}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 6 {
+		t.Fatalf("size = %d", v.Size())
+	}
+	if v.Extent() != 12 { // 2*5 + 2
+		t.Fatalf("extent = %d", v.Extent())
+	}
+	bad := Vector{Count: 2, BlockLen: 4, Stride: 2}
+	if bad.Validate() == nil {
+		t.Fatal("overlapping stride accepted")
+	}
+	empty := Vector{}
+	if empty.Size() != 0 || empty.Extent() != 0 {
+		t.Fatal("empty vector geometry wrong")
+	}
+}
+
+func TestVectorPackUnpack(t *testing.T) {
+	v := Vector{Count: 3, BlockLen: 2, Stride: 4}
+	src := []byte{1, 2, 9, 9, 3, 4, 9, 9, 5, 6}
+	packed := make([]byte, v.Size())
+	v.Pack(packed, src)
+	want := []byte{1, 2, 3, 4, 5, 6}
+	for i := range want {
+		if packed[i] != want[i] {
+			t.Fatalf("packed = %v", packed)
+		}
+	}
+	out := make([]byte, v.Extent())
+	v.Unpack(out, packed)
+	for i := 0; i < v.Count; i++ {
+		if out[i*4] != want[2*i] || out[i*4+1] != want[2*i+1] {
+			t.Fatalf("unpacked = %v", out)
+		}
+	}
+}
+
+func TestIndexedGeometryAndValidation(t *testing.T) {
+	x := Indexed{Offsets: []int{0, 8, 20}, BlockLen: 4}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Size() != 12 || x.Extent() != 24 {
+		t.Fatalf("geometry: size=%d extent=%d", x.Size(), x.Extent())
+	}
+	if (Indexed{Offsets: []int{0, 2}, BlockLen: 4}).Validate() == nil {
+		t.Fatal("overlapping indexed accepted")
+	}
+}
+
+// Property: for any valid vector layout, Pack then Unpack restores exactly
+// the selected bytes and touches nothing else.
+func TestVectorRoundTripProperty(t *testing.T) {
+	f := func(cnt8, bl8, pad8 uint8, seed int64) bool {
+		v := Vector{
+			Count:    int(cnt8%10) + 1,
+			BlockLen: int(bl8%16) + 1,
+		}
+		v.Stride = v.BlockLen + int(pad8%8)
+		if v.Validate() != nil {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		src := make([]byte, v.Extent())
+		rng.Read(src)
+		packed := make([]byte, v.Size())
+		v.Pack(packed, src)
+		out := make([]byte, v.Extent())
+		for i := range out {
+			out[i] = 0xEE // sentinel
+		}
+		v.Unpack(out, packed)
+		for i := 0; i < v.Count; i++ {
+			for j := 0; j < v.BlockLen; j++ {
+				if out[i*v.Stride+j] != src[i*v.Stride+j] {
+					return false
+				}
+			}
+			// gap bytes untouched
+			for j := v.BlockLen; i < v.Count-1 && j < v.Stride; j++ {
+				if out[i*v.Stride+j] != 0xEE {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(71))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a Vector and the equivalent Indexed layout pack identically.
+func TestVectorIndexedEquivalenceProperty(t *testing.T) {
+	f := func(cnt8, bl8, pad8 uint8, seed int64) bool {
+		v := Vector{Count: int(cnt8%8) + 1, BlockLen: int(bl8%8) + 1}
+		v.Stride = v.BlockLen + int(pad8%5)
+		offs := make([]int, v.Count)
+		for i := range offs {
+			offs[i] = i * v.Stride
+		}
+		x := Indexed{Offsets: offs, BlockLen: v.BlockLen}
+		rng := rand.New(rand.NewSource(seed))
+		src := make([]byte, v.Extent())
+		rng.Read(src)
+		p1 := make([]byte, v.Size())
+		p2 := make([]byte, x.Size())
+		v.Pack(p1, src)
+		x.Pack(p2, src)
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(73))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvTypedBothModes(t *testing.T) {
+	v := Vector{Count: 4, BlockLen: 3, Stride: 8}
+	for _, packed := range []bool{true, false} {
+		src := make([]byte, v.Extent())
+		for i := range src {
+			src[i] = byte(i + 1)
+		}
+		dst := make([]byte, v.Extent())
+		runProg(t, 2, nil, func(c *Comm) {
+			switch c.Rank() {
+			case 0:
+				c.SendTyped(1, 5, src, v, packed)
+			case 1:
+				c.RecvTyped(0, 5, dst, v, packed)
+			}
+		})
+		for i := 0; i < v.Count; i++ {
+			for j := 0; j < v.BlockLen; j++ {
+				pos := i*v.Stride + j
+				if dst[pos] != src[pos] {
+					t.Fatalf("packed=%v: byte %d = %d, want %d", packed, pos, dst[pos], src[pos])
+				}
+			}
+		}
+	}
+}
+
+func TestTypedCostTradeoff(t *testing.T) {
+	// A very sparse layout (many tiny blocks) should be cheaper to pack than
+	// to send as a derived datatype, and a dense layout the other way
+	// around: verify the cost model produces a crossover at all.
+	run := func(dt Datatype, packed bool) float64 {
+		var elapsed float64
+		runProg(t, 2, nil, func(c *Comm) {
+			buf := make([]byte, dt.Extent())
+			t0 := c.Now()
+			switch c.Rank() {
+			case 0:
+				for i := 0; i < 20; i++ {
+					c.SendTyped(1, i, buf, dt, packed)
+				}
+			case 1:
+				for i := 0; i < 20; i++ {
+					c.RecvTyped(0, i, buf, dt, packed)
+				}
+			}
+			if c.Rank() == 0 {
+				elapsed = c.Now() - t0
+			}
+		})
+		return elapsed
+	}
+	sparse := Vector{Count: 512, BlockLen: 4, Stride: 64} // 2KB in 512 blocks
+	dense := Vector{Count: 2, BlockLen: 64 * 1024, Stride: 80 * 1024}
+	if run(sparse, true) >= run(sparse, false) {
+		t.Fatal("packing should win for many tiny blocks")
+	}
+	if run(dense, false) >= run(dense, true) {
+		t.Fatal("derived datatype should win for few large blocks")
+	}
+}

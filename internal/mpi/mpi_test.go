@@ -1,0 +1,304 @@
+package mpi
+
+import (
+	"math/rand"
+	"testing"
+
+	"nbctune/internal/netmodel"
+	"nbctune/internal/sim"
+)
+
+// testNet builds an n-rank world, one rank per node, with RDMA semantics.
+func testWorld(t testing.TB, n int, mutate func(*netmodel.Params)) (*sim.Engine, *World) {
+	eng := sim.NewEngine(1)
+	p := netmodel.Params{
+		Name:          "test-ib",
+		Latency:       2e-6,
+		Bandwidth:     1.5e9,
+		NICs:          1,
+		OSend:         1e-6,
+		ORecv:         1e-6,
+		OPost:         2e-7,
+		OProgress:     5e-7,
+		OTest:         5e-8,
+		EagerLimit:    12 * 1024,
+		RDMA:          true,
+		CtrlBytes:     64,
+		CopyBandwidth: 4e9,
+		ShmLatency:    4e-7,
+		ShmBandwidth:  5e9,
+		IncastK:       8,
+		IncastBeta:    0.02,
+	}
+	if mutate != nil {
+		mutate(&p)
+	}
+	nodeOf := make([]int, n)
+	for i := range nodeOf {
+		nodeOf[i] = i
+	}
+	net, err := netmodel.New(eng, p, nodeOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, NewWorld(eng, net, n, Options{Seed: 42})
+}
+
+func runProg(t testing.TB, n int, mutate func(*netmodel.Params), prog func(c *Comm)) float64 {
+	eng, w := testWorld(t, n, mutate)
+	w.Start(prog)
+	return eng.Run()
+}
+
+func TestEagerSendRecvData(t *testing.T) {
+	got := make([]byte, 4)
+	runProg(t, 2, nil, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 7, []byte{1, 2, 3, 4}, 0)
+		case 1:
+			req := c.Recv(0, 7, got, 0)
+			if req.SrcActual != 0 || req.TagActual != 7 {
+				t.Errorf("match metadata = (%d,%d), want (0,7)", req.SrcActual, req.TagActual)
+			}
+		}
+	})
+	if string(got) != string([]byte{1, 2, 3, 4}) {
+		t.Fatalf("payload = %v", got)
+	}
+}
+
+func TestRendezvousSendRecvData(t *testing.T) {
+	big := make([]byte, 64*1024) // above the 12KB eager limit
+	for i := range big {
+		big[i] = byte(i * 13)
+	}
+	got := make([]byte, len(big))
+	runProg(t, 2, nil, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, big, 0)
+		case 1:
+			c.Recv(0, 1, got, 0)
+		}
+	})
+	for i := range big {
+		if got[i] != big[i] {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+}
+
+func TestUnexpectedEagerMessageMatchesAtPost(t *testing.T) {
+	got := make([]byte, 3)
+	runProg(t, 2, nil, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 5, []byte{9, 8, 7}, 0)
+		case 1:
+			c.Compute(1e-3) // message arrives while computing
+			c.Progress()    // processed into the unexpected queue
+			c.Recv(0, 5, got, 0)
+		}
+	})
+	if got[0] != 9 || got[2] != 7 {
+		t.Fatalf("payload = %v", got)
+	}
+}
+
+func TestTagAndSourceMatching(t *testing.T) {
+	var order []int
+	runProg(t, 3, nil, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(2, 10, []byte{10}, 0)
+		case 1:
+			c.Send(2, 11, []byte{11}, 0)
+		case 2:
+			b := make([]byte, 1)
+			c.Recv(1, 11, b, 0)
+			order = append(order, int(b[0]))
+			c.Recv(0, 10, b, 0)
+			order = append(order, int(b[0]))
+		}
+	})
+	if len(order) != 2 || order[0] != 11 || order[1] != 10 {
+		t.Fatalf("matching order = %v, want [11 10]", order)
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	srcs := map[int]bool{}
+	runProg(t, 3, nil, func(c *Comm) {
+		if c.Rank() == 0 {
+			b := make([]byte, 1)
+			for i := 0; i < 2; i++ {
+				req := c.Recv(AnySource, AnyTag, b, 0)
+				srcs[req.SrcActual] = true
+			}
+		} else {
+			c.Send(0, 100+c.Rank(), []byte{byte(c.Rank())}, 0)
+		}
+	})
+	if !srcs[1] || !srcs[2] {
+		t.Fatalf("AnySource matched %v, want both 1 and 2", srcs)
+	}
+}
+
+func TestRendezvousRequiresProgress(t *testing.T) {
+	// The receiver posts its recv then computes for a long time without any
+	// progress call; the rendezvous cannot complete before the receiver
+	// re-enters MPI, so the sender's Wait must stretch past the receiver's
+	// compute phase.
+	const computeT = 0.5
+	var senderDone float64
+	runProg(t, 2, nil, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			req := c.Isend(1, 1, nil, 64*1024)
+			c.Wait(req)
+			senderDone = c.Now()
+		case 1:
+			req := c.Irecv(0, 1, nil, 64*1024)
+			c.Compute(computeT) // no progress at all
+			c.Wait(req)
+		}
+	})
+	if senderDone < computeT {
+		t.Fatalf("sender finished at %g, before receiver's first MPI instant at %g", senderDone, computeT)
+	}
+}
+
+func TestRendezvousOverlapsWithProgress(t *testing.T) {
+	// Same scenario but the receiver makes progress calls during the compute
+	// phase; the handshake then completes early and the bulk transfer
+	// overlaps the remaining compute, so the sender finishes well before the
+	// receiver's compute ends.
+	const computeT = 0.5
+	var senderDone float64
+	runProg(t, 2, nil, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			req := c.Isend(1, 1, nil, 64*1024)
+			c.Wait(req)
+			senderDone = c.Now()
+		case 1:
+			req := c.Irecv(0, 1, nil, 64*1024)
+			for i := 0; i < 10; i++ {
+				c.Compute(computeT / 10)
+				c.Progress()
+			}
+			c.Wait(req)
+		}
+	})
+	if senderDone > computeT/2 {
+		t.Fatalf("sender finished at %g; expected overlap to complete it near %g", senderDone, computeT/10)
+	}
+}
+
+func TestEagerCompletesImmediatelyAtSender(t *testing.T) {
+	var sendDone float64
+	runProg(t, 2, nil, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			req := c.Isend(1, 1, nil, 1024)
+			if !req.Done() {
+				t.Error("eager send not complete at post")
+			}
+			sendDone = c.Now()
+		case 1:
+			c.Recv(0, 1, nil, 1024)
+		}
+	})
+	if sendDone > 1e-4 {
+		t.Fatalf("eager send took %g, should be ~overheads only", sendDone)
+	}
+}
+
+func TestSendrecvNoDeadlock(t *testing.T) {
+	end := runProg(t, 2, nil, func(c *Comm) {
+		peer := 1 - c.Rank()
+		// Rendezvous-sized exchange in both directions simultaneously.
+		c.Sendrecv(peer, 3, nil, 64*1024, peer, 3, nil, 64*1024)
+	})
+	if end <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}
+
+func TestNoiseApplied(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := netmodel.Params{Name: "t", Latency: 1e-6, Bandwidth: 1e9, NICs: 1,
+		EagerLimit: 1024, CtrlBytes: 64, CopyBandwidth: 1e9, ShmLatency: 1e-7, ShmBandwidth: 1e9}
+	net, err := netmodel.New(eng, p, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(eng, net, 1, Options{
+		Seed:  1,
+		Noise: func(rng *rand.Rand, d float64) float64 { return d * 2 },
+	})
+	var end float64
+	w.Start(func(c *Comm) {
+		c.Compute(1.0)
+		end = c.Now()
+	})
+	eng.Run()
+	if end != 2.0 {
+		t.Fatalf("noisy compute ended at %g, want 2.0", end)
+	}
+	if w.ranks[0].ComputeTime != 2.0 {
+		t.Fatalf("ComputeTime = %g, want 2.0", w.ranks[0].ComputeTime)
+	}
+}
+
+func TestAccountingCounters(t *testing.T) {
+	eng, w := testWorld(t, 2, nil)
+	w.Start(func(c *Comm) {
+		peer := 1 - c.Rank()
+		c.Sendrecv(peer, 1, nil, 1024, peer, 1, nil, 1024)
+		c.Progress()
+	})
+	eng.Run()
+	for i, r := range w.ranks {
+		if r.MPITime <= 0 {
+			t.Errorf("rank %d: MPITime = %g, want > 0", i, r.MPITime)
+		}
+		if r.ProgressCalls != 1 {
+			t.Errorf("rank %d: ProgressCalls = %d, want 1", i, r.ProgressCalls)
+		}
+	}
+}
+
+func TestManyMessagesStress(t *testing.T) {
+	const n = 8
+	const msgs = 50
+	counts := make([]int, n)
+	runProg(t, n, nil, func(c *Comm) {
+		me := c.Rank()
+		var reqs []*Request
+		for i := 0; i < msgs; i++ {
+			for p := 0; p < n; p++ {
+				if p == me {
+					continue
+				}
+				reqs = append(reqs, c.Irecv(p, i, nil, 256))
+			}
+		}
+		for i := 0; i < msgs; i++ {
+			for p := 0; p < n; p++ {
+				if p == me {
+					continue
+				}
+				reqs = append(reqs, c.Isend(p, i, nil, 256))
+			}
+		}
+		c.Wait(reqs...)
+		counts[me] = len(reqs)
+	})
+	for i, got := range counts {
+		if got != 2*msgs*(n-1) {
+			t.Fatalf("rank %d completed %d reqs", i, got)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package mpi
+
+// One-sided communication (MPI-2 style windows with Put/Get and fence
+// synchronization). The paper names one-sided data transfer primitives as a
+// further attribute dimension for non-blocking function sets ("a further
+// distinction based on data transfer primitives (i.e. Put/Get vs
+// Isend/Irecv) could be added later on", §III-E); this implements that
+// extension.
+//
+// Semantics in the simulation:
+//
+//   - Put moves bytes directly into the target rank's window memory. On RDMA
+//     transports the transfer is fully autonomous — the target never spends
+//     CPU and needs no matching MPI instant, which is precisely the
+//     attraction of put-based collectives. On host-attended transports (TCP)
+//     the target is charged the per-byte copy cost at its next MPI instant
+//     before the put is visible.
+//   - Get requests bytes from the target's window; the target's memory is
+//     read autonomously on RDMA (the request control message still travels).
+//   - Fence completes all locally issued and incoming operations and
+//     synchronizes all ranks of the window (dissemination barrier).
+//
+// Access epochs follow the simple fence model: Put/Get between two fences,
+// results visible after the closing fence.
+
+import "fmt"
+
+// Win is a one-sided communication window: a per-rank exposed buffer.
+// Creating a window is collective over the communicator.
+type Win struct {
+	c        *Comm
+	buf      []byte // exposed memory; nil = virtual window
+	size     int
+	ctx      int
+	local    []*Request // requests for locally-issued operations
+	inPuts   int        // incoming puts not yet visible (host-attended)
+	received int64      // total puts landed in this window, monotone
+	epoch    int
+
+	// Per-instance arrival counting for put-with-notify collectives.
+	// Instances are ordered collectively (NextInstance), so a put tagged
+	// with instance k is counted for k even when it arrives before the
+	// target has started instance k — the race a plain baseline-subtraction
+	// scheme loses.
+	instanceSeq int64
+	perInstance map[int64]int
+}
+
+// TotalReceived returns the monotone count of puts that have landed in this
+// window.
+func (w *Win) TotalReceived() int64 { return w.received }
+
+// NextInstance starts a new collective operation instance over this window
+// and returns its id. Like all collective state it relies on every rank
+// calling it in the same order. Counters of past instances are released.
+func (w *Win) NextInstance() int64 {
+	w.instanceSeq++
+	for k := range w.perInstance {
+		if k < w.instanceSeq {
+			delete(w.perInstance, k)
+		}
+	}
+	return w.instanceSeq
+}
+
+// ReceivedFor returns how many instance-tagged puts have landed for the
+// given instance id.
+func (w *Win) ReceivedFor(instance int64) int {
+	return w.perInstance[instance]
+}
+
+func (w *Win) countArrival(instance int64) {
+	w.received++
+	if instance > 0 {
+		if w.perInstance == nil {
+			w.perInstance = map[int64]int{}
+		}
+		w.perInstance[instance]++
+	}
+}
+
+// winRegistry lets puts find the target rank's window object. Windows are
+// registered per (world, ctx); creation order is collective so ctx values
+// agree across ranks.
+type winRegistry struct {
+	wins map[int]map[int]*Win // ctx -> world rank -> *Win
+}
+
+func (w *World) registry() *winRegistry {
+	if w.winReg == nil {
+		w.winReg = &winRegistry{wins: map[int]map[int]*Win{}}
+	}
+	return w.winReg
+}
+
+// CreateWin collectively creates a window exposing buf (or vsize virtual
+// bytes) on every rank of c.
+func (c *Comm) CreateWin(buf []byte, vsize int) *Win {
+	size := vsize
+	if buf != nil {
+		size = len(buf)
+	}
+	c.splits++
+	ctx := c.ctx*1000003 + 500000 + c.splits
+	win := &Win{c: c, buf: buf, size: size, ctx: ctx}
+	reg := c.r.w.registry()
+	if reg.wins[ctx] == nil {
+		reg.wins[ctx] = map[int]*Win{}
+	}
+	reg.wins[ctx][c.r.id] = win
+	return win
+}
+
+// Size returns the window size in bytes.
+func (w *Win) Size() int { return w.size }
+
+// target returns the peer's window object.
+func (w *Win) target(peer int) *Win {
+	reg := w.c.r.w.registry()
+	t := reg.wins[w.ctx][w.c.members[peer]]
+	if t == nil {
+		panic(fmt.Sprintf("mpi: rank %d has no window for ctx %d (window not created collectively?)", peer, w.ctx))
+	}
+	return t
+}
+
+// putVisibleNotice makes an incoming put visible at the target's next MPI
+// instant on host-attended transports.
+type putVisibleNotice struct {
+	win      *Win
+	data     []byte
+	off      int
+	size     int
+	instance int64
+}
+
+func (n putVisibleNotice) process(r *Rank) {
+	p := r.net().Params()
+	r.charge(p.ORecv + p.CopyTime(n.size))
+	if n.data != nil && n.win.buf != nil {
+		copy(n.win.buf[n.off:], n.data)
+	}
+	n.win.inPuts--
+	n.win.countArrival(n.instance)
+}
+
+// Put transfers data (or vsize virtual bytes) into the target rank's window
+// at byte offset off. It returns a request that completes when the local
+// buffer may be reused; visibility at the target is guaranteed by the next
+// Fence.
+func (w *Win) Put(peer, off int, data []byte, vsize int) *Request {
+	return w.PutInstanced(0, peer, off, data, vsize)
+}
+
+// PutInstanced is Put tagged with a collective operation instance id (from
+// NextInstance); the target's ReceivedFor(instance) counts exactly these
+// puts, giving put-with-notify completion that is immune to early arrivals
+// from the next instance.
+func (w *Win) PutInstanced(instance int64, peer, off int, data []byte, vsize int) *Request {
+	r := w.c.r
+	p := r.net().Params()
+	size := vsize
+	if data != nil {
+		size = len(data)
+	}
+	if off < 0 || off+size > w.size {
+		panic(fmt.Sprintf("mpi: put of %d bytes at offset %d exceeds window size %d", size, off, w.size))
+	}
+	req := &Request{r: r, kind: reqSend, peer: w.c.members[peer], ctx: w.ctx, size: size}
+	r.charge(p.OPost + p.OSend)
+	r.outstanding++
+	tgt := w.target(peer)
+	tgtRank := r.w.ranks[w.c.members[peer]]
+	var payload []byte
+	if data != nil {
+		payload = append([]byte(nil), data...)
+	}
+	if !p.RDMA {
+		r.charge(p.CopyTime(size))
+	}
+	w.local = append(w.local, req)
+	tgt.inPuts++
+	r.net().Transfer(r.id, tgtRank.id, size, func() {
+		if p.RDMA {
+			// RDMA write: lands directly in target memory, no target CPU.
+			if payload != nil && tgt.buf != nil {
+				copy(tgt.buf[off:], payload)
+			}
+			tgt.inPuts--
+			tgt.countArrival(instance)
+			// A target blocked in Fence or a put-counting schedule must
+			// observe the arrival.
+			tgtRank.enqueue(wakeNotice{})
+		} else {
+			tgtRank.enqueue(putVisibleNotice{win: tgt, data: payload, off: off, size: size, instance: instance})
+		}
+		// Local completion notice for the origin.
+		r.enqueue(sendDoneNotice{sreq: req})
+	})
+	return req
+}
+
+// wakeNotice is an empty notice whose only effect is waking a rank blocked
+// inside MPI so it re-evaluates its wait predicate.
+type wakeNotice struct{}
+
+func (wakeNotice) process(r *Rank) {}
+
+// getReplyNotice delivers fetched window bytes back at the origin.
+type getReplyNotice struct {
+	req  *Request
+	data []byte
+	dst  []byte
+}
+
+func (n getReplyNotice) process(r *Rank) {
+	p := r.net().Params()
+	cost := p.ORecv
+	if !p.RDMA {
+		cost += p.CopyTime(n.req.size)
+	}
+	r.charge(cost)
+	if n.data != nil && n.dst != nil {
+		copy(n.dst, n.data)
+	}
+	n.req.done = true
+	r.outstanding--
+}
+
+// Get fetches size bytes from the target rank's window at byte offset off
+// into dst (or vsize virtual bytes when dst is nil). The request completes
+// when the data has arrived locally.
+func (w *Win) Get(peer, off int, dst []byte, vsize int) *Request {
+	r := w.c.r
+	p := r.net().Params()
+	size := vsize
+	if dst != nil {
+		size = len(dst)
+	}
+	if off < 0 || off+size > w.size {
+		panic(fmt.Sprintf("mpi: get of %d bytes at offset %d exceeds window size %d", size, off, w.size))
+	}
+	req := &Request{r: r, kind: reqRecv, peer: w.c.members[peer], ctx: w.ctx, size: size}
+	r.charge(p.OPost + p.OSend)
+	r.outstanding++
+	w.local = append(w.local, req)
+	tgt := w.target(peer)
+	tgtRank := r.w.ranks[w.c.members[peer]]
+	// The get request travels as a control message; on RDMA the data flows
+	// back without target CPU involvement.
+	r.net().Ctrl(r.id, tgtRank.id, func() {
+		var payload []byte
+		if tgt.buf != nil {
+			payload = append([]byte(nil), tgt.buf[off:off+size]...)
+		}
+		r.w.net.Transfer(tgtRank.id, r.id, size, func() {
+			r.enqueue(getReplyNotice{req: req, data: payload, dst: dst})
+		})
+	})
+	return req
+}
+
+// Fence closes the current access epoch: it completes all locally issued
+// operations, waits until incoming puts are visible, and synchronizes all
+// window ranks.
+func (w *Win) Fence() {
+	r := w.c.r
+	// Complete local operations.
+	if len(w.local) > 0 {
+		r.Wait(w.local...)
+		w.local = w.local[:0]
+	}
+	// Wait for incoming puts to land (they decrement inPuts from engine
+	// events or notice processing).
+	r.charge(r.net().Params().OProgress)
+	r.waitUntil(func() bool { return w.inPuts == 0 })
+	// Synchronize all ranks.
+	w.c.Barrier()
+	w.epoch++
+}
+
+// Epoch returns the number of completed fences.
+func (w *Win) Epoch() int { return w.epoch }

@@ -1,0 +1,181 @@
+package mpi
+
+import (
+	"testing"
+
+	"nbctune/internal/netmodel"
+)
+
+func TestPutDeliversData(t *testing.T) {
+	bufs := make([][]byte, 2)
+	runProg(t, 2, nil, func(c *Comm) {
+		buf := make([]byte, 16)
+		w := c.CreateWin(buf, 0)
+		w.Fence()
+		if c.Rank() == 0 {
+			w.Put(1, 4, []byte{9, 8, 7}, 0)
+		}
+		w.Fence()
+		bufs[c.Rank()] = buf
+	})
+	if bufs[1][4] != 9 || bufs[1][5] != 8 || bufs[1][6] != 7 {
+		t.Fatalf("target window = %v", bufs[1])
+	}
+	if bufs[0][4] != 0 {
+		t.Fatal("origin window modified")
+	}
+}
+
+func TestPutHostAttendedTransport(t *testing.T) {
+	bufs := make([][]byte, 2)
+	runProg(t, 2, func(p *netmodel.Params) { p.RDMA = false }, func(c *Comm) {
+		buf := make([]byte, 8)
+		w := c.CreateWin(buf, 0)
+		w.Fence()
+		if c.Rank() == 0 {
+			w.Put(1, 0, []byte{1, 2, 3, 4, 5, 6, 7, 8}, 0)
+		}
+		w.Fence()
+		bufs[c.Rank()] = buf
+	})
+	for i, v := range bufs[1] {
+		if v != byte(i+1) {
+			t.Fatalf("TCP put: window = %v", bufs[1])
+		}
+	}
+}
+
+func TestGetFetchesData(t *testing.T) {
+	var got []byte
+	runProg(t, 2, nil, func(c *Comm) {
+		buf := make([]byte, 8)
+		if c.Rank() == 1 {
+			for i := range buf {
+				buf[i] = byte(40 + i)
+			}
+		}
+		w := c.CreateWin(buf, 0)
+		w.Fence()
+		if c.Rank() == 0 {
+			dst := make([]byte, 4)
+			req := w.Get(1, 2, dst, 0)
+			c.Wait(req)
+			got = dst
+		}
+		w.Fence()
+	})
+	if got[0] != 42 || got[3] != 45 {
+		t.Fatalf("get = %v", got)
+	}
+}
+
+func TestPutVisibilityRequiresFence(t *testing.T) {
+	// The origin's put request completing locally does not imply target
+	// visibility; only the fence does. Verify the fence actually waits for
+	// incoming puts on the target side.
+	var sawAfterFence byte
+	runProg(t, 2, nil, func(c *Comm) {
+		buf := make([]byte, 4)
+		w := c.CreateWin(buf, 0)
+		w.Fence()
+		if c.Rank() == 0 {
+			c.Compute(1e-3) // let rank 1 reach its fence first
+			w.Put(1, 0, []byte{77}, 0)
+		}
+		w.Fence()
+		if c.Rank() == 1 {
+			sawAfterFence = buf[0]
+		}
+	})
+	if sawAfterFence != 77 {
+		t.Fatalf("after fence, target saw %d", sawAfterFence)
+	}
+}
+
+func TestPutAutonomousOnRDMA(t *testing.T) {
+	// On an RDMA transport a put must land without the target entering MPI:
+	// the target computes for a long time, and the origin's request still
+	// completes long before the target's next MPI instant.
+	var originDone float64
+	runProg(t, 2, nil, func(c *Comm) {
+		w := c.CreateWin(nil, 64*1024)
+		w.Fence()
+		switch c.Rank() {
+		case 0:
+			req := w.Put(1, 0, nil, 64*1024)
+			c.Wait(req)
+			originDone = c.Now()
+		case 1:
+			c.Compute(0.5) // no MPI instants during the put
+		}
+		w.Fence()
+	})
+	if originDone > 0.1 {
+		t.Fatalf("RDMA put completed at %g, should not wait for the target", originDone)
+	}
+}
+
+func TestPutBoundsChecked(t *testing.T) {
+	panicked := false
+	runProg(t, 2, nil, func(c *Comm) {
+		w := c.CreateWin(make([]byte, 8), 0)
+		w.Fence()
+		if c.Rank() == 0 {
+			func() {
+				defer func() {
+					if recover() != nil {
+						panicked = true
+					}
+				}()
+				w.Put(1, 6, []byte{1, 2, 3, 4}, 0) // exceeds the window
+			}()
+		}
+		w.Fence()
+	})
+	if !panicked {
+		t.Fatal("oversized put accepted")
+	}
+}
+
+func TestManyPutsThenFence(t *testing.T) {
+	const n = 4
+	const chunk = 8
+	bufs := make([][]byte, n)
+	runProg(t, n, nil, func(c *Comm) {
+		buf := make([]byte, n*chunk)
+		w := c.CreateWin(buf, 0)
+		w.Fence()
+		data := make([]byte, chunk)
+		for i := range data {
+			data[i] = byte(c.Rank() + 1)
+		}
+		for p := 0; p < n; p++ {
+			if p != c.Rank() {
+				w.Put(p, c.Rank()*chunk, data, 0)
+			}
+		}
+		w.Fence()
+		bufs[c.Rank()] = buf
+	})
+	for r := 0; r < n; r++ {
+		for p := 0; p < n; p++ {
+			if p == r {
+				continue
+			}
+			if bufs[r][p*chunk] != byte(p+1) {
+				t.Fatalf("rank %d window chunk %d = %d", r, p, bufs[r][p*chunk])
+			}
+		}
+	}
+}
+
+func TestWinEpochCounts(t *testing.T) {
+	runProg(t, 2, nil, func(c *Comm) {
+		w := c.CreateWin(nil, 128)
+		w.Fence()
+		w.Fence()
+		if w.Epoch() != 2 {
+			t.Errorf("epoch = %d", w.Epoch())
+		}
+	})
+}

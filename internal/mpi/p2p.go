@@ -1,0 +1,264 @@
+package mpi
+
+import "fmt"
+
+// Point-to-point messaging: requests, matching, and the eager/rendezvous
+// protocol state machines.
+
+const (
+	// AnySource matches a receive against any sender.
+	AnySource = -1
+	// AnyTag matches a receive against any tag.
+	AnyTag = -1
+)
+
+type reqKind uint8
+
+const (
+	reqSend reqKind = iota
+	reqRecv
+)
+
+// Request is a non-blocking communication request handle.
+type Request struct {
+	r    *Rank
+	kind reqKind
+	peer int // destination (send) or source filter (recv)
+	tag  int
+	ctx  int
+	data []byte // payload (send) or destination buffer (recv); may be nil
+	size int
+	done bool
+
+	rndvMatched bool // recv: matched an RTS, bulk transfer pending
+
+	// Actual match metadata, valid for completed receives.
+	SrcActual int
+	TagActual int
+}
+
+// Done reports whether the request has completed. Note that completion is
+// only observed at MPI instants; calling Done outside MPI reads the last
+// observed state, exactly like a real single-threaded MPI.
+func (req *Request) Done() bool { return req.done }
+
+// Size returns the message size in bytes.
+func (req *Request) Size() int { return req.size }
+
+// envelope describes a message in flight.
+type envelope struct {
+	src, dst int // world ranks
+	tag, ctx int
+	size     int
+	data     []byte
+	sreq     *Request // sending request (rendezvous correlation)
+}
+
+func matches(req *Request, env *envelope) bool {
+	return req.ctx == env.ctx &&
+		(req.peer == AnySource || req.peer == env.src) &&
+		(req.tag == AnyTag || req.tag == env.tag)
+}
+
+// notice is a protocol event queued for processing at a rank's next MPI
+// instant.
+type notice interface{ process(r *Rank) }
+
+type eagerNotice struct{ env *envelope }
+type rtsNotice struct{ env *envelope }
+type ctsNotice struct {
+	sreq *Request
+	rreq *Request
+}
+type bulkNotice struct {
+	sreq *Request
+	rreq *Request
+}
+type sendDoneNotice struct{ sreq *Request }
+
+// completeRecv finishes a receive request with the given payload.
+func (r *Rank) completeRecv(rreq *Request, src, tag, size int, data []byte) {
+	if data != nil && rreq.data != nil {
+		copy(rreq.data, data)
+	}
+	rreq.SrcActual, rreq.TagActual = src, tag
+	rreq.done = true
+	r.outstanding--
+}
+
+func (n eagerNotice) process(r *Rank) {
+	p := r.net().Params()
+	cost := p.ORecv + p.OMatch*float64(len(r.postedRecvs))
+	if !p.RDMA {
+		cost += p.CopyTime(n.env.size)
+	}
+	r.charge(cost)
+	for i, rreq := range r.postedRecvs {
+		if matches(rreq, n.env) {
+			r.postedRecvs = append(r.postedRecvs[:i], r.postedRecvs[i+1:]...)
+			r.completeRecv(rreq, n.env.src, n.env.tag, n.env.size, n.env.data)
+			return
+		}
+	}
+	r.unexpEager = append(r.unexpEager, n.env)
+}
+
+func (n rtsNotice) process(r *Rank) {
+	p := r.net().Params()
+	r.charge(p.ORecv + p.OMatch*float64(len(r.postedRecvs)))
+	for i, rreq := range r.postedRecvs {
+		if matches(rreq, n.env) {
+			r.postedRecvs = append(r.postedRecvs[:i], r.postedRecvs[i+1:]...)
+			r.sendCTS(rreq, n.env)
+			return
+		}
+	}
+	r.unexpRTS = append(r.unexpRTS, n.env)
+}
+
+// sendCTS answers a rendezvous RTS: the receive is now matched and the
+// clear-to-send control message flows back to the sender.
+func (r *Rank) sendCTS(rreq *Request, env *envelope) {
+	rreq.rndvMatched = true
+	rreq.SrcActual, rreq.TagActual = env.src, env.tag
+	p := r.net().Params()
+	r.charge(p.OSend)
+	sender := r.w.ranks[env.src]
+	sreq := env.sreq
+	r.net().Ctrl(r.id, env.src, func() {
+		sender.enqueue(ctsNotice{sreq: sreq, rreq: rreq})
+	})
+}
+
+func (n ctsNotice) process(r *Rank) {
+	p := r.net().Params()
+	cost := p.OSend
+	if !p.RDMA {
+		cost += p.CopyTime(n.sreq.size)
+	}
+	r.charge(cost)
+	receiver := r.w.ranks[n.rreq.r.id]
+	sreq, rreq := n.sreq, n.rreq
+	r.net().Transfer(r.id, receiver.id, sreq.size, func() {
+		receiver.enqueue(bulkNotice{sreq: sreq, rreq: rreq})
+		r.enqueue(sendDoneNotice{sreq: sreq})
+	})
+}
+
+func (n bulkNotice) process(r *Rank) {
+	r.w.eng.Tracef("bulk-done", fmt.Sprintf("rank%d", r.id), "src=%d size=%d", n.sreq.r.id, n.sreq.size)
+	p := r.net().Params()
+	cost := p.ORecv
+	if !p.RDMA {
+		cost += p.CopyTime(n.sreq.size)
+	}
+	r.charge(cost)
+	r.completeRecv(n.rreq, n.sreq.r.id, n.sreq.tag, n.sreq.size, n.sreq.data)
+}
+
+func (n sendDoneNotice) process(r *Rank) {
+	n.sreq.done = true
+	r.outstanding--
+}
+
+// isend posts a non-blocking send on a context. If data is nil the message
+// is "virtual": only vsize bytes of timing are simulated, no payload moves.
+func (r *Rank) isend(dst, tag, ctx int, data []byte, vsize int) *Request {
+	size := vsize
+	if data != nil {
+		size = len(data)
+	}
+	if dst < 0 || dst >= len(r.w.ranks) {
+		panic("mpi: isend to invalid rank")
+	}
+	req := &Request{r: r, kind: reqSend, peer: dst, tag: tag, ctx: ctx, data: data, size: size}
+	p := r.net().Params()
+	r.w.eng.Tracef("isend", fmt.Sprintf("rank%d", r.id), "dst=%d tag=%d size=%d", dst, tag, size)
+	r.charge(p.OPost)
+	dstRank := r.w.ranks[dst]
+	if p.Eager(size) {
+		// Eager: buffered-send semantics. The sender pays the injection
+		// overhead (plus the socket copy on host-attended transports) and
+		// the request completes locally; the wire delivery is autonomous.
+		cost := p.OSend
+		if !p.RDMA {
+			cost += p.CopyTime(size)
+		}
+		r.charge(cost)
+		var payload []byte
+		if data != nil {
+			payload = append([]byte(nil), data...)
+		}
+		env := &envelope{src: r.id, dst: dst, tag: tag, ctx: ctx, size: size, data: payload}
+		r.net().Transfer(r.id, dst, size, func() {
+			dstRank.enqueue(eagerNotice{env: env})
+		})
+		req.done = true
+		return req
+	}
+	// Rendezvous: send an RTS; everything further requires MPI instants on
+	// both sides.
+	r.outstanding++
+	r.charge(p.OSend)
+	env := &envelope{src: r.id, dst: dst, tag: tag, ctx: ctx, size: size, data: data, sreq: req}
+	r.net().Ctrl(r.id, dst, func() {
+		dstRank.enqueue(rtsNotice{env: env})
+	})
+	return req
+}
+
+// irecv posts a non-blocking receive on a context.
+func (r *Rank) irecv(src, tag, ctx int, buf []byte, vsize int) *Request {
+	size := vsize
+	if buf != nil {
+		size = len(buf)
+	}
+	req := &Request{r: r, kind: reqRecv, peer: src, tag: tag, ctx: ctx, data: buf, size: size}
+	p := r.net().Params()
+	r.charge(p.OPost + p.OMatch*float64(len(r.unexpEager)+len(r.unexpRTS)))
+	r.outstanding++
+	// An already-arrived eager message matches at post time.
+	for i, env := range r.unexpEager {
+		if matches(req, env) {
+			r.unexpEager = append(r.unexpEager[:i], r.unexpEager[i+1:]...)
+			r.completeRecv(req, env.src, env.tag, env.size, env.data)
+			return req
+		}
+	}
+	// An already-arrived RTS is answered at post time (we are inside MPI).
+	for i, env := range r.unexpRTS {
+		if matches(req, env) {
+			r.unexpRTS = append(r.unexpRTS[:i], r.unexpRTS[i+1:]...)
+			r.sendCTS(req, env)
+			return req
+		}
+	}
+	r.postedRecvs = append(r.postedRecvs, req)
+	return req
+}
+
+// Wait blocks inside MPI until all given requests complete.
+func (r *Rank) Wait(reqs ...*Request) {
+	p := r.net().Params()
+	r.charge(p.OProgress + p.OTest*float64(r.outstanding))
+	r.waitUntil(func() bool {
+		for _, q := range reqs {
+			if !q.done {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Test performs one progress pass and reports whether all given requests
+// have completed.
+func (r *Rank) Test(reqs ...*Request) bool {
+	r.Progress()
+	for _, q := range reqs {
+		if !q.done {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,24 @@
+package mpi
+
+import "math"
+
+func f64(u uint64) float64 { return math.Float64frombits(u) }
+func u64(v float64) uint64 { return math.Float64bits(v) }
+
+// Float64sToBytes encodes a float64 slice into little-endian bytes.
+func Float64sToBytes(xs []float64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		float64tobytes(b[8*i:8*i+8], x)
+	}
+	return b
+}
+
+// BytesToFloat64s decodes little-endian bytes into float64s.
+func BytesToFloat64s(b []byte) []float64 {
+	xs := make([]float64, len(b)/8)
+	for i := range xs {
+		xs[i] = float64frombytes(b[8*i : 8*i+8])
+	}
+	return xs
+}

@@ -1,0 +1,204 @@
+// Package mpi implements a simulated single-threaded MPI library on top of
+// the sim engine and the netmodel interconnect model.
+//
+// The central design point, taken from the paper (§III-C), is that the
+// library has no progress thread: non-blocking operations only advance when
+// the application is inside an MPI call (a progress call, a test, a wait, or
+// a blocking operation). Network arrivals and protocol notices queue per rank
+// and are processed exclusively at such "MPI instants". The rendezvous
+// protocol therefore exhibits the paper's progress-call sensitivity: an RTS
+// is answered only when the receiver enters MPI, and the bulk transfer starts
+// only when the sender next enters MPI after the CTS arrived.
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nbctune/internal/netmodel"
+	"nbctune/internal/sim"
+)
+
+// NoiseFunc perturbs a nominal compute duration, modeling OS jitter.
+// It must return a non-negative duration.
+type NoiseFunc func(rng *rand.Rand, d float64) float64
+
+// Options configures a World.
+type Options struct {
+	// Noise perturbs every Compute call. Nil means no noise.
+	Noise NoiseFunc
+	// Seed feeds the per-rank RNGs.
+	Seed int64
+}
+
+// World is a set of simulated MPI ranks sharing one interconnect.
+type World struct {
+	eng     *sim.Engine
+	net     *netmodel.Network
+	ranks   []*Rank
+	opts    Options
+	nextCtx int
+	winReg  *winRegistry
+}
+
+// NewWorld creates n ranks on the given network. The network's rank->node
+// placement must cover at least n ranks.
+func NewWorld(eng *sim.Engine, net *netmodel.Network, n int, opts Options) *World {
+	w := &World{eng: eng, net: net, opts: opts, nextCtx: 1}
+	for i := 0; i < n; i++ {
+		r := &Rank{
+			w:    w,
+			id:   i,
+			cond: sim.NewCond(eng),
+			rng:  rand.New(rand.NewSource(opts.Seed*7919 + int64(i))),
+		}
+		w.ranks = append(w.ranks, r)
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Engine returns the simulation engine.
+func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Network returns the interconnect model.
+func (w *World) Network() *netmodel.Network { return w.net }
+
+// Start spawns one simulated process per rank, each executing prog with its
+// world communicator. Call eng.Run() afterwards to execute the simulation.
+func (w *World) Start(prog func(c *Comm)) {
+	ctx := w.nextCtx
+	w.nextCtx++
+	for _, r := range w.ranks {
+		r := r
+		members := make([]int, len(w.ranks))
+		for i := range members {
+			members[i] = i
+		}
+		c := &Comm{r: r, members: members, me: r.id, ctx: ctx}
+		w.eng.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+			r.proc = p
+			prog(c)
+		})
+	}
+}
+
+// Rank is the per-process state of the simulated MPI library.
+type Rank struct {
+	w    *World
+	id   int
+	proc *sim.Proc
+	rng  *rand.Rand
+
+	// Message-progression state. All four queues are only mutated in
+	// engine-event context (enqueue) or in the rank's own proc context
+	// (processing); the engine serializes those.
+	notices      []notice    // arrived, not yet seen by the library
+	unexpEager   []*envelope // processed eager messages with no matching recv
+	unexpRTS     []*envelope // processed RTS with no matching recv
+	postedRecvs  []*Request  // posted receives not yet matched
+	blockedInMPI bool
+	cond         *sim.Cond
+
+	outstanding int // open non-blocking requests, for OTest charging
+
+	// Accounting.
+	MPITime       float64
+	ComputeTime   float64
+	ProgressCalls int64
+}
+
+// ID returns the world rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Now returns the current virtual time.
+func (r *Rank) Now() float64 { return r.proc.Now() }
+
+// Proc returns the simulated process executing this rank.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Rand returns this rank's deterministic RNG.
+func (r *Rank) Rand() *rand.Rand { return r.rng }
+
+// Compute advances this rank by d seconds of application computation,
+// perturbed by the world's noise model. It is the only rank API that does
+// NOT count as an MPI instant.
+func (r *Rank) Compute(d float64) {
+	if d < 0 {
+		panic("mpi: negative compute time")
+	}
+	if n := r.w.opts.Noise; n != nil {
+		d = n(r.rng, d)
+	}
+	r.ComputeTime += d
+	r.proc.Sleep(d)
+}
+
+// ChargeCopy charges the CPU cost of moving n bytes through the host memory
+// system (pack/unpack buffers, local reductions).
+func (r *Rank) ChargeCopy(n int) {
+	r.charge(r.net().Params().CopyTime(n))
+}
+
+// ChargeDDTBlocks charges the derived-datatype descriptor overhead for a
+// message consisting of n discontiguous blocks.
+func (r *Rank) ChargeDDTBlocks(n int) {
+	r.charge(ddtPerBlockOverhead * float64(n))
+}
+
+// charge advances the rank's clock by d seconds of library CPU time.
+func (r *Rank) charge(d float64) {
+	if d <= 0 {
+		return
+	}
+	r.MPITime += d
+	r.proc.Sleep(d)
+}
+
+// enqueue adds a notice for this rank and wakes it if it is blocked inside
+// an MPI wait. Runs in engine-event context.
+func (r *Rank) enqueue(n notice) {
+	r.notices = append(r.notices, n)
+	if r.blockedInMPI {
+		r.cond.Broadcast()
+	}
+}
+
+// Progress performs one explicit progress call: it charges the progress
+// overhead and processes all queued notices. This is the hook the NBC layer
+// and ADCL's progress function drive.
+func (r *Rank) Progress() {
+	p := r.net().Params()
+	r.ProgressCalls++
+	r.charge(p.OProgress + p.OTest*float64(r.outstanding))
+	r.processNotices()
+}
+
+// processNotices drains the notice queue, performing protocol actions and
+// charging their CPU costs. New notices that arrive while costs are being
+// charged (the clock advances) are drained too.
+func (r *Rank) processNotices() {
+	for len(r.notices) > 0 {
+		n := r.notices[0]
+		r.notices = r.notices[1:]
+		n.process(r)
+	}
+}
+
+func (r *Rank) net() *netmodel.Network { return r.w.net }
+
+// waitUntil blocks the rank inside MPI until pred holds, processing notices
+// as they arrive. It is the core of Wait and the blocking collectives.
+func (r *Rank) waitUntil(pred func() bool) {
+	for {
+		r.processNotices()
+		if pred() {
+			return
+		}
+		r.blockedInMPI = true
+		r.cond.Wait(r.proc)
+		r.blockedInMPI = false
+	}
+}

@@ -1,0 +1,189 @@
+package nbc
+
+import "fmt"
+
+// All-to-all schedules. The paper's Ialltoall function set contains three
+// algorithms: linear (everything posted in a single round), dissemination
+// (Bruck: log2(N) store-and-forward rounds with packed blocks), and pairwise
+// exchange (N-1 structured rounds). Their very different round counts and
+// message shapes are what creates the crossovers of Figs 3-5 and 7.
+
+// AlltoallAlgo names an Ialltoall algorithm.
+type AlltoallAlgo int
+
+const (
+	AlgoLinear AlltoallAlgo = iota
+	AlgoBruck
+	AlgoPairwise
+)
+
+func (a AlltoallAlgo) String() string {
+	switch a {
+	case AlgoLinear:
+		return "linear"
+	case AlgoBruck:
+		return "dissemination"
+	case AlgoPairwise:
+		return "pairwise"
+	default:
+		return fmt.Sprintf("algo(%d)", int(a))
+	}
+}
+
+// DefaultAlltoallAlgos lists the paper's three Ialltoall implementations.
+var DefaultAlltoallAlgos = []AlltoallAlgo{AlgoLinear, AlgoBruck, AlgoPairwise}
+
+// Ialltoall builds this rank's schedule for a non-blocking all-to-all where
+// each pair of ranks exchanges blockSize bytes. send/recv, when non-nil,
+// hold n*blockSize bytes; nil buffers simulate timing only.
+func Ialltoall(n, me int, send, recv []byte, blockSize int, algo AlltoallAlgo) *Schedule {
+	if send != nil {
+		blockSize = len(send) / n
+	}
+	switch algo {
+	case AlgoLinear:
+		return ialltoallLinear(n, me, send, recv, blockSize)
+	case AlgoBruck:
+		return ialltoallBruck(n, me, send, recv, blockSize)
+	case AlgoPairwise:
+		return ialltoallPairwise(n, me, send, recv, blockSize)
+	default:
+		panic(fmt.Sprintf("nbc: unknown alltoall algorithm %d", int(algo)))
+	}
+}
+
+func block(buf []byte, i, bs int) []byte { return slice(buf, i*bs, bs) }
+
+func selfCopyOp(send, recv []byte, me, bs int) Op {
+	return Op{Kind: OpLocal, Bytes: bs, Fn: func() {
+		if send != nil && recv != nil {
+			copy(block(recv, me, bs), block(send, me, bs))
+		}
+	}}
+}
+
+// ialltoallLinear posts all receives and sends in one round. It needs only a
+// single progress call to be fully in flight, but exposes maximal
+// concurrency to the network (incast on TCP).
+func ialltoallLinear(n, me int, send, recv []byte, bs int) *Schedule {
+	s := &Schedule{Name: "ialltoall-linear"}
+	r := Round{selfCopyOp(send, recv, me, bs)}
+	for off := 1; off < n; off++ {
+		peer := (me + off) % n
+		r = append(r, Op{Kind: OpRecv, Peer: peer, Buf: block(recv, peer, bs), Size: bs})
+	}
+	for off := 1; off < n; off++ {
+		peer := (me - off + n) % n
+		r = append(r, Op{Kind: OpSend, Peer: peer, Buf: block(send, peer, bs), Size: bs})
+	}
+	if n > 1 {
+		s.Rounds = append(s.Rounds, r)
+	} else {
+		s.Rounds = append(s.Rounds, Round{selfCopyOp(send, recv, me, bs)})
+	}
+	return s
+}
+
+// ialltoallPairwise exchanges with partner (me+step) / (me-step) in N-1
+// rounds. Structured and contention-free, but each round gates on a
+// progress call.
+func ialltoallPairwise(n, me int, send, recv []byte, bs int) *Schedule {
+	s := &Schedule{Name: "ialltoall-pairwise"}
+	s.Rounds = append(s.Rounds, Round{selfCopyOp(send, recv, me, bs)})
+	for step := 1; step < n; step++ {
+		to := (me + step) % n
+		from := (me - step + n) % n
+		s.Rounds = append(s.Rounds, Round{
+			{Kind: OpRecv, Peer: from, TagOff: step, Buf: block(recv, from, bs), Size: bs},
+			{Kind: OpSend, Peer: to, TagOff: step, Buf: block(send, to, bs), Size: bs},
+		})
+	}
+	return s
+}
+
+// ialltoallBruck is the dissemination algorithm: ceil(log2 n) phases, each
+// sending the aggregated blocks whose index has the phase bit set to rank
+// (me+pow) and receiving from (me-pow). It sends the fewest messages
+// (log2 n) but ~n/2*log2(n) blocks of data in total, plus pack/unpack
+// copies, so it wins for small blocks and loses for large ones.
+func ialltoallBruck(n, me int, send, recv []byte, bs int) *Schedule {
+	s := &Schedule{Name: "ialltoall-dissemination"}
+	virtual := send == nil
+
+	// Working buffer in "rotated" order: tmp[i] = block destined for rank
+	// (me+i)%n. Staging buffers per phase are allocated at build time so a
+	// persistent request reuses them.
+	var tmp []byte
+	if !virtual {
+		tmp = make([]byte, n*bs)
+	}
+
+	// Round 0: local rotation.
+	rot := Round{Op{Kind: OpLocal, Bytes: n * bs, Fn: func() {
+		if virtual {
+			return
+		}
+		for i := 0; i < n; i++ {
+			copy(block(tmp, i, bs), block(send, (me+i)%n, bs))
+		}
+	}}}
+	s.Rounds = append(s.Rounds, rot)
+
+	phase := 0
+	for pow := 1; pow < n; pow *= 2 {
+		pow := pow
+		var idxs []int
+		for i := 1; i < n; i++ {
+			if i&pow != 0 {
+				idxs = append(idxs, i)
+			}
+		}
+		cnt := len(idxs)
+		var sbuf, rbuf []byte
+		if !virtual {
+			sbuf = make([]byte, cnt*bs)
+			rbuf = make([]byte, cnt*bs)
+		}
+		idxsCopy := append([]int(nil), idxs...)
+		to := (me + pow) % n
+		from := (me - pow + n) % n
+
+		// Pack + exchange in one round.
+		pack := Op{Kind: OpLocal, Bytes: cnt * bs, Fn: func() {
+			if virtual {
+				return
+			}
+			for j, i := range idxsCopy {
+				copy(block(sbuf, j, bs), block(tmp, i, bs))
+			}
+		}}
+		s.Rounds = append(s.Rounds, Round{
+			pack,
+			{Kind: OpRecv, Peer: from, TagOff: phase, Buf: rbuf, Size: cnt * bs},
+			{Kind: OpSend, Peer: to, TagOff: phase, Buf: sbuf, Size: cnt * bs},
+		})
+		// Unpack in the next round (after the receive completed).
+		unpack := Op{Kind: OpLocal, Bytes: cnt * bs, Fn: func() {
+			if virtual {
+				return
+			}
+			for j, i := range idxsCopy {
+				copy(block(tmp, i, bs), block(rbuf, j, bs))
+			}
+		}}
+		s.Rounds = append(s.Rounds, Round{unpack})
+		phase++
+	}
+
+	// Final inverse rotation: recv[(me-i+n)%n] = tmp[i].
+	fin := Round{Op{Kind: OpLocal, Bytes: n * bs, Fn: func() {
+		if virtual {
+			return
+		}
+		for i := 0; i < n; i++ {
+			copy(block(recv, (me-i+n)%n, bs), block(tmp, i, bs))
+		}
+	}}}
+	s.Rounds = append(s.Rounds, fin)
+	return s
+}

@@ -1,0 +1,70 @@
+package nbc
+
+import "nbctune/internal/mpi"
+
+// Put-based all-to-all schedules: the data-transfer-primitive attribute the
+// paper proposes as a later extension of the Ialltoall function set
+// ("a further distinction based on data transfer primitives (i.e. Put/Get
+// vs Isend/Irecv) could be added later on", §III-E).
+//
+// Instead of matched sends and receives, each rank deposits its blocks
+// directly into the peers' receive windows with one-sided puts; completion
+// at the receiver is detected by counting landed puts (put-with-notify).
+// On RDMA transports a put needs no CPU and no MPI instant at the target,
+// so put-based algorithms keep overlapping even when the target makes few
+// progress calls — at the price of an extra exposure epoch and window setup.
+
+// IalltoallWindows creates the per-rank receive window a put-based alltoall
+// schedule deposits into. recv is the same receive buffer the schedule's
+// p2p variants use; the window must be created collectively, once, and can
+// then back any number of put-based schedules over that buffer.
+func IalltoallWindows(c *mpi.Comm, recv []byte, blockSize int) *mpi.Win {
+	n := c.Size()
+	if recv != nil {
+		return c.CreateWin(recv, 0)
+	}
+	return c.CreateWin(nil, n*blockSize)
+}
+
+// IalltoallLinearPut builds the one-sided linear algorithm: one round that
+// puts every block into the peers' windows, then a completion gate for the
+// n-1 incoming blocks. Like its two-sided sibling it occupies a single
+// schedule round, so a single progress call suffices to drive it — and on
+// RDMA fabrics not even the targets' progress is needed for the data to
+// flow.
+func IalltoallLinearPut(n, me int, send, recv []byte, blockSize int, win *mpi.Win) *Schedule {
+	if send != nil {
+		blockSize = len(send) / n
+	}
+	s := &Schedule{Name: "ialltoall-linear-put", Win: win}
+	r := Round{selfCopyOp(send, recv, me, blockSize)}
+	for off := 1; off < n; off++ {
+		peer := (me + off) % n
+		r = append(r, Op{Kind: OpPut, Peer: peer, Off: me * blockSize,
+			Buf: block(send, peer, blockSize), Size: blockSize})
+	}
+	r = append(r, Op{Kind: OpAwaitPuts, Count: n - 1})
+	s.Rounds = append(s.Rounds, r)
+	return s
+}
+
+// IalltoallPairwisePut builds the one-sided pairwise algorithm: n-1
+// structured rounds, each putting one block and gating on the cumulative
+// number of arrived blocks. It trades the linear variant's burst for
+// bounded per-round network pressure.
+func IalltoallPairwisePut(n, me int, send, recv []byte, blockSize int, win *mpi.Win) *Schedule {
+	if send != nil {
+		blockSize = len(send) / n
+	}
+	s := &Schedule{Name: "ialltoall-pairwise-put", Win: win}
+	s.Rounds = append(s.Rounds, Round{selfCopyOp(send, recv, me, blockSize)})
+	for step := 1; step < n; step++ {
+		to := (me + step) % n
+		s.Rounds = append(s.Rounds, Round{
+			{Kind: OpPut, Peer: to, Off: me * blockSize,
+				Buf: block(send, to, blockSize), Size: blockSize},
+			{Kind: OpAwaitPuts, Count: step},
+		})
+	}
+	return s
+}

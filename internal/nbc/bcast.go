@@ -1,0 +1,139 @@
+package nbc
+
+import "fmt"
+
+// Broadcast schedules. The paper's Ibcast function set is parameterized by
+// two attributes: the fan-out of the broadcast tree and the internal segment
+// size. Fan-out 0 denotes the linear algorithm (root sends directly to every
+// peer, an "infinite" number of children), 1 the chain, 2..5 k-ary trees,
+// and FanoutBinomial the binomial tree. With the three segment sizes
+// {32KiB, 64KiB, 128KiB} this yields the paper's 7 x 3 = 21 implementations.
+
+// FanoutBinomial selects the binomial tree shape ("N" in the paper).
+const FanoutBinomial = -1
+
+// Paper-default segment sizes for the Ibcast function set.
+var DefaultSegSizes = []int{32 * 1024, 64 * 1024, 128 * 1024}
+
+// DefaultFanouts lists the paper's seven tree shapes.
+var DefaultFanouts = []int{0, 1, 2, 3, 4, 5, FanoutBinomial}
+
+// bcastTree computes the parent (or -1) and children of vrank in the chosen
+// tree over n virtual ranks rooted at 0.
+func bcastTree(n, vrank, fanout int) (parent int, children []int) {
+	switch {
+	case fanout == 0: // linear: root is everyone's parent
+		if vrank == 0 {
+			for c := 1; c < n; c++ {
+				children = append(children, c)
+			}
+			return -1, children
+		}
+		return 0, nil
+	case fanout == FanoutBinomial:
+		if vrank == 0 {
+			parent = -1
+		} else {
+			parent = vrank & (vrank - 1) // clear lowest set bit
+		}
+		// Children: vrank | bit for bits below the lowest set bit (or all
+		// bits for the root), far child first.
+		low := vrank & (-vrank)
+		if vrank == 0 {
+			low = nextPow2(n)
+		}
+		for bit := low / 2; bit >= 1; bit /= 2 {
+			if vrank+bit < n {
+				children = append(children, vrank+bit)
+			}
+		}
+		return parent, children
+	case fanout >= 1:
+		if vrank == 0 {
+			parent = -1
+		} else {
+			parent = (vrank - 1) / fanout
+		}
+		for c := fanout*vrank + 1; c <= fanout*vrank+fanout && c < n; c++ {
+			children = append(children, c)
+		}
+		return parent, children
+	default:
+		panic(fmt.Sprintf("nbc: invalid fanout %d", fanout))
+	}
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// FanoutName renders a fanout value the way the paper refers to it.
+func FanoutName(fanout int) string {
+	switch fanout {
+	case 0:
+		return "linear"
+	case 1:
+		return "chain"
+	case FanoutBinomial:
+		return "binomial"
+	default:
+		return fmt.Sprintf("%d-ary", fanout)
+	}
+}
+
+// Ibcast builds this rank's schedule for a non-blocking broadcast of buf
+// (or a virtual message of vsize bytes) from root, using the given tree
+// fan-out and segment size. Segments pipeline down the tree: a rank forwards
+// segment s to its children in the same round in which it receives segment
+// s+1 from its parent.
+func Ibcast(n, me, root int, buf []byte, vsize, fanout, segSize int) *Schedule {
+	size := vsize
+	if buf != nil {
+		size = len(buf)
+	}
+	name := fmt.Sprintf("ibcast-%s-seg%dk", FanoutName(fanout), segSize/1024)
+	s := &Schedule{Name: name}
+	if n == 1 {
+		return s
+	}
+	vrank := (me - root + n) % n
+	parent, children := bcastTree(n, vrank, fanout)
+	toWorld := func(v int) int { return (v + root) % n }
+
+	S := numSegs(size, segSize)
+	if vrank == 0 {
+		// Root: one round per segment, sending it to every child.
+		for si := 0; si < S; si++ {
+			off, l := seg(size, segSize, si)
+			var r Round
+			for _, c := range children {
+				r = append(r, Op{Kind: OpSend, Peer: toWorld(c), TagOff: si, Buf: slice(buf, off, l), Size: l})
+			}
+			s.Rounds = append(s.Rounds, r)
+		}
+		return s
+	}
+	// Non-root: receive segment 0; then per segment, forward the previous
+	// segment while receiving the next; finally forward the last segment.
+	for si := 0; si <= S; si++ {
+		var r Round
+		if si > 0 && len(children) > 0 {
+			off, l := seg(size, segSize, si-1)
+			for _, c := range children {
+				r = append(r, Op{Kind: OpSend, Peer: toWorld(c), TagOff: si - 1, Buf: slice(buf, off, l), Size: l})
+			}
+		}
+		if si < S {
+			off, l := seg(size, segSize, si)
+			r = append(r, Op{Kind: OpRecv, Peer: toWorld(parent), TagOff: si, Buf: slice(buf, off, l), Size: l})
+		}
+		if len(r) > 0 {
+			s.Rounds = append(s.Rounds, r)
+		}
+	}
+	return s
+}

@@ -1,0 +1,233 @@
+package nbc
+
+import (
+	"fmt"
+
+	"nbctune/internal/mpi"
+)
+
+// Additional non-blocking operations rounding out the library: Iallreduce,
+// Igather, and Iscatter. They follow the same schedule discipline as the
+// operations the paper evaluates and can be registered in ADCL function sets
+// through core.NewFunctionSet.
+
+// AllreduceAlgo names an Iallreduce algorithm.
+type AllreduceAlgo int
+
+const (
+	// AllreduceRecursiveDoubling exchanges and combines at doubling
+	// distances; log2(n) rounds on power-of-two communicators.
+	AllreduceRecursiveDoubling AllreduceAlgo = iota
+	// AllreduceReduceBcast reduces onto rank 0 and broadcasts back.
+	AllreduceReduceBcast
+)
+
+func (a AllreduceAlgo) String() string {
+	if a == AllreduceRecursiveDoubling {
+		return "recursive-doubling"
+	}
+	return "reduce-bcast"
+}
+
+// Iallreduce builds this rank's schedule combining size bytes across all
+// ranks with op; every rank receives the result in recv. Nil buffers build
+// a timing-only schedule. Recursive doubling requires a power-of-two
+// communicator size and falls back to reduce+bcast otherwise.
+func Iallreduce(n, me int, send, recv []byte, vsize int, op mpi.ReduceOp, algo AllreduceAlgo) *Schedule {
+	size := vsize
+	if send != nil {
+		size = len(send)
+	}
+	if algo == AllreduceRecursiveDoubling && n&(n-1) != 0 {
+		algo = AllreduceReduceBcast
+	}
+	virtual := send == nil
+	switch algo {
+	case AllreduceRecursiveDoubling:
+		s := &Schedule{Name: "iallreduce-recursive-doubling"}
+		var acc, tmp []byte
+		if !virtual {
+			acc = make([]byte, size)
+			tmp = make([]byte, size)
+		}
+		s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: size, Fn: func() {
+			if !virtual {
+				copy(acc, send)
+			}
+		}}})
+		phase := 0
+		for dist := 1; dist < n; dist *= 2 {
+			peer := me ^ dist
+			s.Rounds = append(s.Rounds, Round{
+				{Kind: OpRecv, Peer: peer, TagOff: phase, Buf: tmp, Size: size},
+				{Kind: OpSend, Peer: peer, TagOff: phase, Buf: acc, Size: size},
+			})
+			s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: size, Fn: func() {
+				if !virtual && op != nil {
+					op(acc, tmp)
+				}
+			}}})
+			phase++
+		}
+		s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: size, Fn: func() {
+			if !virtual && recv != nil {
+				copy(recv, acc)
+			}
+		}}})
+		return s
+	case AllreduceReduceBcast:
+		s := &Schedule{Name: "iallreduce-reduce-bcast"}
+		red := Ireduce(n, me, 0, send, recv, vsize, op, ReduceBinomial)
+		s.Rounds = append(s.Rounds, red.Rounds...)
+		bc := Ibcast(n, me, 0, recv, vsize, FanoutBinomial, 1<<30)
+		// Offset the broadcast's tags past the reduce's.
+		base := 64
+		for _, r := range bc.Rounds {
+			nr := make(Round, len(r))
+			for i, op := range r {
+				op.TagOff += base
+				nr[i] = op
+			}
+			s.Rounds = append(s.Rounds, nr)
+		}
+		return s
+	default:
+		panic(fmt.Sprintf("nbc: unknown allreduce algorithm %d", int(algo)))
+	}
+}
+
+// Igather builds this rank's schedule collecting bs bytes from every rank at
+// root: a binomial gather tree, log2(n) rounds at the root's children.
+// recv (root only) holds n*bs bytes; intermediate nodes allocate staging at
+// build time so the schedule stays reusable.
+func Igather(n, me, root int, send, recv []byte, bs int) *Schedule {
+	if send != nil {
+		bs = len(send)
+	}
+	s := &Schedule{Name: "igather-binomial"}
+	virtual := send == nil
+	vrank := (me - root + n) % n
+	toWorld := func(v int) int { return (v + root) % n }
+
+	// Staging buffer holds this rank's subtree blocks in vrank order
+	// (binomial subtrees cover contiguous vrank ranges).
+	mySub := subtreeOf(vrank, n)
+	var stage []byte
+	if !virtual {
+		stage = make([]byte, mySub*bs)
+	}
+	s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: bs, Fn: func() {
+		if !virtual {
+			copy(stage[:bs], send)
+		}
+	}}})
+	// Receive children's subtrees (low bit upward), then send to parent.
+	// Peers disambiguate the transfers, so no tag offsets are needed.
+	low := vrank & (-vrank)
+	if vrank == 0 {
+		low = nextPow2(n)
+	}
+	off := 1 // blocks already staged (own block)
+	for bit := 1; bit < low; bit *= 2 {
+		child := vrank + bit
+		if child >= n {
+			break
+		}
+		cs := subtreeOf(child, n)
+		s.Rounds = append(s.Rounds, Round{
+			{Kind: OpRecv, Peer: toWorld(child), Buf: slice(stage, off*bs, cs*bs), Size: cs * bs},
+		})
+		off += cs
+	}
+	if vrank != 0 {
+		parent := vrank & (vrank - 1)
+		s.Rounds = append(s.Rounds, Round{
+			{Kind: OpSend, Peer: toWorld(parent), Buf: stage, Size: mySub * bs},
+		})
+	} else {
+		// Root: scatter the vrank-ordered staging into recv's rank order.
+		s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: n * bs, Fn: func() {
+			if virtual || recv == nil {
+				return
+			}
+			for v, i := 0, 0; v < n; v++ {
+				r := (v + root) % n
+				copy(recv[r*bs:(r+1)*bs], stage[i*bs:(i+1)*bs])
+				i++
+			}
+		}}})
+	}
+	return s
+}
+
+// subtreeOf returns the binomial subtree size of virtual rank v in an
+// n-rank tree. Exposed for Igather's staging layout; vrank-order staging
+// works because binomial subtrees cover contiguous vrank ranges.
+func subtreeOf(v, n int) int {
+	low := v & (-v)
+	if v == 0 {
+		low = nextPow2(n)
+	}
+	end := v + low
+	if end > n {
+		end = n
+	}
+	return end - v
+}
+
+// Iscatter builds this rank's schedule distributing bs-byte blocks from
+// root (binomial tree, mirroring Igather).
+func Iscatter(n, me, root int, send, recv []byte, bs int) *Schedule {
+	if recv != nil {
+		bs = len(recv)
+	}
+	s := &Schedule{Name: "iscatter-binomial"}
+	virtual := recv == nil && send == nil
+	vrank := (me - root + n) % n
+	toWorld := func(v int) int { return (v + root) % n }
+	mySub := subtreeOf(vrank, n)
+	var stage []byte
+	if !virtual {
+		stage = make([]byte, mySub*bs)
+	}
+	// Root packs send (rank order) into vrank order.
+	if vrank == 0 {
+		s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: n * bs, Fn: func() {
+			if virtual || send == nil {
+				return
+			}
+			for v := 0; v < n; v++ {
+				r := (v + root) % n
+				copy(stage[v*bs:(v+1)*bs], send[r*bs:(r+1)*bs])
+			}
+		}}})
+	} else {
+		parent := vrank & (vrank - 1)
+		s.Rounds = append(s.Rounds, Round{
+			{Kind: OpRecv, Peer: toWorld(parent), Buf: stage, Size: mySub * bs},
+		})
+	}
+	// Forward children's chunks, far child first. Peers disambiguate the
+	// transfers, so no tag offsets are needed.
+	low := vrank & (-vrank)
+	if vrank == 0 {
+		low = nextPow2(n)
+	}
+	for bit := low / 2; bit >= 1; bit /= 2 {
+		child := vrank + bit
+		if child >= n {
+			continue
+		}
+		cs := subtreeOf(child, n)
+		coff := child - vrank
+		s.Rounds = append(s.Rounds, Round{
+			{Kind: OpSend, Peer: toWorld(child), Buf: slice(stage, coff*bs, cs*bs), Size: cs * bs},
+		})
+	}
+	s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: bs, Fn: func() {
+		if !virtual && recv != nil {
+			copy(recv, stage[:bs])
+		}
+	}}})
+	return s
+}

@@ -1,0 +1,184 @@
+package nbc
+
+import (
+	"fmt"
+	"testing"
+
+	"nbctune/internal/mpi"
+)
+
+func TestIallreduceCorrectness(t *testing.T) {
+	for _, algo := range []AllreduceAlgo{AllreduceRecursiveDoubling, AllreduceReduceBcast} {
+		for _, n := range []int{1, 2, 4, 8, 5, 6} { // non-pow2 exercise fallback
+			t.Run(fmt.Sprintf("%v/n%d", algo, n), func(t *testing.T) {
+				results := make([][]float64, n)
+				runProg(t, n, nil, func(c *mpi.Comm) {
+					me := c.Rank()
+					send := mpi.Float64sToBytes([]float64{float64(me + 1), float64(me * me)})
+					recv := make([]byte, len(send))
+					Run(c, Iallreduce(n, me, send, recv, 0, mpi.SumFloat64, algo))
+					results[me] = mpi.BytesToFloat64s(recv)
+				})
+				var ws, wq float64
+				for r := 0; r < n; r++ {
+					ws += float64(r + 1)
+					wq += float64(r * r)
+				}
+				for r := 0; r < n; r++ {
+					if results[r][0] != ws || results[r][1] != wq {
+						t.Fatalf("rank %d: %v, want [%g %g]", r, results[r], ws, wq)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestIallreduceVirtual(t *testing.T) {
+	end := runProg(t, 8, nil, func(c *mpi.Comm) {
+		Run(c, Iallreduce(8, c.Rank(), nil, nil, 64*1024, nil, AllreduceRecursiveDoubling))
+	})
+	if end <= 0 {
+		t.Fatal("virtual allreduce took no time")
+	}
+}
+
+func TestIgatherCorrectness(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		for root := 0; root < n; root += 2 {
+			t.Run(fmt.Sprintf("n%d/root%d", n, root), func(t *testing.T) {
+				const bs = 128
+				var gathered []byte
+				runProg(t, n, nil, func(c *mpi.Comm) {
+					me := c.Rank()
+					mine := make([]byte, bs)
+					for i := range mine {
+						mine[i] = byte(me*29 + i)
+					}
+					var recv []byte
+					if me == root {
+						recv = make([]byte, n*bs)
+					}
+					Run(c, Igather(n, me, root, mine, recv, 0))
+					if me == root {
+						gathered = recv
+					}
+				})
+				for r := 0; r < n; r++ {
+					for i := 0; i < bs; i++ {
+						if gathered[r*bs+i] != byte(r*29+i) {
+							t.Fatalf("block %d byte %d = %d, want %d", r, i, gathered[r*bs+i], byte(r*29+i))
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestIscatterCorrectness(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		for root := 0; root < n; root += 3 {
+			t.Run(fmt.Sprintf("n%d/root%d", n, root), func(t *testing.T) {
+				const bs = 64
+				results := make([][]byte, n)
+				runProg(t, n, nil, func(c *mpi.Comm) {
+					me := c.Rank()
+					var send []byte
+					if me == root {
+						send = make([]byte, n*bs)
+						for r := 0; r < n; r++ {
+							for i := 0; i < bs; i++ {
+								send[r*bs+i] = byte(r*17 + i)
+							}
+						}
+					}
+					recv := make([]byte, bs)
+					Run(c, Iscatter(n, me, root, send, recv, 0))
+					results[me] = recv
+				})
+				for r := 0; r < n; r++ {
+					for i := 0; i < bs; i++ {
+						if results[r][i] != byte(r*17+i) {
+							t.Fatalf("rank %d byte %d = %d, want %d", r, i, results[r][i], byte(r*17+i))
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestIgatherIscatterRoundTrip(t *testing.T) {
+	const n = 6
+	const bs = 32
+	ok := true
+	runProg(t, n, nil, func(c *mpi.Comm) {
+		me := c.Rank()
+		mine := make([]byte, bs)
+		for i := range mine {
+			mine[i] = byte(me + i*3)
+		}
+		var all []byte
+		if me == 0 {
+			all = make([]byte, n*bs)
+		}
+		Run(c, Igather(n, me, 0, mine, all, 0))
+		back := make([]byte, bs)
+		Run(c, Iscatter(n, me, 0, all, back, 0))
+		for i := range mine {
+			if back[i] != mine[i] {
+				ok = false
+			}
+		}
+	})
+	if !ok {
+		t.Fatal("gather->scatter did not round-trip")
+	}
+}
+
+func TestSubtreeOf(t *testing.T) {
+	// For n=8: root covers all, rank 4 covers {4,5,6,7}, etc.
+	cases := []struct{ v, n, want int }{
+		{0, 8, 8}, {4, 8, 4}, {2, 8, 2}, {6, 8, 2}, {1, 8, 1},
+		{0, 5, 5}, {4, 5, 1}, {2, 5, 2}, {0, 1, 1},
+	}
+	for _, c := range cases {
+		if got := subtreeOf(c.v, c.n); got != c.want {
+			t.Errorf("subtreeOf(%d,%d) = %d, want %d", c.v, c.n, got, c.want)
+		}
+	}
+	// Sum of subtrees of root's children + 1 = n.
+	for _, n := range []int{1, 2, 3, 7, 8, 16, 19} {
+		total := 1
+		low := nextPow2(n)
+		for bit := 1; bit < low; bit *= 2 {
+			if bit < n {
+				total += subtreeOf(bit, n)
+			}
+		}
+		if total != n {
+			t.Errorf("n=%d: subtree partition sums to %d", n, total)
+		}
+	}
+}
+
+func TestIallreducePersistentReuse(t *testing.T) {
+	const n = 4
+	ok := true
+	runProg(t, n, nil, func(c *mpi.Comm) {
+		me := c.Rank()
+		send := mpi.Float64sToBytes([]float64{1})
+		recv := make([]byte, 8)
+		sched := Iallreduce(n, me, send, recv, 0, mpi.SumFloat64, AllreduceRecursiveDoubling)
+		for it := 0; it < 3; it++ {
+			Run(c, sched)
+			if mpi.BytesToFloat64s(recv)[0] != n {
+				ok = false
+			}
+		}
+	})
+	if !ok {
+		t.Fatal("allreduce schedule reuse failed")
+	}
+}

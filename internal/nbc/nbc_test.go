@@ -1,0 +1,436 @@
+package nbc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nbctune/internal/mpi"
+	"nbctune/internal/netmodel"
+	"nbctune/internal/sim"
+)
+
+func testParams(mutate func(*netmodel.Params)) netmodel.Params {
+	p := netmodel.Params{
+		Name:          "test-ib",
+		Latency:       2e-6,
+		Bandwidth:     1.5e9,
+		NICs:          1,
+		OSend:         1e-6,
+		ORecv:         1e-6,
+		OPost:         2e-7,
+		OProgress:     5e-7,
+		OTest:         5e-8,
+		EagerLimit:    12 * 1024,
+		RDMA:          true,
+		CtrlBytes:     64,
+		CopyBandwidth: 4e9,
+		ShmLatency:    4e-7,
+		ShmBandwidth:  5e9,
+		IncastK:       8,
+		IncastBeta:    0.02,
+	}
+	if mutate != nil {
+		mutate(&p)
+	}
+	return p
+}
+
+func runProg(t testing.TB, n int, mutate func(*netmodel.Params), prog func(c *mpi.Comm)) float64 {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	nodeOf := make([]int, n)
+	for i := range nodeOf {
+		nodeOf[i] = i
+	}
+	net, err := netmodel.New(eng, testParams(mutate), nodeOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mpi.NewWorld(eng, net, n, mpi.Options{Seed: 7})
+	w.Start(prog)
+	return eng.Run()
+}
+
+func TestIbcastAllVariantsDeliver(t *testing.T) {
+	const n = 9
+	payload := make([]byte, 300*1024) // spans multiple segments at every segsize
+	for i := range payload {
+		payload[i] = byte(i*31 + 7)
+	}
+	for _, fanout := range DefaultFanouts {
+		for _, segSize := range DefaultSegSizes {
+			name := fmt.Sprintf("%s/seg%dk", FanoutName(fanout), segSize/1024)
+			t.Run(name, func(t *testing.T) {
+				got := make([][]byte, n)
+				runProg(t, n, nil, func(c *mpi.Comm) {
+					buf := make([]byte, len(payload))
+					if c.Rank() == 0 {
+						copy(buf, payload)
+					}
+					Run(c, Ibcast(n, c.Rank(), 0, buf, 0, fanout, segSize))
+					got[c.Rank()] = buf
+				})
+				for r := 0; r < n; r++ {
+					for i := range payload {
+						if got[r][i] != payload[i] {
+							t.Fatalf("rank %d wrong at byte %d", r, i)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestIbcastNonzeroRoot(t *testing.T) {
+	const n = 7
+	const root = 3
+	payload := []byte("hello-nbc-bcast")
+	got := make([][]byte, n)
+	runProg(t, n, nil, func(c *mpi.Comm) {
+		buf := make([]byte, len(payload))
+		if c.Rank() == root {
+			copy(buf, payload)
+		}
+		Run(c, Ibcast(n, c.Rank(), root, buf, 0, 2, 32*1024))
+		got[c.Rank()] = buf
+	})
+	for r := 0; r < n; r++ {
+		if string(got[r]) != string(payload) {
+			t.Fatalf("rank %d got %q", r, got[r])
+		}
+	}
+}
+
+func checkAlltoall(t *testing.T, n, bs int, algo AlltoallAlgo) {
+	t.Helper()
+	results := make([][]byte, n)
+	runProg(t, n, nil, func(c *mpi.Comm) {
+		me := c.Rank()
+		send := make([]byte, n*bs)
+		for p := 0; p < n; p++ {
+			for i := 0; i < bs; i++ {
+				send[p*bs+i] = byte(me*37 + p*11 + i)
+			}
+		}
+		recv := make([]byte, n*bs)
+		Run(c, Ialltoall(n, me, send, recv, 0, algo))
+		results[me] = recv
+	})
+	for r := 0; r < n; r++ {
+		for p := 0; p < n; p++ {
+			for i := 0; i < bs; i++ {
+				want := byte(p*37 + r*11 + i)
+				if results[r][p*bs+i] != want {
+					t.Fatalf("algo=%v n=%d bs=%d: rank %d block %d byte %d = %d want %d",
+						algo, n, bs, r, p, i, results[r][p*bs+i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestIalltoallCorrectness(t *testing.T) {
+	for _, algo := range DefaultAlltoallAlgos {
+		for _, n := range []int{1, 2, 3, 4, 5, 8, 9} {
+			for _, bs := range []int{16, 1024, 20 * 1024} { // eager and rendezvous
+				t.Run(fmt.Sprintf("%v/n%d/bs%d", algo, n, bs), func(t *testing.T) {
+					checkAlltoall(t, n, bs, algo)
+				})
+			}
+		}
+	}
+}
+
+func TestIallgatherCorrectness(t *testing.T) {
+	for _, algo := range []AllgatherAlgo{AllgatherRing, AllgatherLinear} {
+		for _, n := range []int{1, 2, 5, 8} {
+			t.Run(fmt.Sprintf("%v/n%d", algo, n), func(t *testing.T) {
+				bs := 512
+				results := make([][]byte, n)
+				runProg(t, n, nil, func(c *mpi.Comm) {
+					me := c.Rank()
+					mine := make([]byte, bs)
+					for i := range mine {
+						mine[i] = byte(me*13 + i)
+					}
+					recv := make([]byte, n*bs)
+					Run(c, Iallgather(n, me, mine, recv, 0, algo))
+					results[me] = recv
+				})
+				for r := 0; r < n; r++ {
+					for p := 0; p < n; p++ {
+						for i := 0; i < bs; i++ {
+							if results[r][p*bs+i] != byte(p*13+i) {
+								t.Fatalf("rank %d block %d wrong", r, p)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestIreduceCorrectness(t *testing.T) {
+	for _, algo := range []ReduceAlgo{ReduceBinomial, ReduceChain} {
+		for _, n := range []int{1, 2, 3, 6, 8} {
+			for root := 0; root < n; root += 3 {
+				t.Run(fmt.Sprintf("%v/n%d/root%d", algo, n, root), func(t *testing.T) {
+					var result []float64
+					runProg(t, n, nil, func(c *mpi.Comm) {
+						me := c.Rank()
+						send := mpi.Float64sToBytes([]float64{float64(me), float64(me * me)})
+						recv := make([]byte, len(send))
+						Run(c, Ireduce(n, me, root, send, recv, 0, mpi.SumFloat64, algo))
+						if me == root {
+							result = mpi.BytesToFloat64s(recv)
+						}
+					})
+					var ws, wq float64
+					for r := 0; r < n; r++ {
+						ws += float64(r)
+						wq += float64(r * r)
+					}
+					if result[0] != ws || result[1] != wq {
+						t.Fatalf("reduce got %v want [%g %g]", result, ws, wq)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestIreducePersistentReexecution(t *testing.T) {
+	// The same schedule must be executable repeatedly (persistent request).
+	const n = 4
+	results := make([]float64, 3)
+	runProg(t, n, nil, func(c *mpi.Comm) {
+		me := c.Rank()
+		send := mpi.Float64sToBytes([]float64{1})
+		recv := make([]byte, len(send))
+		sched := Ireduce(n, me, 0, send, recv, 0, mpi.SumFloat64, ReduceBinomial)
+		for it := 0; it < 3; it++ {
+			Run(c, sched)
+			if me == 0 {
+				results[it] = mpi.BytesToFloat64s(recv)[0]
+			}
+		}
+	})
+	for it, v := range results {
+		if v != n {
+			t.Fatalf("iteration %d: reduce = %g, want %d", it, v, n)
+		}
+	}
+}
+
+func TestIbarrierSynchronizes(t *testing.T) {
+	const n = 8
+	var maxBefore, minAfter float64
+	minAfter = 1e18
+	runProg(t, n, nil, func(c *mpi.Comm) {
+		c.Compute(float64(c.Rank()+1) * 0.001)
+		if c.Now() > maxBefore {
+			maxBefore = c.Now()
+		}
+		Run(c, Ibarrier(n, c.Rank()))
+		if c.Now() < minAfter {
+			minAfter = c.Now()
+		}
+	})
+	if minAfter < maxBefore {
+		t.Fatalf("rank left barrier at %g before last arrival %g", minAfter, maxBefore)
+	}
+}
+
+func TestScheduleDoesNotAdvanceWithoutProgress(t *testing.T) {
+	// Pairwise has n-1 communication rounds; with zero progress calls during
+	// compute, all rounds execute inside Wait, so the sender side completes
+	// only after compute.
+	const n = 4
+	const computeT = 0.1
+	var doneAt float64
+	runProg(t, n, nil, func(c *mpi.Comm) {
+		h := Start(c, Ialltoall(n, c.Rank(), nil, nil, 64*1024, AlgoPairwise))
+		c.Compute(computeT)
+		h.Wait()
+		if c.Rank() == 0 {
+			doneAt = c.Now()
+		}
+	})
+	if doneAt < computeT {
+		t.Fatalf("completed at %g before compute ended", doneAt)
+	}
+}
+
+func TestProgressAdvancesRounds(t *testing.T) {
+	// With frequent progress calls, the pairwise rounds interleave with
+	// compute, so total time is much closer to compute-only than the
+	// no-progress run.
+	const n = 4
+	const computeT = 0.1
+	run := func(progressCalls int) float64 {
+		var doneAt float64
+		runProg(t, n, nil, func(c *mpi.Comm) {
+			h := Start(c, Ialltoall(n, c.Rank(), nil, nil, 256*1024, AlgoPairwise))
+			for i := 0; i < progressCalls; i++ {
+				c.Compute(computeT / float64(progressCalls))
+				h.Progress()
+			}
+			h.Wait()
+			if c.Rank() == 0 && c.Now() > doneAt {
+				doneAt = c.Now()
+			}
+		})
+		return doneAt
+	}
+	none := run(1) // single progress call right before wait
+	many := run(32)
+	if many >= none {
+		t.Fatalf("frequent progress (%g) should beat rare progress (%g) for pairwise", many, none)
+	}
+}
+
+func TestHandleDoneIdempotent(t *testing.T) {
+	runProg(t, 2, nil, func(c *mpi.Comm) {
+		h := Start(c, Ibarrier(2, c.Rank()))
+		h.Wait()
+		if !h.Done() {
+			t.Error("handle not done after wait")
+		}
+		if !h.Progress() {
+			t.Error("progress after done should report done")
+		}
+		h.Wait() // must not hang
+	})
+}
+
+func TestConcurrentHandlesIsolated(t *testing.T) {
+	// Two all-to-alls in flight simultaneously (window=2) must not mix data.
+	const n = 4
+	const bs = 2048
+	resA := make([][]byte, n)
+	resB := make([][]byte, n)
+	runProg(t, n, nil, func(c *mpi.Comm) {
+		me := c.Rank()
+		mk := func(base byte) []byte {
+			b := make([]byte, n*bs)
+			for p := 0; p < n; p++ {
+				for i := 0; i < bs; i++ {
+					b[p*bs+i] = base + byte(me*17+p*5)
+				}
+			}
+			return b
+		}
+		sa, sb := mk(0), mk(128)
+		ra, rb := make([]byte, n*bs), make([]byte, n*bs)
+		ha := Start(c, Ialltoall(n, me, sa, ra, 0, AlgoLinear))
+		hb := Start(c, Ialltoall(n, me, sb, rb, 0, AlgoPairwise))
+		hb.Wait()
+		ha.Wait()
+		resA[me], resB[me] = ra, rb
+	})
+	for r := 0; r < n; r++ {
+		for p := 0; p < n; p++ {
+			if resA[r][p*bs] != byte(p*17+r*5) {
+				t.Fatalf("A mixed: rank %d block %d", r, p)
+			}
+			if resB[r][p*bs] != byte(128+byte(p*17+r*5)) {
+				t.Fatalf("B mixed: rank %d block %d", r, p)
+			}
+		}
+	}
+}
+
+// Property: all three alltoall algorithms produce identical results for
+// random (n, blockSize).
+func TestAlltoallAlgosEquivalentProperty(t *testing.T) {
+	f := func(n8 uint8, bs16 uint16) bool {
+		n := int(n8%6) + 2
+		bs := int(bs16%4096) + 8
+		want := make([][]byte, n)
+		for _, algo := range DefaultAlltoallAlgos {
+			results := make([][]byte, n)
+			runProg(t, n, nil, func(c *mpi.Comm) {
+				me := c.Rank()
+				send := make([]byte, n*bs)
+				for i := range send {
+					send[i] = byte(me ^ i)
+				}
+				recv := make([]byte, n*bs)
+				Run(c, Ialltoall(n, me, send, recv, 0, algo))
+				results[me] = recv
+			})
+			if want[0] == nil {
+				want = results
+				continue
+			}
+			for r := 0; r < n; r++ {
+				for i := range want[r] {
+					if results[r][i] != want[r][i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Ibcast delivers for random tree shape, segment size, size, root.
+func TestIbcastProperty(t *testing.T) {
+	f := func(n8, f8, root8 uint8, sz uint32) bool {
+		n := int(n8%10) + 1
+		fanout := DefaultFanouts[int(f8)%len(DefaultFanouts)]
+		segSize := DefaultSegSizes[int(f8/16)%len(DefaultSegSizes)]
+		root := int(root8) % n
+		size := int(sz%200_000) + 1
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i * 3)
+		}
+		ok := true
+		runProg(t, n, nil, func(c *mpi.Comm) {
+			buf := make([]byte, size)
+			if c.Rank() == root {
+				copy(buf, payload)
+			}
+			Run(c, Ibcast(n, c.Rank(), root, buf, 0, fanout, segSize))
+			for i := range buf {
+				if buf[i] != payload[i] {
+					ok = false
+					break
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(37))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundCounts(t *testing.T) {
+	// Round structure is the lever behind the progress-call sensitivity;
+	// pin it down.
+	cases := []struct {
+		sched *Schedule
+		want  int
+	}{
+		{Ialltoall(8, 0, nil, nil, 1024, AlgoLinear), 1},
+		{Ialltoall(8, 0, nil, nil, 1024, AlgoPairwise), 8},        // self-copy + 7 exchanges
+		{Ialltoall(8, 3, nil, nil, 1024, AlgoBruck), 1 + 3*2 + 1}, // rot + 3*(exchange+unpack) + final
+		{Ibarrier(8, 0), 3},
+		{Ibcast(8, 0, 0, nil, 100*1024, 0, 32*1024), 4}, // root: 4 segments
+	}
+	for i, tc := range cases {
+		if got := tc.sched.NumRounds(); got != tc.want {
+			t.Errorf("case %d (%s): rounds = %d, want %d", i, tc.sched.Name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package nbc
+
+import (
+	"fmt"
+
+	"nbctune/internal/mpi"
+)
+
+// The remaining operations the paper converted from Open MPI to LibNBC
+// schedules: Iallgather, Ireduce, and (as the basic synchronization
+// primitive) Ibarrier.
+
+// Ibarrier builds a dissemination barrier schedule: ceil(log2 n) rounds of
+// one-byte exchanges at doubling distances.
+func Ibarrier(n, me int) *Schedule {
+	s := &Schedule{Name: "ibarrier-dissemination"}
+	phase := 0
+	for dist := 1; dist < n; dist *= 2 {
+		to := (me + dist) % n
+		from := (me - dist + n) % n
+		s.Rounds = append(s.Rounds, Round{
+			{Kind: OpRecv, Peer: from, TagOff: phase, Size: 1},
+			{Kind: OpSend, Peer: to, TagOff: phase, Size: 1},
+		})
+		phase++
+	}
+	return s
+}
+
+// AllgatherAlgo names an Iallgather algorithm.
+type AllgatherAlgo int
+
+const (
+	AllgatherRing AllgatherAlgo = iota
+	AllgatherLinear
+)
+
+func (a AllgatherAlgo) String() string {
+	if a == AllgatherRing {
+		return "ring"
+	}
+	return "linear"
+}
+
+// Iallgather builds this rank's schedule for gathering bs bytes from every
+// rank into recv (n*bs bytes). send may alias recv's own block.
+func Iallgather(n, me int, send, recv []byte, bs int, algo AllgatherAlgo) *Schedule {
+	if send != nil {
+		bs = len(send)
+	}
+	s := &Schedule{Name: "iallgather-" + algo.String()}
+	self := Op{Kind: OpLocal, Bytes: bs, Fn: func() {
+		if send != nil && recv != nil {
+			copy(block(recv, me, bs), send)
+		}
+	}}
+	if n == 1 {
+		s.Rounds = append(s.Rounds, Round{self})
+		return s
+	}
+	switch algo {
+	case AllgatherLinear:
+		// One round: send own block to everyone, receive everyone's block.
+		r := Round{self}
+		for off := 1; off < n; off++ {
+			peer := (me + off) % n
+			r = append(r, Op{Kind: OpRecv, Peer: peer, Buf: block(recv, peer, bs), Size: bs})
+		}
+		for off := 1; off < n; off++ {
+			peer := (me - off + n) % n
+			r = append(r, Op{Kind: OpSend, Peer: peer, Buf: block(recv, me, bs), Size: bs})
+		}
+		s.Rounds = append(s.Rounds, r)
+		// Note: sends reference recv[me], written by the self copy in the
+		// same round; OpLocal entries run before any posting.
+		return s
+	case AllgatherRing:
+		s.Rounds = append(s.Rounds, Round{self})
+		right := (me + 1) % n
+		left := (me - 1 + n) % n
+		cur := me
+		for step := 0; step < n-1; step++ {
+			prev := (cur - 1 + n) % n
+			s.Rounds = append(s.Rounds, Round{
+				{Kind: OpRecv, Peer: left, TagOff: step, Buf: block(recv, prev, bs), Size: bs},
+				{Kind: OpSend, Peer: right, TagOff: step, Buf: block(recv, cur, bs), Size: bs},
+			})
+			cur = prev
+		}
+		return s
+	default:
+		panic(fmt.Sprintf("nbc: unknown allgather algorithm %d", int(algo)))
+	}
+}
+
+// ReduceAlgo names an Ireduce algorithm.
+type ReduceAlgo int
+
+const (
+	ReduceBinomial ReduceAlgo = iota
+	ReduceChain
+)
+
+func (a ReduceAlgo) String() string {
+	if a == ReduceBinomial {
+		return "binomial"
+	}
+	return "chain"
+}
+
+// Ireduce builds this rank's schedule reducing size bytes onto root with op.
+// send must not be modified between executions; recv is only written at
+// root. Nil buffers give a timing-only schedule.
+func Ireduce(n, me, root int, send, recv []byte, vsize int, op mpi.ReduceOp, algo ReduceAlgo) *Schedule {
+	size := vsize
+	if send != nil {
+		size = len(send)
+	}
+	s := &Schedule{Name: "ireduce-" + algo.String()}
+	virtual := send == nil
+	var acc, tmp []byte
+	if !virtual {
+		acc = make([]byte, size)
+		tmp = make([]byte, size)
+	}
+	// Round 0 (local): refresh the accumulator from the send buffer so a
+	// persistent request can re-execute the schedule.
+	s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: size, Fn: func() {
+		if !virtual {
+			copy(acc, send)
+		}
+	}}})
+	vrank := (me - root + n) % n
+	toWorld := func(v int) int { return (v + root) % n }
+
+	reduceOp := func(phase int) Op {
+		return Op{Kind: OpLocal, Bytes: size, Fn: func() {
+			if !virtual && op != nil {
+				op(acc, tmp)
+			}
+		}, TagOff: phase}
+	}
+
+	switch algo {
+	case ReduceBinomial:
+		phase := 0
+		for dist := 1; dist < n; dist *= 2 {
+			if vrank&dist != 0 {
+				s.Rounds = append(s.Rounds, Round{
+					{Kind: OpSend, Peer: toWorld(vrank - dist), TagOff: phase, Buf: acc, Size: size},
+				})
+				break
+			}
+			if vrank+dist < n {
+				s.Rounds = append(s.Rounds, Round{
+					{Kind: OpRecv, Peer: toWorld(vrank + dist), TagOff: phase, Buf: tmp, Size: size},
+				})
+				s.Rounds = append(s.Rounds, Round{reduceOp(phase)})
+			}
+			phase++
+		}
+	case ReduceChain:
+		// vrank n-1 starts; each rank receives the running partial from
+		// vrank+1, reduces, and forwards to vrank-1.
+		if vrank+1 < n {
+			s.Rounds = append(s.Rounds, Round{
+				{Kind: OpRecv, Peer: toWorld(vrank + 1), Buf: tmp, Size: size},
+			})
+			s.Rounds = append(s.Rounds, Round{reduceOp(0)})
+		}
+		if vrank != 0 {
+			s.Rounds = append(s.Rounds, Round{
+				{Kind: OpSend, Peer: toWorld(vrank - 1), Buf: acc, Size: size},
+			})
+		}
+	default:
+		panic(fmt.Sprintf("nbc: unknown reduce algorithm %d", int(algo)))
+	}
+	if vrank == 0 {
+		s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: size, Fn: func() {
+			if !virtual && recv != nil {
+				copy(recv, acc)
+			}
+		}}})
+	}
+	return s
+}

@@ -1,0 +1,215 @@
+// Package nbc implements non-blocking collective operations in the style of
+// LibNBC (Hoefler et al., SC'07), the library the paper builds on.
+//
+// Each collective algorithm compiles, per rank, into a Schedule: an ordered
+// list of rounds, each round holding point-to-point operations and local
+// work (copies, reductions). A round acts as a local barrier — everything in
+// round i must complete before round i+1 starts. Executing a schedule is
+// non-blocking: Start posts round 0 and returns; the schedule then only
+// advances when the application drives Progress (or blocks in Wait). The
+// number of rounds in an algorithm therefore determines how many progress
+// calls it needs to overlap well — the effect Figs 6 and 7 of the paper
+// measure.
+package nbc
+
+import (
+	"fmt"
+
+	"nbctune/internal/mpi"
+)
+
+// OpKind distinguishes schedule entries.
+type OpKind uint8
+
+const (
+	// OpSend posts a non-blocking send in its round.
+	OpSend OpKind = iota
+	// OpRecv posts a non-blocking receive in its round.
+	OpRecv
+	// OpLocal performs local work (copy, pack/unpack, reduction) at round
+	// start, charging Bytes/CopyBandwidth of CPU time.
+	OpLocal
+	// OpPut issues a one-sided put into the schedule's window (the paper's
+	// Put/Get data-transfer-primitive attribute).
+	OpPut
+	// OpAwaitPuts gates the round until Count puts (cumulative for this
+	// execution) have landed in the schedule's window.
+	OpAwaitPuts
+)
+
+// Op is one entry of a schedule round.
+type Op struct {
+	Kind   OpKind
+	Peer   int    // comm rank (send destination / recv source)
+	TagOff int    // tag offset within the handle's tag range (0..1023)
+	Buf    []byte // payload or destination; nil means virtual
+	Size   int    // virtual size when Buf is nil, ignored otherwise
+	Bytes  int    // OpLocal: bytes of local work for cost accounting
+	Fn     func() // OpLocal: the work itself (may be nil for timing-only)
+	Off    int    // OpPut: byte offset in the target window
+	Count  int    // OpAwaitPuts: cumulative puts expected by this round
+}
+
+// Round is a set of operations started together.
+type Round []Op
+
+// Schedule is a per-rank compiled collective operation. Schedules are
+// immutable and reusable: every Start creates fresh execution state, so a
+// persistent ADCL request can run the same schedule each iteration.
+type Schedule struct {
+	// Name identifies the algorithm/parameters, e.g. "ialltoall-pairwise".
+	Name   string
+	Rounds []Round
+	// Win is the one-sided window used by OpPut/OpAwaitPuts entries.
+	// Schedules with a window allow only one outstanding execution at a
+	// time (the completion counters are per window).
+	Win *mpi.Win
+}
+
+// NumRounds returns how many progress-gated rounds the schedule has.
+func (s *Schedule) NumRounds() int { return len(s.Rounds) }
+
+// Handle is the execution state of one started schedule (LibNBC's
+// NBC_Handle). It is bound to the communicator it was started on.
+type Handle struct {
+	comm     *mpi.Comm
+	sched    *Schedule
+	tag      int
+	round    int
+	pending  []*mpi.Request
+	await    int   // cumulative put count the current round waits for (-1: none)
+	instance int64 // collective instance id on the schedule's window
+	done     bool
+}
+
+// Start begins non-blocking execution of sched on comm. It posts the first
+// round and returns immediately. All members must start the same collective
+// in the same order.
+func Start(comm *mpi.Comm, sched *Schedule) *Handle {
+	h := &Handle{comm: comm, sched: sched, tag: comm.FreshNBTag(), await: -1}
+	if sched.Win != nil {
+		h.instance = sched.Win.NextInstance()
+	}
+	h.execRounds()
+	return h
+}
+
+// execRounds executes the current round's local ops, posts its p2p ops, and
+// falls through rounds that have no point-to-point operations.
+func (h *Handle) execRounds() {
+	for h.round < len(h.sched.Rounds) {
+		r := h.sched.Rounds[h.round]
+		h.pending = h.pending[:0]
+		h.await = -1
+		for _, op := range r {
+			switch op.Kind {
+			case OpLocal:
+				h.comm.RankState().ChargeCopy(op.Bytes)
+				if op.Fn != nil {
+					op.Fn()
+				}
+			case OpSend:
+				h.pending = append(h.pending, h.comm.Isend(op.Peer, h.tag+op.TagOff, op.Buf, op.Size))
+			case OpRecv:
+				h.pending = append(h.pending, h.comm.Irecv(op.Peer, h.tag+op.TagOff, op.Buf, op.Size))
+			case OpPut:
+				h.pending = append(h.pending, h.sched.Win.PutInstanced(h.instance, op.Peer, op.Off, op.Buf, op.Size))
+			case OpAwaitPuts:
+				h.await = op.Count
+			default:
+				panic(fmt.Sprintf("nbc: unknown op kind %d", op.Kind))
+			}
+		}
+		if len(h.pending) > 0 || h.await >= 0 {
+			return // wait for this round's communication
+		}
+		h.round++
+	}
+	h.done = true
+}
+
+// roundDone reports whether all of the current round's requests completed
+// and any put-count condition is satisfied.
+func (h *Handle) roundDone() bool {
+	for _, q := range h.pending {
+		if !q.Done() {
+			return false
+		}
+	}
+	return h.awaitSatisfied()
+}
+
+// awaitSatisfied checks the current round's put-count gate.
+func (h *Handle) awaitSatisfied() bool {
+	if h.await < 0 {
+		return true
+	}
+	return h.sched.Win.ReceivedFor(h.instance) >= h.await
+}
+
+// Progress drives the schedule: it makes one library progress pass, and if
+// the current round has completed it starts the next one. Returns true when
+// the whole schedule has finished. This is the paper's ADCL_Progress hook.
+func (h *Handle) Progress() bool {
+	if h.done {
+		return true
+	}
+	if !h.comm.Test(h.pending...) || !h.awaitSatisfied() {
+		return false
+	}
+	h.round++
+	h.execRounds()
+	return h.done
+}
+
+// Wait blocks inside MPI until the schedule completes, driving all remaining
+// rounds.
+func (h *Handle) Wait() {
+	for !h.done {
+		h.comm.Wait(h.pending...)
+		if h.await >= 0 {
+			h.comm.WaitFor(h.awaitSatisfied)
+		}
+		h.round++
+		h.execRounds()
+	}
+}
+
+// Done reports whether the schedule has completed.
+func (h *Handle) Done() bool { return h.done }
+
+// Run executes a schedule to completion, blocking (init + wait).
+func Run(comm *mpi.Comm, sched *Schedule) {
+	Start(comm, sched).Wait()
+}
+
+// seg returns the byte range of segment s when a size-byte message is split
+// into segSize segments, as (offset, length).
+func seg(size, segSize, s int) (int, int) {
+	off := s * segSize
+	l := segSize
+	if off+l > size {
+		l = size - off
+	}
+	return off, l
+}
+
+// numSegs returns the segment count for a message of size bytes.
+func numSegs(size, segSize int) int {
+	if size <= 0 {
+		return 1
+	}
+	n := (size + segSize - 1) / segSize
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// slice returns buf[off:off+l] or nil when buf is nil (virtual payloads).
+func slice(buf []byte, off, l int) []byte {
+	if buf == nil {
+		return nil
+	}
+	return buf[off : off+l]
+}

@@ -1,0 +1,299 @@
+// Package netmodel provides the interconnect timing model used by the
+// simulated MPI substrate.
+//
+// The model is LogGP-flavored with three additions that the paper's results
+// hinge on:
+//
+//   - NIC serialization: each node owns a small number of full-duplex NIC
+//     channels; concurrent transfers queue on the sender's tx side and the
+//     receiver's rx side.
+//   - Incast congestion: when many flows converge on one receiving node the
+//     effective bandwidth of each flow degrades. The penalty is mild for
+//     InfiniBand-like fabrics and severe for TCP over GigE (TCP incast).
+//   - Host attendance: RDMA-capable transports move bulk data autonomously,
+//     while TCP charges per-byte CPU time at both endpoints inside MPI calls.
+//     The attendance costs themselves are charged by the MPI layer (it knows
+//     when a rank is inside MPI); this package exposes the parameters.
+//
+// All times are in seconds, sizes in bytes, bandwidths in bytes/second.
+package netmodel
+
+import (
+	"fmt"
+
+	"nbctune/internal/sim"
+)
+
+// Params describes one interconnect + host configuration.
+type Params struct {
+	Name string
+
+	// Wire characteristics.
+	Latency   float64 // one-way wire latency per message
+	Bandwidth float64 // per NIC channel, bytes/s
+	NICs      int     // NIC channels per node (>=1)
+	MsgGap    float64 // per-message NIC channel occupancy (LogGP's g): the
+	// message-rate ceiling that makes many-small-message algorithms
+	// injection-bound rather than bandwidth-bound.
+
+	// Per-message CPU overheads, charged by the MPI layer.
+	OSend     float64 // injection overhead per message (inside MPI)
+	ORecv     float64 // processing overhead per arrived message (inside MPI)
+	OPost     float64 // cost of posting a request (Isend/Irecv descriptor setup)
+	OProgress float64 // fixed cost of one progress call
+	OTest     float64 // additional progress cost per outstanding request
+	OMatch    float64 // matching cost per posted-receive queue entry scanned
+	// per message arrival (linear matching, as in Open MPI 1.6) — this is
+	// what makes algorithms with hundreds of outstanding receives expensive
+	// at scale.
+
+	// Protocol.
+	EagerLimit int  // messages up to this size use the eager protocol
+	RDMA       bool // true: bulk data moves without host attendance
+	CtrlBytes  int  // size of RTS/CTS control messages
+
+	// Host memory system.
+	CopyBandwidth float64 // memcpy bandwidth; also TCP per-byte CPU cost rate
+	ShmLatency    float64 // intra-node message latency
+	ShmBandwidth  float64 // intra-node bandwidth
+
+	// Incast congestion: effective receive bandwidth of a flow is divided by
+	// min(IncastCap, 1 + IncastBeta*max(0, concurrentFlows-IncastK)).
+	// IncastCap <= 1 disables the cap.
+	IncastK    int
+	IncastBeta float64
+	IncastCap  float64
+
+	// Topology. Flat (the default) gives every node pair the same Latency.
+	// Torus3D arranges nodes in a TorusDims grid and adds HopLatency per
+	// torus hop beyond the first — the BlueGene/P interconnect shape.
+	Topology   Topology
+	TorusDims  [3]int
+	HopLatency float64
+}
+
+// Topology selects how inter-node distance affects latency.
+type Topology int
+
+const (
+	// Flat: uniform latency between any two nodes (a full crossbar or a
+	// shallow fat tree).
+	Flat Topology = iota
+	// Torus3D: nodes at coordinates of a wrapping 3D grid; latency grows
+	// with Manhattan hop distance.
+	Torus3D
+)
+
+func (t Topology) String() string {
+	if t == Torus3D {
+		return "torus3d"
+	}
+	return "flat"
+}
+
+// Validate reports a descriptive error for nonsensical parameter sets.
+func (p *Params) Validate() error {
+	switch {
+	case p.Bandwidth <= 0:
+		return fmt.Errorf("netmodel %q: Bandwidth must be positive", p.Name)
+	case p.NICs < 1:
+		return fmt.Errorf("netmodel %q: NICs must be >= 1", p.Name)
+	case p.Latency < 0 || p.OSend < 0 || p.ORecv < 0 || p.OPost < 0 || p.OProgress < 0 || p.OTest < 0 || p.OMatch < 0 || p.MsgGap < 0:
+		return fmt.Errorf("netmodel %q: overheads must be non-negative", p.Name)
+	case p.EagerLimit < 0:
+		return fmt.Errorf("netmodel %q: EagerLimit must be non-negative", p.Name)
+	case p.CopyBandwidth <= 0 || p.ShmBandwidth <= 0:
+		return fmt.Errorf("netmodel %q: host bandwidths must be positive", p.Name)
+	case p.IncastK < 0 || p.IncastBeta < 0:
+		return fmt.Errorf("netmodel %q: incast parameters must be non-negative", p.Name)
+	case p.HopLatency < 0:
+		return fmt.Errorf("netmodel %q: HopLatency must be non-negative", p.Name)
+	case p.Topology == Torus3D && (p.TorusDims[0] < 1 || p.TorusDims[1] < 1 || p.TorusDims[2] < 1):
+		return fmt.Errorf("netmodel %q: Torus3D needs positive TorusDims", p.Name)
+	}
+	return nil
+}
+
+// Hops returns the torus hop distance between two nodes (1 for distinct
+// nodes under Flat topology, 0 for the same node).
+func (p *Params) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	if p.Topology != Torus3D {
+		return 1
+	}
+	ax, ay, az := coords(a, p.TorusDims)
+	bx, by, bz := coords(b, p.TorusDims)
+	return torusDist(ax, bx, p.TorusDims[0]) +
+		torusDist(ay, by, p.TorusDims[1]) +
+		torusDist(az, bz, p.TorusDims[2])
+}
+
+// WireLatency returns the one-way latency between two nodes.
+func (p *Params) WireLatency(a, b int) float64 {
+	h := p.Hops(a, b)
+	if h <= 1 {
+		return p.Latency
+	}
+	return p.Latency + float64(h-1)*p.HopLatency
+}
+
+func coords(n int, dims [3]int) (x, y, z int) {
+	x = n % dims[0]
+	y = (n / dims[0]) % dims[1]
+	z = n / (dims[0] * dims[1])
+	return
+}
+
+func torusDist(a, b, dim int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if wrap := dim - d; wrap < d {
+		d = wrap
+	}
+	return d
+}
+
+// Eager reports whether a message of n bytes uses the eager protocol.
+func (p *Params) Eager(n int) bool { return n <= p.EagerLimit }
+
+// CopyTime returns the CPU time to copy n bytes through the host memory
+// system (pack/unpack, TCP socket copies).
+func (p *Params) CopyTime(n int) float64 { return float64(n) / p.CopyBandwidth }
+
+type nicState struct {
+	txFree []float64 // per channel
+	rxFree []float64
+	inRx   int // flows currently inbound to this node
+}
+
+// Network applies Params to transfers between nodes, tracking NIC channel
+// occupancy and incast pressure per node.
+type Network struct {
+	eng    *sim.Engine
+	p      Params
+	nodeOf []int // rank -> node
+	nodes  []*nicState
+
+	// Counters for tests and reporting.
+	Transfers     int64
+	CtrlMessages  int64
+	BytesOnWire   int64
+	IncastSamples int64
+}
+
+// New builds a network for the given rank->node placement.
+func New(eng *sim.Engine, p Params, nodeOf []int) (*Network, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxNode := -1
+	for _, nd := range nodeOf {
+		if nd < 0 {
+			return nil, fmt.Errorf("netmodel: negative node id %d", nd)
+		}
+		if nd > maxNode {
+			maxNode = nd
+		}
+	}
+	nodes := make([]*nicState, maxNode+1)
+	for i := range nodes {
+		nodes[i] = &nicState{
+			txFree: make([]float64, p.NICs),
+			rxFree: make([]float64, p.NICs),
+		}
+	}
+	cp := p
+	return &Network{eng: eng, p: cp, nodeOf: append([]int(nil), nodeOf...), nodes: nodes}, nil
+}
+
+// Params returns the network's parameter set.
+func (n *Network) Params() *Params { return &n.p }
+
+// NodeOf returns the node hosting the given rank.
+func (n *Network) NodeOf(rank int) int { return n.nodeOf[rank] }
+
+// SameNode reports whether two ranks share a node.
+func (n *Network) SameNode(a, b int) bool { return n.nodeOf[a] == n.nodeOf[b] }
+
+func minIdx(xs []float64) int {
+	best := 0
+	for i := range xs {
+		if xs[i] < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Transfer schedules the movement of `bytes` payload bytes from the node of
+// rank src to the node of rank dst, and invokes deliver (in engine event
+// context) at the virtual time the last byte arrives. It returns the
+// predicted arrival time.
+func (n *Network) Transfer(src, dst, bytes int, deliver func()) float64 {
+	now := n.eng.Now()
+	n.Transfers++
+	n.BytesOnWire += int64(bytes)
+	a, b := n.nodeOf[src], n.nodeOf[dst]
+	if a == b {
+		arrival := now + n.p.ShmLatency + float64(bytes)/n.p.ShmBandwidth
+		n.eng.AtTime(arrival, deliver)
+		return arrival
+	}
+	sn, rn := n.nodes[a], n.nodes[b]
+
+	// Sender-side serialization.
+	ti := minIdx(sn.txFree)
+	start := max(now, sn.txFree[ti])
+	txDur := n.p.MsgGap + float64(bytes)/n.p.Bandwidth
+	sn.txFree[ti] = start + txDur
+
+	// Receiver-side serialization with incast pressure.
+	flows := rn.inRx
+	rn.inRx++
+	factor := 1.0
+	if over := flows - n.p.IncastK; over > 0 {
+		factor += n.p.IncastBeta * float64(over)
+		if n.p.IncastCap > 1 && factor > n.p.IncastCap {
+			factor = n.p.IncastCap
+		}
+		n.IncastSamples++
+	}
+	ri := minIdx(rn.rxFree)
+	rxStart := max(start+n.p.WireLatency(a, b), rn.rxFree[ri])
+	rxDur := n.p.MsgGap + float64(bytes)/n.p.Bandwidth*factor
+	rn.rxFree[ri] = rxStart + rxDur
+	arrival := rxStart + rxDur
+
+	n.eng.AtTime(arrival, func() {
+		rn.inRx--
+		deliver()
+	})
+	return arrival
+}
+
+// Ctrl schedules a small control message (RTS/CTS/ack) from src to dst.
+// Control messages ride a separate lane: they see wire latency but do not
+// occupy NIC channels, so bulk transfers cannot head-of-line block the
+// protocol handshake.
+func (n *Network) Ctrl(src, dst int, deliver func()) float64 {
+	now := n.eng.Now()
+	n.CtrlMessages++
+	var arrival float64
+	if n.nodeOf[src] == n.nodeOf[dst] {
+		arrival = now + n.p.ShmLatency
+	} else {
+		arrival = now + n.p.WireLatency(n.nodeOf[src], n.nodeOf[dst]) + float64(n.p.CtrlBytes)/n.p.Bandwidth
+	}
+	n.eng.AtTime(arrival, deliver)
+	return arrival
+}
+
+// MinTransferTime returns the uncontended wire time for a message of n bytes
+// between distinct nodes; useful for calibration tests.
+func (n *Network) MinTransferTime(bytes int) float64 {
+	return n.p.Latency + n.p.MsgGap + float64(bytes)/n.p.Bandwidth
+}

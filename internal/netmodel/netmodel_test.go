@@ -1,0 +1,353 @@
+package netmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nbctune/internal/sim"
+)
+
+func testParams() Params {
+	return Params{
+		Name:          "test",
+		Latency:       5e-6,
+		Bandwidth:     1e9,
+		NICs:          1,
+		OSend:         1e-6,
+		ORecv:         1e-6,
+		OProgress:     1e-6,
+		EagerLimit:    16 * 1024,
+		RDMA:          true,
+		CtrlBytes:     64,
+		CopyBandwidth: 4e9,
+		ShmLatency:    3e-7,
+		ShmBandwidth:  6e9,
+		IncastK:       4,
+		IncastBeta:    0.1,
+	}
+}
+
+func mustNet(t *testing.T, p Params, nodeOf []int) (*sim.Engine, *Network) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	n, err := New(eng, p, nodeOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, n
+}
+
+func TestValidate(t *testing.T) {
+	good := testParams()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	cases := []func(*Params){
+		func(p *Params) { p.Bandwidth = 0 },
+		func(p *Params) { p.NICs = 0 },
+		func(p *Params) { p.Latency = -1 },
+		func(p *Params) { p.EagerLimit = -1 },
+		func(p *Params) { p.CopyBandwidth = 0 },
+		func(p *Params) { p.IncastBeta = -0.5 },
+	}
+	for i, mutate := range cases {
+		p := testParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestSingleTransferTime(t *testing.T) {
+	p := testParams()
+	eng, n := mustNet(t, p, []int{0, 1})
+	var arrived float64
+	n.Transfer(0, 1, 1000, func() { arrived = eng.Now() })
+	eng.Run()
+	// tx occupies [0, 1e-6]; rx starts at latency after tx start.
+	want := p.Latency + 1000/p.Bandwidth
+	if math.Abs(arrived-want) > 1e-12 {
+		t.Fatalf("arrival = %g, want %g", arrived, want)
+	}
+}
+
+func TestIntraNodeTransfer(t *testing.T) {
+	p := testParams()
+	eng, n := mustNet(t, p, []int{0, 0})
+	var arrived float64
+	n.Transfer(0, 1, 6000, func() { arrived = eng.Now() })
+	eng.Run()
+	want := p.ShmLatency + 6000/p.ShmBandwidth
+	if math.Abs(arrived-want) > 1e-12 {
+		t.Fatalf("arrival = %g, want %g", arrived, want)
+	}
+	if !n.SameNode(0, 1) {
+		t.Fatal("SameNode(0,1) = false for co-located ranks")
+	}
+}
+
+func TestTxSerialization(t *testing.T) {
+	p := testParams()
+	eng, n := mustNet(t, p, []int{0, 1, 2})
+	var a1, a2 float64
+	n.Transfer(0, 1, 1_000_000, func() { a1 = eng.Now() })
+	n.Transfer(0, 2, 1_000_000, func() { a2 = eng.Now() })
+	eng.Run()
+	wire := 1_000_000 / p.Bandwidth
+	// Second transfer must wait for the sender NIC: starts at wire, arrives
+	// at 2*wire + L.
+	if math.Abs(a1-(p.Latency+wire)) > 1e-9 {
+		t.Fatalf("first arrival %g, want %g", a1, p.Latency+wire)
+	}
+	if math.Abs(a2-(p.Latency+2*wire)) > 1e-9 {
+		t.Fatalf("second arrival %g, want %g (tx serialization)", a2, p.Latency+2*wire)
+	}
+}
+
+func TestMultiNICParallelism(t *testing.T) {
+	p := testParams()
+	p.NICs = 2
+	eng, n := mustNet(t, p, []int{0, 1, 2})
+	var a1, a2 float64
+	n.Transfer(0, 1, 1_000_000, func() { a1 = eng.Now() })
+	n.Transfer(0, 2, 1_000_000, func() { a2 = eng.Now() })
+	eng.Run()
+	wire := 1_000_000 / p.Bandwidth
+	if math.Abs(a1-(p.Latency+wire)) > 1e-9 || math.Abs(a2-(p.Latency+wire)) > 1e-9 {
+		t.Fatalf("arrivals %g %g, want both %g (two NICs run in parallel)", a1, a2, p.Latency+wire)
+	}
+}
+
+func TestRxSerializationManySenders(t *testing.T) {
+	p := testParams()
+	p.IncastBeta = 0 // isolate serialization from congestion
+	nodeOf := []int{0, 1, 2, 3, 4}
+	eng, n := mustNet(t, p, nodeOf)
+	last := 0.0
+	for s := 1; s < 5; s++ {
+		n.Transfer(s, 0, 1_000_000, func() {
+			if eng.Now() > last {
+				last = eng.Now()
+			}
+		})
+	}
+	eng.Run()
+	wire := 1_000_000 / p.Bandwidth
+	want := p.Latency + 4*wire // rx channel serializes 4 inbound megabyte flows
+	if math.Abs(last-want) > 1e-9 {
+		t.Fatalf("last arrival %g, want %g", last, want)
+	}
+}
+
+func TestIncastCongestionPenalty(t *testing.T) {
+	run := func(beta float64, senders int) float64 {
+		p := testParams()
+		p.IncastK = 1
+		p.IncastBeta = beta
+		nodeOf := make([]int, senders+1)
+		for i := 1; i <= senders; i++ {
+			nodeOf[i] = i
+		}
+		eng := sim.NewEngine(1)
+		n, err := New(eng, p, nodeOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := 0.0
+		for s := 1; s <= senders; s++ {
+			n.Transfer(s, 0, 100_000, func() {
+				if eng.Now() > last {
+					last = eng.Now()
+				}
+			})
+		}
+		eng.Run()
+		return last
+	}
+	clean := run(0, 8)
+	congested := run(0.5, 8)
+	if congested <= clean {
+		t.Fatalf("incast penalty absent: congested %g <= clean %g", congested, clean)
+	}
+	single := run(0.5, 1)
+	p := testParams()
+	if math.Abs(single-(p.Latency+100_000/p.Bandwidth)) > 1e-9 {
+		t.Fatalf("single flow should see no congestion, got %g", single)
+	}
+}
+
+func TestCtrlBypassesBulk(t *testing.T) {
+	p := testParams()
+	eng, n := mustNet(t, p, []int{0, 1})
+	var ctrlAt, bulkAt float64
+	n.Transfer(0, 1, 10_000_000, func() { bulkAt = eng.Now() })
+	n.Ctrl(0, 1, func() { ctrlAt = eng.Now() })
+	eng.Run()
+	if ctrlAt >= bulkAt {
+		t.Fatalf("ctrl message (%g) should not queue behind 10MB bulk (%g)", ctrlAt, bulkAt)
+	}
+	want := p.Latency + float64(p.CtrlBytes)/p.Bandwidth
+	if math.Abs(ctrlAt-want) > 1e-12 {
+		t.Fatalf("ctrl arrival %g, want %g", ctrlAt, want)
+	}
+}
+
+func TestEagerThreshold(t *testing.T) {
+	p := testParams()
+	if !p.Eager(p.EagerLimit) {
+		t.Fatal("message at the eager limit should be eager")
+	}
+	if p.Eager(p.EagerLimit + 1) {
+		t.Fatal("message above the eager limit should use rendezvous")
+	}
+}
+
+// Property: arrival time is never before latency + bytes/bandwidth and never
+// decreases when the same flow is scheduled after other traffic.
+func TestTransferLowerBoundProperty(t *testing.T) {
+	f := func(sizes []uint32) bool {
+		if len(sizes) == 0 || len(sizes) > 64 {
+			return true
+		}
+		p := testParams()
+		eng := sim.NewEngine(1)
+		n, err := New(eng, p, []int{0, 1})
+		if err != nil {
+			return false
+		}
+		ok := true
+		for _, s := range sizes {
+			bytes := int(s%1_000_000) + 1
+			lower := eng.Now() + n.MinTransferTime(bytes)
+			at := n.Transfer(0, 1, bytes, func() {})
+			if at < lower-1e-12 {
+				ok = false
+			}
+		}
+		eng.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(17))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with one NIC, total completion of k equal transfers from one
+// sender is at least k * wire time (work conservation under serialization).
+func TestWorkConservationProperty(t *testing.T) {
+	f := func(k8 uint8) bool {
+		k := int(k8%16) + 1
+		p := testParams()
+		p.IncastBeta = 0
+		nodeOf := make([]int, k+1)
+		for i := 1; i <= k; i++ {
+			nodeOf[i] = i
+		}
+		eng := sim.NewEngine(1)
+		n, _ := New(eng, p, nodeOf)
+		last := 0.0
+		for i := 1; i <= k; i++ {
+			n.Transfer(0, i, 500_000, func() {
+				if eng.Now() > last {
+					last = eng.Now()
+				}
+			})
+		}
+		eng.Run()
+		return last >= float64(k)*500_000/p.Bandwidth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(19))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountersAdvance(t *testing.T) {
+	p := testParams()
+	eng, n := mustNet(t, p, []int{0, 1})
+	n.Transfer(0, 1, 1234, func() {})
+	n.Ctrl(1, 0, func() {})
+	eng.Run()
+	if n.Transfers != 1 || n.CtrlMessages != 1 || n.BytesOnWire != 1234 {
+		t.Fatalf("counters: transfers=%d ctrl=%d bytes=%d", n.Transfers, n.CtrlMessages, n.BytesOnWire)
+	}
+}
+
+func TestTorusHops(t *testing.T) {
+	p := testParams()
+	p.Topology = Torus3D
+	p.TorusDims = [3]int{4, 4, 2}
+	p.HopLatency = 1e-7
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 1, 1},  // +x neighbor
+		{0, 3, 1},  // wraparound in x (dim 4: dist(0,3)=1)
+		{0, 4, 1},  // +y neighbor
+		{0, 16, 1}, // +z neighbor
+		{0, 2, 2},  // x distance 2
+		{0, 21, 3}, // (1,1,1): 1+1+1
+	}
+	for _, c := range cases {
+		if got := p.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	// Symmetry property.
+	for a := 0; a < 32; a++ {
+		for b := 0; b < 32; b++ {
+			if p.Hops(a, b) != p.Hops(b, a) {
+				t.Fatalf("hops not symmetric for (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestTorusLatencyGrowsWithDistance(t *testing.T) {
+	p := testParams()
+	p.Topology = Torus3D
+	p.TorusDims = [3]int{8, 8, 4}
+	p.HopLatency = 1e-7
+	near := p.WireLatency(0, 1)         // 1 hop
+	far := p.WireLatency(0, 2+8*2+64*2) // (2,2,2): 6 hops
+	if near != p.Latency {
+		t.Fatalf("single hop latency %g, want base %g", near, p.Latency)
+	}
+	want := p.Latency + 5*p.HopLatency
+	if math.Abs(far-want) > 1e-15 {
+		t.Fatalf("6-hop latency %g, want %g", far, want)
+	}
+	// End-to-end: transfers to distant nodes arrive later.
+	eng := sim.NewEngine(1)
+	net, err := New(eng, p, []int{0, 1, 2 + 8*2 + 64*2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aNear, aFar float64
+	net.Transfer(0, 1, 1000, func() { aNear = eng.Now() })
+	eng.Run()
+	eng2 := sim.NewEngine(1)
+	net2, _ := New(eng2, p, []int{0, 1, 2 + 8*2 + 64*2})
+	net2.Transfer(0, 2, 1000, func() { aFar = eng2.Now() })
+	eng2.Run()
+	if aFar <= aNear {
+		t.Fatalf("distant transfer (%g) not slower than near (%g)", aFar, aNear)
+	}
+}
+
+func TestTorusValidation(t *testing.T) {
+	p := testParams()
+	p.Topology = Torus3D
+	if err := p.Validate(); err == nil {
+		t.Fatal("torus without dims accepted")
+	}
+	p.TorusDims = [3]int{4, 4, 2}
+	p.HopLatency = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative hop latency accepted")
+	}
+}

@@ -1,0 +1,185 @@
+// Package sim implements a deterministic discrete-event simulation engine
+// with cooperatively scheduled processes.
+//
+// The engine owns a virtual clock and a priority queue of events. Simulated
+// processes run as goroutines, but the engine guarantees that at most one
+// goroutine (either the engine itself or a single process) executes at any
+// instant; control is transferred through unbuffered channel handoffs. Runs
+// are therefore fully deterministic for a fixed seed, which is what makes the
+// reproduction of the paper's measurements repeatable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Time is virtual time in seconds.
+type Time = float64
+
+// Event is a scheduled callback. Events fire in (time, sequence) order;
+// the sequence number makes simultaneous events deterministic (FIFO).
+type Event struct {
+	t        Time
+	seq      int64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when not queued
+}
+
+// Time returns the virtual time at which the event fires.
+func (ev *Event) Time() Time { return ev.t }
+
+// Cancel prevents a queued event from firing. Canceling an already fired
+// or already canceled event is a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    int64
+	yield  chan struct{}
+	procs  []*Proc
+	live   int
+	rng    *rand.Rand
+
+	// Stats counters, useful in tests and for harness reporting.
+	EventsFired int64
+
+	trace *Trace
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run after delay d (d >= 0) and returns the event so it
+// can be canceled. Scheduling with d < 0 panics: the past is immutable.
+func (e *Engine) At(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling event in the past (d=%g)", d))
+	}
+	e.seq++
+	ev := &Event{t: e.now + d, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// AtTime schedules fn at absolute virtual time t (t >= Now()).
+func (e *Engine) AtTime(t Time, fn func()) *Event {
+	return e.At(t-e.now, fn)
+}
+
+// Run executes events until the queue drains. It returns the final virtual
+// time. If processes remain parked when the queue drains, the simulation is
+// deadlocked; Run panics with a diagnostic naming the parked processes.
+func (e *Engine) Run() Time {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.t
+		e.EventsFired++
+		ev.fn()
+	}
+	if e.live > 0 {
+		var stuck []string
+		for _, p := range e.procs {
+			if !p.done {
+				stuck = append(stuck, p.name)
+			}
+		}
+		sort.Strings(stuck)
+		panic(fmt.Sprintf("sim: deadlock at t=%g, %d process(es) parked: %v", e.now, e.live, stuck))
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= deadline and returns the virtual time
+// reached. Unlike Run it does not treat parked processes as a deadlock.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.events) > 0 && e.events[0].t <= deadline {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.t
+		e.EventsFired++
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Spawn starts a new process executing fn. The process begins running at the
+// current virtual time (via a zero-delay event).
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		id:     len(e.procs),
+		resume: make(chan struct{}),
+		parked: true,
+		gen:    1,
+	}
+	e.procs = append(e.procs, p)
+	e.live++
+	go func() {
+		<-p.resume
+		p.parked = false
+		fn(p)
+		p.done = true
+		e.live--
+		e.yield <- struct{}{}
+	}()
+	e.At(0, func() { p.wakeTicket(1) })
+	return p
+}
+
+// Procs returns all processes ever spawned.
+func (e *Engine) Procs() []*Proc { return e.procs }

@@ -1,0 +1,141 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process. A Proc's body function runs in its own
+// goroutine, but the engine guarantees that at most one goroutine executes
+// at a time: a Proc runs until it parks (Sleep, Park via Cond.Wait) and the
+// engine resumes it when the corresponding wake event fires.
+//
+// Wakeups are only ever performed from engine event callbacks; any API that
+// logically wakes a process from process context (Cond.Broadcast, Cond.Signal)
+// schedules a zero-delay event instead. This keeps the engine the sole
+// receiver of the scheduler handoff channel, which is what makes execution
+// strictly single-file and deterministic.
+type Proc struct {
+	eng    *Engine
+	name   string
+	id     int
+	resume chan struct{}
+	done   bool
+	parked bool
+	gen    uint64 // park generation; wake tickets target a generation
+}
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process index in spawn order.
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// prepark marks the process as about to park and returns the wake ticket
+// that targets exactly this park. Must be called from the process's own
+// goroutine, immediately before parkPrepared.
+func (p *Proc) prepark() uint64 {
+	p.gen++
+	p.parked = true
+	return p.gen
+}
+
+// parkPrepared suspends the process until a wake event with a matching
+// ticket fires.
+func (p *Proc) parkPrepared() {
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	p.parked = false
+}
+
+// wakeTicket resumes the process if it is still parked on generation g.
+// Stale tickets (the process was already woken, re-parked, or finished)
+// are dropped. Must only be called from an engine event callback.
+func (p *Proc) wakeTicket(g uint64) {
+	if p.done || !p.parked || p.gen != g {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.eng.yield
+}
+
+// Sleep advances the process's local activity by duration d of virtual time.
+// Other events interleave while the process sleeps.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %g in %q", d, p.name))
+	}
+	if d == 0 {
+		return
+	}
+	g := p.prepark()
+	p.eng.At(d, func() { p.wakeTicket(g) })
+	p.parkPrepared()
+}
+
+// Yield parks the process and schedules an immediate wakeup, letting other
+// events at the current virtual time run first.
+func (p *Proc) Yield() {
+	g := p.prepark()
+	p.eng.At(0, func() { p.wakeTicket(g) })
+	p.parkPrepared()
+}
+
+type condWaiter struct {
+	p *Proc
+	g uint64
+}
+
+// Cond is a condition variable for simulated processes. The zero value is
+// not usable; create one with NewCond. Waiters can experience spurious
+// wakeups (e.g. when a stale broadcast fires), so, as with sync.Cond,
+// callers must re-check their predicate in a loop.
+type Cond struct {
+	eng     *Engine
+	waiters []condWaiter
+}
+
+// NewCond returns a condition variable bound to engine e.
+func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+
+// Wait parks p until the condition is signaled.
+func (c *Cond) Wait(p *Proc) {
+	g := p.prepark()
+	c.waiters = append(c.waiters, condWaiter{p, g})
+	p.parkPrepared()
+}
+
+// Broadcast wakes all current waiters in FIFO order. It is safe to call from
+// process context or event context; the wakeups happen through a zero-delay
+// event.
+func (c *Cond) Broadcast() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	ws := c.waiters
+	c.waiters = nil
+	c.eng.At(0, func() {
+		for _, w := range ws {
+			w.p.wakeTicket(w.g)
+		}
+	})
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.eng.At(0, func() { w.p.wakeTicket(w.g) })
+}
+
+// Waiters reports the number of parked processes on the condition.
+func (c *Cond) Waiters() int { return len(c.waiters) }

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Tracing: a lightweight, allocation-bounded event trace for debugging
+// simulations and asserting temporal properties in tests. Tracing is off by
+// default; attach a Trace to an engine to record.
+
+// TraceEvent is one recorded simulation event.
+type TraceEvent struct {
+	T    Time
+	Kind string
+	Who  string // process or component name
+	Msg  string
+}
+
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%12.9f %-10s %-12s %s", e.T, e.Kind, e.Who, e.Msg)
+}
+
+// Trace is a bounded ring buffer of simulation events.
+type Trace struct {
+	eng    *Engine
+	events []TraceEvent
+	max    int
+	total  int64
+}
+
+// NewTrace attaches a trace with the given capacity to an engine. Capacity
+// <= 0 means unbounded (use only in tests).
+func NewTrace(eng *Engine, capacity int) *Trace {
+	t := &Trace{eng: eng, max: capacity}
+	eng.trace = t
+	return t
+}
+
+// Record appends an event at the current virtual time.
+func (t *Trace) Record(kind, who, format string, args ...any) {
+	t.total++
+	ev := TraceEvent{T: t.eng.Now(), Kind: kind, Who: who, Msg: fmt.Sprintf(format, args...)}
+	if t.max > 0 && len(t.events) >= t.max {
+		copy(t.events, t.events[1:])
+		t.events[len(t.events)-1] = ev
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Events returns the recorded events (oldest first).
+func (t *Trace) Events() []TraceEvent { return t.events }
+
+// Total returns how many events were recorded overall, including any that
+// fell out of the ring.
+func (t *Trace) Total() int64 { return t.total }
+
+// Filter returns the recorded events with the given kind.
+func (t *Trace) Filter(kind string) []TraceEvent {
+	var out []TraceEvent
+	for _, e := range t.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes the trace to w, oldest first.
+func (t *Trace) Dump(w io.Writer) {
+	for _, e := range t.events {
+		fmt.Fprintln(w, e.String())
+	}
+}
+
+// Kinds returns the distinct event kinds recorded, sorted.
+func (t *Trace) Kinds() []string {
+	set := map[string]bool{}
+	for _, e := range t.events {
+		set[e.Kind] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TraceOf returns the engine's attached trace, or nil.
+func (e *Engine) TraceOf() *Trace { return e.trace }
+
+// Tracef records an event if a trace is attached; otherwise it is a no-op
+// costing one branch. Components call this on their interesting transitions.
+func (e *Engine) Tracef(kind, who, format string, args ...any) {
+	if e.trace != nil {
+		e.trace.Record(kind, who, format, args...)
+	}
+}
