@@ -1,0 +1,27 @@
+# Tier-1 verification plus static checks and the runner race test as one
+# command: `make ci`.
+GO ?= go
+
+.PHONY: all build test vet race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The experiment runner is the one package with real goroutine concurrency
+# (worker pool, shared progress state, cache writes); run it — and the
+# engine it schedules — under the race detector.
+race:
+	$(GO) test -race ./internal/runner ./internal/sim
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run XXX ./...
+
+ci: build vet test race

@@ -195,6 +195,32 @@ func BenchmarkVerificationSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkVerificationSweepParallel is the same sweep on the experiment
+// runner with a GOMAXPROCS worker pool — the speedup over
+// BenchmarkVerificationSweep is the runner's parallel efficiency on this
+// machine (scenarios are independent simulations, so it should be
+// near-linear in cores).
+func BenchmarkVerificationSweepParallel(b *testing.B) {
+	crill := plat(b, "crill")
+	whaletcp := plat(b, "whale-tcp")
+	specs := []bench.MicroSpec{
+		{Platform: crill, Procs: 8, MsgSize: 1024, Op: bench.OpIalltoall,
+			ComputePerIter: 2e-3, Iterations: 20, ProgressCalls: 5, Seed: 81, EvalsPerFn: 3},
+		{Platform: crill, Procs: 8, MsgSize: 128 * 1024, Op: bench.OpIalltoall,
+			ComputePerIter: 5e-2, Iterations: 20, ProgressCalls: 5, Seed: 82, EvalsPerFn: 3},
+		{Platform: whaletcp, Procs: 8, MsgSize: 128 * 1024, Op: bench.OpIalltoall,
+			ComputePerIter: 5e-2, Iterations: 20, ProgressCalls: 5, Seed: 83, EvalsPerFn: 3},
+	}
+	for i := 0; i < b.N; i++ {
+		st, err := bench.VerificationSweepOpts(specs, []string{"brute-force", "attr-heuristic"},
+			bench.Parallel(0, nil))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(st.Rate("brute-force")*100, "correct_pct_bruteforce")
+	}
+}
+
 // ---------------------------------------------------------------------------
 // E8-E11 / Figs 9-12: the 3D-FFT application kernel.
 

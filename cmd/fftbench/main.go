@@ -4,20 +4,29 @@
 // (runtime-tuned), blocking MPI, and the extended ADCL function set that may
 // select the blocking algorithm.
 //
+// Every (scenario, flavor) cell executes on the experiment runner
+// (internal/runner): -jobs parallelizes across a worker pool and -cache
+// persists completed cells in the content-addressed store, so regenerating
+// a figure after an interruption or a flag change only simulates the
+// missing cells. Tables are assembled in scenario order regardless of
+// completion order, so output is identical for every -jobs value.
+//
 // Example:
 //
-//	fftbench -fig 9           # LibNBC vs ADCL on crill
-//	fftbench -fig 11 -full    # extended function set vs MPI, larger scale
+//	fftbench -fig 9                   # LibNBC vs ADCL on crill
+//	fftbench -fig 11 -full -jobs 8    # extended function set vs MPI, larger scale
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"nbctune/internal/bench"
 	"nbctune/internal/fft"
 	"nbctune/internal/platform"
+	"nbctune/internal/runner"
 )
 
 func must(p platform.Platform, err error) platform.Platform {
@@ -29,11 +38,30 @@ func must(p platform.Platform, err error) platform.Platform {
 
 func main() {
 	var (
-		fig  = flag.Int("fig", 0, "paper figure to regenerate: 9..12 (0 = all)")
-		full = flag.Bool("full", false, "larger process counts and iteration counts (slower)")
-		csv  = flag.Bool("csv", false, "emit CSV tables")
+		fig      = flag.Int("fig", 0, "paper figure to regenerate: 9..12 (0 = all)")
+		full     = flag.Bool("full", false, "larger process counts and iteration counts (slower)")
+		csv      = flag.Bool("csv", false, "emit CSV tables")
+		jobs     = flag.Int("jobs", 0, "parallel cell workers (0 = GOMAXPROCS, 1 = sequential)")
+		cacheOn  = flag.Bool("cache", false, "serve and persist cell results via the content-addressed store")
+		cacheDir = flag.String("cachedir", "results/cache", "result store directory")
+		resume   = flag.Bool("resume", false, "resume an interrupted figure from the store (implies -cache)")
+		quiet    = flag.Bool("quiet", false, "suppress per-cell progress lines")
 	)
 	flag.Parse()
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	opt := bench.Parallel(*jobs, progress)
+	if *cacheOn || *resume {
+		c, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opt.Cache = c
+	}
 
 	figs := []int{9, 10, 11, 12}
 	if *fig != 0 {
@@ -44,13 +72,13 @@ func main() {
 		var err error
 		switch f {
 		case 9:
-			t, err = fig9(*full)
+			t, err = fig9(*full, opt)
 		case 10:
-			t, err = fig10(*full)
+			t, err = fig10(*full, opt)
 		case 11:
-			t, err = fig11(*full)
+			t, err = fig11(*full, opt)
 		case 12:
-			t, err = fig12(*full)
+			t, err = fig12(*full, opt)
 		default:
 			err = fmt.Errorf("unknown figure %d (supported: 9-12)", f)
 		}
@@ -92,56 +120,59 @@ func addFFTRows(t *bench.Table, spec bench.FFTSpec, rs []bench.FFTResult) {
 	}
 }
 
-func runMatrix(title string, plats []platform.Platform, full bool, flavors ...fft.Flavor) (*bench.Table, error) {
+func runMatrix(title string, plats []platform.Platform, full bool, opt bench.RunOptions, flavors ...fft.Flavor) (*bench.Table, error) {
 	nps, n, iters := grid(full)
-	t := bench.NewTable(title,
-		"platform", "np", "pattern", "flavor", "total_s", "periter_ms", "postlearn_ms", "note")
+	var specs []bench.FFTSpec
 	seed := int64(91)
 	for _, plat := range plats {
 		for _, np := range nps {
 			for _, pat := range fft.Patterns {
 				seed++
-				spec := bench.FFTSpec{
+				specs = append(specs, bench.FFTSpec{
 					Platform: plat, Procs: np, N: n, Pattern: pat,
 					Iterations: iters, Seed: seed, EvalsPerFn: 2,
-				}
-				rs, err := bench.FFTComparison(spec, flavors...)
-				if err != nil {
-					return nil, err
-				}
-				addFFTRows(t, spec, rs)
+				})
 			}
 		}
+	}
+	matrix, err := bench.FFTMatrixOpts(specs, flavors, opt)
+	if err != nil {
+		return nil, err
+	}
+	t := bench.NewTable(title,
+		"platform", "np", "pattern", "flavor", "total_s", "periter_ms", "postlearn_ms", "note")
+	for i, spec := range specs {
+		addFFTRows(t, spec, matrix[i])
 	}
 	return t, nil
 }
 
 // fig9: LibNBC vs ADCL on crill (paper: 160 and 500 procs).
-func fig9(full bool) (*bench.Table, error) {
+func fig9(full bool, opt bench.RunOptions) (*bench.Table, error) {
 	crill := must(platform.ByName("crill"))
 	return runMatrix("Fig 9: 3D FFT crill — LibNBC vs ADCL per pattern",
-		[]platform.Platform{crill}, full, fft.FlavorNBC, fft.FlavorADCL)
+		[]platform.Platform{crill}, full, opt, fft.FlavorNBC, fft.FlavorADCL)
 }
 
 // fig10: LibNBC vs ADCL vs blocking MPI on whale (paper: 160 and 358 procs).
-func fig10(full bool) (*bench.Table, error) {
+func fig10(full bool, opt bench.RunOptions) (*bench.Table, error) {
 	whale := must(platform.ByName("whale"))
 	return runMatrix("Fig 10: 3D FFT whale — LibNBC vs ADCL vs blocking MPI",
-		[]platform.Platform{whale}, full, fft.FlavorNBC, fft.FlavorADCL, fft.FlavorMPI)
+		[]platform.Platform{whale}, full, opt, fft.FlavorNBC, fft.FlavorADCL, fft.FlavorMPI)
 }
 
 // fig11: the extended ADCL function set (including the blocking alltoall)
 // vs MPI on whale and crill, with the learning phase split out.
-func fig11(full bool) (*bench.Table, error) {
+func fig11(full bool, opt bench.RunOptions) (*bench.Table, error) {
 	whale := must(platform.ByName("whale"))
 	crill := must(platform.ByName("crill"))
 	return runMatrix("Fig 11: 3D FFT — extended ADCL function set (incl. blocking) vs MPI; postlearn_ms excludes the learning phase",
-		[]platform.Platform{whale, crill}, full, fft.FlavorADCLExt, fft.FlavorMPI)
+		[]platform.Platform{whale, crill}, full, opt, fft.FlavorADCLExt, fft.FlavorMPI)
 }
 
 // fig12: the BlueGene/P-like platform (paper: 1024 procs; scaled here —
 // DESIGN.md substitution 3).
-func fig12(full bool) (*bench.Table, error) {
+func fig12(full bool, opt bench.RunOptions) (*bench.Table, error) {
 	bgp := must(platform.ByName("bgp"))
 	np := 128
 	n := 256
@@ -149,20 +180,23 @@ func fig12(full bool) (*bench.Table, error) {
 	if full {
 		np, iters = 256, 40
 	}
-	t := bench.NewTable("Fig 12: 3D FFT BlueGene/P-like — extended ADCL vs MPI vs LibNBC (scaled from 1024 ranks)",
-		"platform", "np", "pattern", "flavor", "total_s", "periter_ms", "postlearn_ms", "note")
+	var specs []bench.FFTSpec
 	seed := int64(121)
 	for _, pat := range fft.Patterns {
 		seed++
-		spec := bench.FFTSpec{
+		specs = append(specs, bench.FFTSpec{
 			Platform: bgp, Procs: np, N: n, Pattern: pat,
 			Iterations: iters, Seed: seed, EvalsPerFn: 2,
-		}
-		rs, err := bench.FFTComparison(spec, fft.FlavorADCLExt, fft.FlavorMPI, fft.FlavorNBC)
-		if err != nil {
-			return nil, err
-		}
-		addFFTRows(t, spec, rs)
+		})
+	}
+	matrix, err := bench.FFTMatrixOpts(specs, []fft.Flavor{fft.FlavorADCLExt, fft.FlavorMPI, fft.FlavorNBC}, opt)
+	if err != nil {
+		return nil, err
+	}
+	t := bench.NewTable("Fig 12: 3D FFT BlueGene/P-like — extended ADCL vs MPI vs LibNBC (scaled from 1024 ranks)",
+		"platform", "np", "pattern", "flavor", "total_s", "periter_ms", "postlearn_ms", "note")
+	for i, spec := range specs {
+		addFFTRows(t, spec, matrix[i])
 	}
 	return t, nil
 }

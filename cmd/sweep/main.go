@@ -7,9 +7,16 @@
 //     beats LibNBC, and the maximum improvement (paper: 74% of 393 tests,
 //     up to 40%).
 //
+// Scenarios execute on the experiment runner (internal/runner): -jobs
+// parallelizes across a worker pool, -cache persists every completed
+// scenario in a content-addressed store so re-runs are nearly free and an
+// interrupted sweep resumes where it stopped (-resume). Aggregated output
+// is byte-identical for every -jobs value and for cached vs fresh runs.
+// Alongside the table, a machine-readable summary is written to -out.
+//
 // Example:
 //
-//	sweep -suite verification -fast
+//	sweep -suite verification -fast -jobs 8 -cache
 //	sweep -suite fft
 package main
 
@@ -20,13 +27,19 @@ import (
 	"os"
 
 	"nbctune/internal/bench"
+	"nbctune/internal/runner"
 )
 
 func main() {
 	var (
-		suite = flag.String("suite", "verification", "sweep suite: verification or fft")
-		fast  = flag.Bool("fast", false, "trimmed scenario grid (minutes instead of hours)")
-		quiet = flag.Bool("quiet", false, "suppress per-scenario progress lines")
+		suite    = flag.String("suite", "verification", "sweep suite: verification or fft")
+		fast     = flag.Bool("fast", false, "trimmed scenario grid (minutes instead of hours)")
+		quiet    = flag.Bool("quiet", false, "suppress per-scenario progress lines")
+		jobs     = flag.Int("jobs", 0, "parallel scenario workers (0 = GOMAXPROCS, 1 = sequential)")
+		cacheOn  = flag.Bool("cache", false, "serve and persist scenario results via the content-addressed store")
+		cacheDir = flag.String("cachedir", "results/cache", "result store directory")
+		resume   = flag.Bool("resume", false, "resume an interrupted sweep from the store (implies -cache)")
+		out      = flag.String("out", "results/sweep_summary.json", "machine-readable summary path (empty disables)")
 	)
 	flag.Parse()
 
@@ -34,11 +47,22 @@ func main() {
 	if *quiet {
 		progress = nil
 	}
+	opt := bench.Parallel(*jobs, progress)
+	if *cacheOn || *resume {
+		c, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opt.Cache = c
+	}
+
+	var summary *bench.SweepSummary
 	switch *suite {
 	case "verification":
 		specs := bench.VerificationScenarios(*fast)
 		selectors := []string{"brute-force", "attr-heuristic", "factorial-2k"}
-		st, err := bench.VerificationSweep(specs, selectors, progress)
+		st, err := bench.VerificationSweepOpts(specs, selectors, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -49,10 +73,11 @@ func main() {
 			t.AddRow(sel, st.Correct[sel], st.Total, fmt.Sprintf("%.1f%%", st.Rate(sel)*100))
 		}
 		t.Render(os.Stdout)
+		summary = st.Summary()
 
 	case "fft":
 		specs := bench.FFTScenarios(*fast)
-		st, err := bench.FFTSweep(specs, progress)
+		st, err := bench.FFTSweepOpts(specs, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -63,9 +88,18 @@ func main() {
 		t.AddRow("on par (within 2%)", st.OnPar)
 		t.AddRow("max improvement vs libnbc", fmt.Sprintf("%.1f%%", st.MaxImprovement*100))
 		t.Render(os.Stdout)
+		summary = st.Summary()
 
 	default:
 		fmt.Fprintf(os.Stderr, "unknown suite %q (verification, fft)\n", *suite)
 		os.Exit(1)
+	}
+
+	if *out != "" {
+		if err := bench.WriteSummaryFile(*out, summary); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "summary written to %s\n", *out)
 	}
 }

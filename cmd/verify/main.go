@@ -3,6 +3,10 @@
 // non-blocking collective, then the ADCL runtime selections, and reports
 // whether ADCL picked a correct winner (within 5% of the best fixed run).
 //
+// Measurements execute on the experiment runner (internal/runner): -jobs
+// parallelizes the per-implementation and per-selector runs, -cache serves
+// repeated invocations from the content-addressed result store.
+//
 // Example:
 //
 //	verify -platform crill -np 32 -op ialltoall -msg 131072 -compute 0.05 -progress 5
@@ -16,6 +20,7 @@ import (
 
 	"nbctune/internal/bench"
 	"nbctune/internal/platform"
+	"nbctune/internal/runner"
 )
 
 func main() {
@@ -32,6 +37,10 @@ func main() {
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		report    = flag.Bool("report", false, "print the full per-implementation tuning report for each selector")
+		jobs      = flag.Int("jobs", 0, "parallel measurement workers (0 = GOMAXPROCS, 1 = sequential)")
+		cacheOn   = flag.Bool("cache", false, "serve and persist measurements via the content-addressed store")
+		cacheDir  = flag.String("cachedir", "results/cache", "result store directory")
+		resume    = flag.Bool("resume", false, "resume from previously cached measurements (implies -cache)")
 	)
 	flag.Parse()
 
@@ -45,8 +54,19 @@ func main() {
 		ComputePerIter: *compute, Iterations: *iters,
 		ProgressCalls: *progress, Seed: *seed, EvalsPerFn: *evals,
 	}
+	// Each fixed implementation and each selector run is an independent
+	// simulation: fan them out on the experiment runner.
+	opt := bench.Parallel(*jobs, nil)
+	if *cacheOn || *resume {
+		c, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opt.Cache = c
+	}
 	sels := strings.Split(*selectors, ",")
-	v, err := bench.RunVerification(spec, sels...)
+	v, err := bench.RunVerificationOpts(spec, opt, sels...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"nbctune/internal/fft"
+	"nbctune/internal/platform"
+	"nbctune/internal/runner"
+)
+
+// Determinism is the invariant the content-addressed result cache relies
+// on: a job's fingerprint covers its full input spec, so serving a cached
+// result is only sound if re-running the same seeded spec would reproduce
+// it bit-for-bit. These tests pin that invariant at every level the runner
+// caches at.
+
+// encode JSON-encodes v the same way the runner does for caching.
+func encode(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestVerificationDeterministic(t *testing.T) {
+	// The same seeded MicroSpec, run twice, must produce identical
+	// virtual-time results — fixed implementations and ADCL runs alike.
+	spec := smallSpec(t)
+	v1, err := RunVerification(spec, "brute-force")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := RunVerification(spec, "brute-force")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := encode(t, v1), encode(t, v2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("same seeded spec gave different results:\n%s\nvs\n%s", b1, b2)
+	}
+	for i := range v1.Fixed {
+		if v1.Fixed[i].Total != v2.Fixed[i].Total {
+			t.Fatalf("fixed %d: %g vs %g", i, v1.Fixed[i].Total, v2.Fixed[i].Total)
+		}
+	}
+	if v1.ADCL[0].Total != v2.ADCL[0].Total || v1.ADCL[0].Winner != v2.ADCL[0].Winner {
+		t.Fatal("ADCL run not reproducible")
+	}
+}
+
+func TestFFTDeterministic(t *testing.T) {
+	plat, err := platform.ByName("whale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FFTSpec{
+		Platform: plat, Procs: 8, N: 32, Pattern: fft.Tiled,
+		Iterations: 10, Seed: 11, EvalsPerFn: 2,
+	}
+	r1, err := RunFFT(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunFFT(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, r1), encode(t, r2)) {
+		t.Fatalf("FFT run not reproducible: %+v vs %+v", r1, r2)
+	}
+}
+
+// sweepSpecs is a small but non-trivial grid for the parallel/cache tests.
+func sweepSpecs(t *testing.T) []MicroSpec {
+	t.Helper()
+	crill, err := platform.ByName("crill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []MicroSpec
+	for i, msg := range []int{1024, 64 * 1024, 128 * 1024} {
+		specs = append(specs, MicroSpec{
+			Platform: crill, Procs: 8, MsgSize: msg, Op: OpIalltoall,
+			ComputePerIter: 5e-3, Iterations: 20, ProgressCalls: 4,
+			Seed: int64(40 + i), EvalsPerFn: 4,
+		})
+	}
+	return specs
+}
+
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	// The aggregated sweep — and therefore any summary rendered from it —
+	// must be byte-identical whether scenarios ran on one worker or many,
+	// whatever order they completed in.
+	specs := sweepSpecs(t)
+	sels := []string{"brute-force"}
+	seq, err := VerificationSweepOpts(specs, sels, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := VerificationSweepOpts(specs, sels, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqJSON, parJSON bytes.Buffer
+	if err := seq.Summary().WriteJSON(&seqJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Summary().WriteJSON(&parJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqJSON.Bytes(), parJSON.Bytes()) {
+		t.Fatalf("parallel sweep summary differs from sequential:\n%s\nvs\n%s",
+			seqJSON.String(), parJSON.String())
+	}
+}
+
+func TestSweepCacheRoundTrip(t *testing.T) {
+	// A cached sweep must resume to the exact same summary, with every
+	// scenario served from the store on the second pass.
+	cache, err := runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := sweepSpecs(t)
+	sels := []string{"brute-force"}
+	cold, err := VerificationSweepOpts(specs, sels, RunOptions{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != len(specs) {
+		t.Fatalf("store has %d entries, want %d", cache.Len(), len(specs))
+	}
+	warm, err := VerificationSweepOpts(specs, sels, RunOptions{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coldJSON, warmJSON bytes.Buffer
+	if err := cold.Summary().WriteJSON(&coldJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Summary().WriteJSON(&warmJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON.Bytes(), warmJSON.Bytes()) {
+		t.Fatalf("cached sweep summary differs from cold run:\n%s\nvs\n%s",
+			coldJSON.String(), warmJSON.String())
+	}
+}
+
+func TestVerificationKeysDistinguishSpecs(t *testing.T) {
+	specs := sweepSpecs(t)
+	sels := []string{"brute-force"}
+	k1 := VerificationKey(specs[0], sels)
+	if k1 == "" {
+		t.Fatal("spec did not fingerprint")
+	}
+	if k2 := VerificationKey(specs[1], sels); k2 == k1 {
+		t.Fatal("different specs share a fingerprint")
+	}
+	if k3 := VerificationKey(specs[0], []string{"attr-heuristic"}); k3 == k1 {
+		t.Fatal("different selectors share a fingerprint")
+	}
+	other := specs[0]
+	other.Seed++
+	if k4 := VerificationKey(other, sels); k4 == k1 {
+		t.Fatal("different seeds share a fingerprint")
+	}
+}

@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"nbctune/internal/fft"
 	"nbctune/internal/mpi"
 	"nbctune/internal/platform"
+	"nbctune/internal/runner"
 )
 
 // FFTSpec describes one 3D-FFT application-kernel run (paper §IV-B).
@@ -144,4 +146,54 @@ func FFTComparison(spec FFTSpec, flavors ...fft.Flavor) ([]FFTResult, error) {
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// FFTMatrixOpts runs every (scenario, flavor) cell of a comparison matrix
+// as one experiment-runner job and returns the results indexed
+// [scenario][flavor], in submission order regardless of completion order.
+// This is the parallel/cached backend of the cmd/fftbench figure drivers.
+func FFTMatrixOpts(specs []FFTSpec, flavors []fft.Flavor, opt RunOptions) ([][]FFTResult, error) {
+	jobs := make([]runner.Job, 0, len(specs)*len(flavors))
+	for _, spec := range specs {
+		for _, fl := range flavors {
+			s := spec
+			s.Flavor = fl
+			jobs = append(jobs, runner.Job{
+				Label: s.String(),
+				Key:   FFTKey(s),
+				Run:   func() (any, error) { return RunFFT(s) },
+				Note:  fftNote,
+			})
+		}
+	}
+	rs, err := runner.Run(jobs, opt.runnerOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]FFTResult, len(specs))
+	k := 0
+	for i := range specs {
+		out[i] = make([]FFTResult, len(flavors))
+		for j := range flavors {
+			if err := rs[k].Decode(&out[i][j]); err != nil {
+				return nil, fmt.Errorf("cell %d: %w", k, err)
+			}
+			k++
+		}
+	}
+	return out, nil
+}
+
+// fftNote annotates a progress line with the run's simulated time and
+// tuned winner.
+func fftNote(raw json.RawMessage) string {
+	var r FFTResult
+	if json.Unmarshal(raw, &r) != nil {
+		return ""
+	}
+	n := fmt.Sprintf("virt=%.3fs %s", r.Total, r.Label)
+	if r.Winner != "" && r.Winner != r.Label {
+		n += " winner=" + r.Winner
+	}
+	return n
 }

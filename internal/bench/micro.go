@@ -11,6 +11,7 @@ import (
 	"nbctune/internal/core"
 	"nbctune/internal/mpi"
 	"nbctune/internal/platform"
+	"nbctune/internal/runner"
 )
 
 // MicroSpec describes one micro-benchmark configuration.
@@ -284,25 +285,59 @@ type Verification struct {
 	Best  int // index into Fixed of the fastest fixed implementation
 }
 
-// RunVerification executes the full verification run for a spec.
+// RunVerification executes the full verification run for a spec,
+// sequentially. It is RunVerificationOpts on one worker with no cache.
 func RunVerification(spec MicroSpec, selectors ...string) (*Verification, error) {
+	return RunVerificationOpts(spec, RunOptions{}, selectors...)
+}
+
+// RunVerificationOpts executes the verification run on the experiment
+// runner, fanning out one job per fixed implementation and one per ADCL
+// selector. Every measurement is an independent simulation, so intra-run
+// parallelism and per-measurement caching are both sound.
+func RunVerificationOpts(spec MicroSpec, opt RunOptions, selectors ...string) (*Verification, error) {
 	if len(selectors) == 0 {
 		selectors = []string{"brute-force", "attr-heuristic"}
 	}
-	fixed, err := RunAllFixed(spec)
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	names := spec.FunctionNames()
+	jobs := make([]runner.Job, 0, len(names)+len(selectors))
+	for i := range names {
+		i := i
+		jobs = append(jobs, runner.Job{
+			Label: fmt.Sprintf("%s fixed=%s", spec, names[i]),
+			Key:   FixedKey(spec, i),
+			Run:   func() (any, error) { return RunFixed(spec, i) },
+		})
+	}
+	for _, sel := range selectors {
+		sel := sel
+		jobs = append(jobs, runner.Job{
+			Label: fmt.Sprintf("%s adcl=%s", spec, sel),
+			Key:   ADCLKey(spec, sel),
+			Run:   func() (any, error) { return RunADCL(spec, sel) },
+		})
+	}
+	rs, err := runner.Run(jobs, opt.runnerOptions())
 	if err != nil {
 		return nil, err
 	}
-	v := &Verification{Spec: spec, Fixed: fixed}
-	for i, r := range fixed {
-		if r.Total < fixed[v.Best].Total {
+	v := &Verification{Spec: spec}
+	for i := range names {
+		var r MicroResult
+		if err := rs[i].Decode(&r); err != nil {
+			return nil, err
+		}
+		v.Fixed = append(v.Fixed, r)
+		if r.Total < v.Fixed[v.Best].Total {
 			v.Best = i
 		}
-		_ = i
 	}
-	for _, sel := range selectors {
-		r, err := RunADCL(spec, sel)
-		if err != nil {
+	for j := range selectors {
+		var r MicroResult
+		if err := rs[len(names)+j].Decode(&r); err != nil {
 			return nil, err
 		}
 		v.ADCL = append(v.ADCL, r)

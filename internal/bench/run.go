@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"io"
+
+	"nbctune/internal/fft"
+	"nbctune/internal/runner"
+)
+
+// RunOptions configures how a sweep or verification run executes: worker
+// count, result caching, retry budget, and progress streaming. The zero
+// value runs sequentially with no cache and no progress, which is exactly
+// the pre-runner behaviour.
+//
+// Parallelism is sound because every scenario is an independent,
+// deterministic sim.Engine run: the aggregate built from the ordered
+// results is byte-identical whatever the worker count.
+type RunOptions struct {
+	// Workers is the pool size; 0 means one worker (sequential), < 0 means
+	// runner's GOMAXPROCS default. cmd drivers pass their -jobs flag
+	// through runner semantics: 0 = GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, serves previously completed scenarios from the
+	// content-addressed store and persists new completions into it.
+	Cache *runner.Cache
+	// Retries re-runs a panicked scenario this many times before failing
+	// the sweep.
+	Retries int
+	// Progress receives one line per completed scenario.
+	Progress io.Writer
+}
+
+func (o RunOptions) runnerOptions() runner.Options {
+	w := o.Workers
+	if w == 0 {
+		w = 1
+	} else if w < 0 {
+		w = 0 // runner interprets 0 as GOMAXPROCS
+	}
+	return runner.Options{
+		Workers:  w,
+		Cache:    o.Cache,
+		Retries:  o.Retries,
+		Progress: o.Progress,
+	}
+}
+
+// Parallel returns options for n workers (n <= 0 means GOMAXPROCS) with
+// progress streaming to w.
+func Parallel(n int, w io.Writer) RunOptions {
+	if n <= 0 {
+		n = -1
+	}
+	return RunOptions{Workers: n, Progress: w}
+}
+
+// fingerprint content-addresses a job spec, or returns "" (uncacheable) if
+// any part fails to serialize — a missing key degrades to always-run, never
+// to a colliding address.
+func fingerprint(parts ...any) string {
+	k, err := runner.Fingerprint(parts...)
+	if err != nil {
+		return ""
+	}
+	return k
+}
+
+// VerificationKey is the content address of a full verification run (all
+// fixed implementations plus the given selectors) for a scenario.
+func VerificationKey(spec MicroSpec, selectors []string) string {
+	return fingerprint("verification", spec, selectors)
+}
+
+// FixedKey is the content address of one fixed-implementation run.
+func FixedKey(spec MicroSpec, fn int) string {
+	return fingerprint("fixed", spec, fn)
+}
+
+// ADCLKey is the content address of one runtime-selection run.
+func ADCLKey(spec MicroSpec, selector string) string {
+	return fingerprint("adcl", spec, selector)
+}
+
+// FFTKey is the content address of one FFT kernel run (the spec carries the
+// flavor and selector).
+func FFTKey(spec FFTSpec) string {
+	return fingerprint("fft", spec)
+}
+
+// FFTComparisonKey is the content address of a multi-flavor comparison
+// (e.g. LibNBC vs ADCL) on one scenario.
+func FFTComparisonKey(spec FFTSpec, flavors []fft.Flavor) string {
+	return fingerprint("fft-comparison", spec, flavors)
+}

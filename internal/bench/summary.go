@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"nbctune/internal/runner"
+)
+
+// SweepSummary is the machine-readable counterpart of the sweep tables:
+// cmd/sweep writes it to results/sweep_summary.json so downstream tooling
+// does not have to scrape aligned text. Construction is fully deterministic
+// — rows follow scenario order, selector blocks follow selector order, and
+// JSON maps are key-sorted by encoding/json — so a summary is byte-identical
+// for any worker count and for cached vs fresh runs.
+type SweepSummary struct {
+	Suite       string            `json:"suite"`
+	CodeVersion string            `json:"code_version"`
+	Scenarios   int               `json:"scenarios"`
+	Selectors   []SelectorSummary `json:"selectors,omitempty"`
+	FFT         *FFTSummary       `json:"fft,omitempty"`
+	Rows        []SummaryRow      `json:"rows"`
+}
+
+// SelectorSummary is one selection logic's aggregate correct-decision rate
+// (paper §IV-A).
+type SelectorSummary struct {
+	Name    string  `json:"name"`
+	Correct int     `json:"correct"`
+	Total   int     `json:"total"`
+	Rate    float64 `json:"rate"`
+}
+
+// FFTSummary is the §IV-B aggregate: how often ADCL beat LibNBC and by how
+// much at best.
+type FFTSummary struct {
+	Total          int     `json:"total"`
+	ADCLFaster     int     `json:"adcl_faster"`
+	OnPar          int     `json:"on_par"`
+	MaxImprovement float64 `json:"max_improvement"`
+	FasterRate     float64 `json:"faster_rate"`
+}
+
+// SummaryRow is one scenario's outcome. Verification rows fill Best/
+// BestTotal/Correct; FFT rows fill NBCTotal/ADCLTotal/Winner/Improvement.
+type SummaryRow struct {
+	Scenario    string          `json:"scenario"`
+	Best        string          `json:"best,omitempty"`
+	BestTotal   float64         `json:"best_total,omitempty"`
+	Correct     map[string]bool `json:"correct,omitempty"`
+	NBCTotal    float64         `json:"nbc_total,omitempty"`
+	ADCLTotal   float64         `json:"adcl_total,omitempty"`
+	Winner      string          `json:"winner,omitempty"`
+	Improvement float64         `json:"improvement,omitempty"`
+}
+
+// Summary renders the verification sweep as a SweepSummary.
+func (s *SweepStats) Summary() *SweepSummary {
+	sum := &SweepSummary{
+		Suite:       "verification",
+		CodeVersion: runner.CodeVersion,
+		Scenarios:   s.Total,
+	}
+	for _, sel := range s.Selectors {
+		sum.Selectors = append(sum.Selectors, SelectorSummary{
+			Name: sel, Correct: s.Correct[sel], Total: s.Total, Rate: s.Rate(sel),
+		})
+	}
+	for _, v := range s.Runs {
+		row := SummaryRow{
+			Scenario:  v.Spec.String(),
+			Best:      v.Fixed[v.Best].Impl,
+			BestTotal: v.Fixed[v.Best].Total,
+			Correct:   map[string]bool{},
+		}
+		for j, sel := range s.Selectors {
+			row.Correct[sel] = v.Correct(j)
+		}
+		sum.Rows = append(sum.Rows, row)
+	}
+	return sum
+}
+
+// Summary renders the FFT sweep as a SweepSummary.
+func (s *FFTSweepStats) Summary() *SweepSummary {
+	sum := &SweepSummary{
+		Suite:       "fft",
+		CodeVersion: runner.CodeVersion,
+		Scenarios:   s.Total,
+		FFT: &FFTSummary{
+			Total: s.Total, ADCLFaster: s.ADCLFaster, OnPar: s.OnPar,
+			MaxImprovement: s.MaxImprovement, FasterRate: s.FasterRate(),
+		},
+	}
+	for _, pair := range s.Rows {
+		nbcR, adclR := pair[0], pair[1]
+		sum.Rows = append(sum.Rows, SummaryRow{
+			Scenario:    nbcR.Spec.String(),
+			NBCTotal:    nbcR.Total,
+			ADCLTotal:   adclR.Total,
+			Winner:      adclR.Winner,
+			Improvement: (nbcR.Total - adclR.Total) / nbcR.Total,
+		})
+	}
+	return sum
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (s *SweepSummary) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// WriteSummaryFile writes the summary to path, creating parent directories
+// as needed.
+func WriteSummaryFile(path string, s *SweepSummary) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("bench: summary dir: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: summary file: %w", err)
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
 	"nbctune/internal/fft"
 	"nbctune/internal/platform"
+	"nbctune/internal/runner"
 )
 
 // Sweeps: the paper's two aggregate claims.
@@ -104,17 +106,41 @@ func (s *SweepStats) Rate(sel string) float64 {
 	return float64(s.Correct[sel]) / float64(s.Total)
 }
 
-// VerificationSweep reproduces the §IV-A statistic over the given scenarios.
-// progress, when non-nil, receives one line per completed scenario.
+// VerificationSweep reproduces the §IV-A statistic over the given scenarios,
+// sequentially. progress, when non-nil, receives one line per completed
+// scenario. It is VerificationSweepOpts on one worker with no cache.
 func VerificationSweep(specs []MicroSpec, selectors []string, progress io.Writer) (*SweepStats, error) {
+	return VerificationSweepOpts(specs, selectors, RunOptions{Progress: progress})
+}
+
+// VerificationSweepOpts runs the §IV-A sweep on the experiment runner: one
+// job per scenario, executed on opt.Workers workers with optional result
+// caching. Results are aggregated in scenario order regardless of
+// completion order, so the statistics (and any summary rendered from them)
+// are identical for every worker count.
+func VerificationSweepOpts(specs []MicroSpec, selectors []string, opt RunOptions) (*SweepStats, error) {
 	if len(selectors) == 0 {
 		selectors = []string{"brute-force", "attr-heuristic"}
 	}
-	st := &SweepStats{Selectors: selectors, Correct: map[string]int{}}
+	jobs := make([]runner.Job, len(specs))
 	for i, spec := range specs {
-		v, err := RunVerification(spec, selectors...)
-		if err != nil {
-			return nil, fmt.Errorf("scenario %d (%s): %w", i, spec, err)
+		spec := spec
+		jobs[i] = runner.Job{
+			Label: spec.String(),
+			Key:   VerificationKey(spec, selectors),
+			Run:   func() (any, error) { return RunVerification(spec, selectors...) },
+			Note:  verificationNote,
+		}
+	}
+	rs, err := runner.Run(jobs, opt.runnerOptions())
+	if err != nil {
+		return nil, err
+	}
+	st := &SweepStats{Selectors: selectors, Correct: map[string]int{}}
+	for _, r := range rs {
+		v := new(Verification)
+		if err := r.Decode(v); err != nil {
+			return nil, fmt.Errorf("scenario %d: %w", r.Index, err)
 		}
 		st.Runs = append(st.Runs, v)
 		st.Total++
@@ -123,11 +149,25 @@ func VerificationSweep(specs []MicroSpec, selectors []string, progress io.Writer
 				st.Correct[sel]++
 			}
 		}
-		if progress != nil {
-			fmt.Fprintf(progress, "[%3d/%3d] %-55s best=%s\n", i+1, len(specs), spec.String(), v.Fixed[v.Best].Impl)
-		}
 	}
 	return st, nil
+}
+
+// verificationNote annotates a progress line with the job's simulated
+// (virtual) seconds and the best fixed implementation.
+func verificationNote(raw json.RawMessage) string {
+	var v Verification
+	if json.Unmarshal(raw, &v) != nil || len(v.Fixed) == 0 {
+		return ""
+	}
+	var virt float64
+	for _, r := range v.Fixed {
+		virt += r.Total
+	}
+	for _, r := range v.ADCL {
+		virt += r.Total
+	}
+	return fmt.Sprintf("virt=%.2fs best=%s", virt, v.Fixed[v.Best].Impl)
 }
 
 // FFTScenarios builds the §IV-B scenario grid.
@@ -190,13 +230,38 @@ func (s *FFTSweepStats) FasterRate() float64 {
 	return float64(s.ADCLFaster) / float64(s.Total)
 }
 
-// FFTSweep reproduces the §IV-B statistic over the given scenarios.
+// FFTSweep reproduces the §IV-B statistic over the given scenarios,
+// sequentially. It is FFTSweepOpts on one worker with no cache.
 func FFTSweep(specs []FFTSpec, progress io.Writer) (*FFTSweepStats, error) {
-	st := &FFTSweepStats{}
+	return FFTSweepOpts(specs, RunOptions{Progress: progress})
+}
+
+// FFTSweepOpts runs the §IV-B sweep on the experiment runner: one
+// LibNBC-vs-ADCL comparison job per scenario.
+func FFTSweepOpts(specs []FFTSpec, opt RunOptions) (*FFTSweepStats, error) {
+	flavors := []fft.Flavor{fft.FlavorNBC, fft.FlavorADCL}
+	jobs := make([]runner.Job, len(specs))
 	for i, spec := range specs {
-		rs, err := FFTComparison(spec, fft.FlavorNBC, fft.FlavorADCL)
-		if err != nil {
-			return nil, fmt.Errorf("scenario %d (%s): %w", i, spec, err)
+		spec := spec
+		jobs[i] = runner.Job{
+			Label: spec.String(),
+			Key:   FFTComparisonKey(spec, flavors),
+			Run:   func() (any, error) { return FFTComparison(spec, flavors...) },
+			Note:  fftComparisonNote,
+		}
+	}
+	rrs, err := runner.Run(jobs, opt.runnerOptions())
+	if err != nil {
+		return nil, err
+	}
+	st := &FFTSweepStats{}
+	for _, rr := range rrs {
+		var rs []FFTResult
+		if err := rr.Decode(&rs); err != nil {
+			return nil, fmt.Errorf("scenario %d: %w", rr.Index, err)
+		}
+		if len(rs) != 2 {
+			return nil, fmt.Errorf("scenario %d: comparison produced %d results", rr.Index, len(rs))
 		}
 		nbcR, adclR := rs[0], rs[1]
 		st.Rows = append(st.Rows, [2]FFTResult{nbcR, adclR})
@@ -211,10 +276,18 @@ func FFTSweep(specs []FFTSpec, progress io.Writer) (*FFTSweepStats, error) {
 		if rel > -0.02 && rel < 0.02 {
 			st.OnPar++
 		}
-		if progress != nil {
-			fmt.Fprintf(progress, "[%3d/%3d] %-50s nbc=%.3fs adcl=%.3fs (%+.1f%%) winner=%s\n",
-				i+1, len(specs), spec.String(), nbcR.Total, adclR.Total, -rel*100, adclR.Winner)
-		}
 	}
 	return st, nil
+}
+
+// fftComparisonNote annotates a progress line with both flavors' simulated
+// times and the tuned winner.
+func fftComparisonNote(raw json.RawMessage) string {
+	var rs []FFTResult
+	if json.Unmarshal(raw, &rs) != nil || len(rs) != 2 {
+		return ""
+	}
+	rel := (rs[0].Total - rs[1].Total) / rs[0].Total
+	return fmt.Sprintf("nbc=%.3fs adcl=%.3fs (%+.1f%%) winner=%s",
+		rs[0].Total, rs[1].Total, -rel*100, rs[1].Winner)
 }

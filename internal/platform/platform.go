@@ -39,7 +39,11 @@ type Platform struct {
 	// application cost models (the FFT kernel).
 	FlopRate float64
 	// Noise perturbs compute phases (OS jitter). Nil for noiseless systems.
-	Noise mpi.NoiseFunc
+	// Excluded from JSON: function values cannot be serialized, and for
+	// fingerprinting/caching (internal/runner) the preset is identified by
+	// Name plus its numeric parameters; the noise model is part of the
+	// preset definition and is covered by the cache's code-version salt.
+	Noise mpi.NoiseFunc `json:"-"`
 }
 
 // noiseModel returns a NoiseFunc with relative jitter `rel` (standard

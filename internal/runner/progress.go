@@ -1,0 +1,63 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// progress serializes per-completion status lines: done/total, the job's
+// wall time, a cache-hit marker, and an ETA extrapolated from the mean wall
+// time of executed (non-cached) jobs divided across the worker pool.
+type progress struct {
+	mu      sync.Mutex
+	w       io.Writer
+	total   int
+	workers int
+	done    int
+	hits    int
+	ran     int
+	ranWall time.Duration
+}
+
+func newProgress(w io.Writer, total, workers int) *progress {
+	return &progress{w: w, total: total, workers: workers}
+}
+
+func (p *progress) completed(r Result, note func(value json.RawMessage) string) {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	status := fmt.Sprintf("%6.2fs", r.Wall.Seconds())
+	if r.Cached {
+		p.hits++
+		status = "cached"
+	} else if r.Err == nil {
+		p.ran++
+		p.ranWall += r.Wall
+	}
+	eta := "?"
+	if remaining := p.total - p.done; remaining == 0 {
+		eta = "done"
+	} else if p.ran > 0 {
+		mean := p.ranWall / time.Duration(p.ran)
+		est := mean * time.Duration(remaining) / time.Duration(p.workers)
+		eta = est.Round(time.Second).String()
+	} else if p.hits == p.done {
+		eta = "cached"
+	}
+	extra := ""
+	if r.Err != nil {
+		extra = "  ERROR: " + r.Err.Error()
+	} else if note != nil {
+		if n := note(r.Value); n != "" {
+			extra = "  " + n
+		}
+	}
+	fmt.Fprintf(p.w, "[%3d/%3d] %-55s %s eta=%s%s\n", p.done, p.total, r.Label, status, eta, extra)
+}

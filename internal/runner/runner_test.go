@@ -1,0 +1,383 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// mustKey fingerprints parts or fails the test.
+func mustKey(t *testing.T, parts ...any) string {
+	t.Helper()
+	k, err := Fingerprint(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestRunPreservesSubmissionOrder(t *testing.T) {
+	// Later jobs finish first (earlier jobs sleep longer); results must
+	// still come back indexed by submission order with the right values.
+	const n = 8
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job{
+			Label: fmt.Sprintf("job-%d", i),
+			Run: func() (any, error) {
+				time.Sleep(time.Duration(n-i) * time.Millisecond)
+				return i * 10, nil
+			},
+		}
+	}
+	rs, err := Run(jobs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != n {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for i, r := range rs {
+		if r.Index != i || r.Label != fmt.Sprintf("job-%d", i) {
+			t.Fatalf("result %d misplaced: %+v", i, r)
+		}
+		var v int
+		if err := r.Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		if v != i*10 {
+			t.Fatalf("result %d = %d, want %d", i, v, i*10)
+		}
+		if r.Cached || r.Attempts != 1 {
+			t.Fatalf("result %d: cached=%v attempts=%d", i, r.Cached, r.Attempts)
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	rs, err := Run(nil, Options{})
+	if err != nil || len(rs) != 0 {
+		t.Fatalf("rs=%v err=%v", rs, err)
+	}
+}
+
+func TestCacheHitAndMiss(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var executions atomic.Int32
+	mk := func() []Job {
+		var jobs []Job
+		for i := 0; i < 4; i++ {
+			i := i
+			jobs = append(jobs, Job{
+				Label: fmt.Sprintf("cached-%d", i),
+				Key:   mustKey(t, "cache-test", i),
+				Run: func() (any, error) {
+					executions.Add(1)
+					return map[string]int{"value": i}, nil
+				},
+			})
+		}
+		return jobs
+	}
+
+	rs, err := Run(mk(), Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Cached {
+			t.Fatalf("cold run served a hit: %+v", r)
+		}
+	}
+	if got := executions.Load(); got != 4 {
+		t.Fatalf("cold run executed %d jobs", got)
+	}
+	if cache.Len() != 4 {
+		t.Fatalf("store has %d entries, want 4", cache.Len())
+	}
+
+	rs2, err := Run(mk(), Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs2 {
+		if !r.Cached || r.Attempts != 0 {
+			t.Fatalf("warm run missed on job %d: %+v", i, r)
+		}
+		if !bytes.Equal(r.Value, rs[i].Value) {
+			t.Fatalf("warm value differs: %s vs %s", r.Value, rs[i].Value)
+		}
+	}
+	if got := executions.Load(); got != 4 {
+		t.Fatalf("warm run re-executed: %d total executions", got)
+	}
+}
+
+func TestResumeAfterSimulatedInterrupt(t *testing.T) {
+	// Simulate a sweep interrupted after 3 of 6 scenarios: the first Run
+	// sees only a prefix of the jobs (as if the process died), the second
+	// sees all of them and must re-execute only the missing suffix.
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var executions atomic.Int32
+	mk := func(n int) []Job {
+		var jobs []Job
+		for i := 0; i < n; i++ {
+			i := i
+			jobs = append(jobs, Job{
+				Label: fmt.Sprintf("scenario-%d", i),
+				Key:   mustKey(t, "resume-test", i),
+				Run: func() (any, error) {
+					executions.Add(1)
+					return i, nil
+				},
+			})
+		}
+		return jobs
+	}
+	if _, err := Run(mk(6)[:3], Options{Workers: 2, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(mk(6), Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if want := i < 3; r.Cached != want {
+			t.Fatalf("job %d cached=%v, want %v", i, r.Cached, want)
+		}
+	}
+	if got := executions.Load(); got != 6 {
+		t.Fatalf("executed %d jobs total, want 6 (3 + 3 resumed)", got)
+	}
+}
+
+func TestRetryOnPanic(t *testing.T) {
+	var calls atomic.Int32
+	jobs := []Job{{
+		Label: "flaky",
+		Run: func() (any, error) {
+			if calls.Add(1) == 1 {
+				panic("transient failure")
+			}
+			return "ok", nil
+		},
+	}}
+	rs, err := Run(jobs, Options{Workers: 1, Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", rs[0].Attempts)
+	}
+	var v string
+	if err := rs[0].Decode(&v); err != nil || v != "ok" {
+		t.Fatalf("v=%q err=%v", v, err)
+	}
+}
+
+func TestPanicExhaustsRetries(t *testing.T) {
+	jobs := []Job{{
+		Label: "doomed",
+		Run:   func() (any, error) { panic("always") },
+	}}
+	rs, err := Run(jobs, Options{Workers: 1, Retries: 1})
+	if err == nil {
+		t.Fatal("exhausted retries reported no error")
+	}
+	if !strings.Contains(err.Error(), "panic: always") || !strings.Contains(err.Error(), "doomed") {
+		t.Fatalf("error = %v", err)
+	}
+	if rs[0].Attempts != 2 || rs[0].Err == nil {
+		t.Fatalf("result: %+v", rs[0])
+	}
+}
+
+func TestFirstErrorByIndexIsDeterministic(t *testing.T) {
+	// Two failures racing on many workers: the reported error must always
+	// be the lowest-indexed one.
+	mkFail := func(name string, delay time.Duration) Job {
+		return Job{Label: name, Run: func() (any, error) {
+			time.Sleep(delay)
+			return nil, fmt.Errorf("%s failed", name)
+		}}
+	}
+	jobs := []Job{
+		{Label: "fine", Run: func() (any, error) { return 1, nil }},
+		mkFail("early-index-slow", 20*time.Millisecond),
+		mkFail("late-index-fast", 0),
+	}
+	_, err := Run(jobs, Options{Workers: 3})
+	if err == nil || !strings.Contains(err.Error(), "early-index-slow") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestTimeoutNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	jobs := []Job{{
+		Label: "hang",
+		Run: func() (any, error) {
+			calls.Add(1)
+			time.Sleep(5 * time.Second)
+			return nil, nil
+		},
+	}}
+	start := time.Now()
+	_, err := Run(jobs, Options{Workers: 1, Retries: 3, Timeout: 30 * time.Millisecond})
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("error = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("timed-out job retried %d times", calls.Load())
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout did not bound the run")
+	}
+}
+
+func TestUnmarshalableResultFails(t *testing.T) {
+	jobs := []Job{{Label: "chan", Run: func() (any, error) { return make(chan int), nil }}}
+	_, err := Run(jobs, Options{Workers: 1})
+	if err == nil || !strings.Contains(err.Error(), "encode result") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestProgressLines(t *testing.T) {
+	var buf bytes.Buffer
+	jobs := []Job{
+		{Label: "a", Run: func() (any, error) { return 1, nil },
+			Note: func(v json.RawMessage) string { return "note-for-" + string(v) }},
+		{Label: "b", Run: func() (any, error) { return 2, nil }},
+	}
+	if _, err := Run(jobs, Options{Workers: 1, Progress: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d progress lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "[  1/  2]") || !strings.Contains(out, "[  2/  2]") {
+		t.Fatalf("missing counters:\n%s", out)
+	}
+	if !strings.Contains(out, "note-for-1") {
+		t.Fatalf("note not rendered:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "eta=done") {
+		t.Fatalf("final line has no eta=done:\n%s", out)
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	type spec struct {
+		Name string
+		N    int
+	}
+	a1 := mustKey(t, spec{"x", 1}, []string{"s1", "s2"})
+	a2 := mustKey(t, spec{"x", 1}, []string{"s1", "s2"})
+	if a1 != a2 {
+		t.Fatal("equal inputs gave different fingerprints")
+	}
+	if len(a1) != 64 {
+		t.Fatalf("fingerprint length %d", len(a1))
+	}
+	if b := mustKey(t, spec{"x", 2}, []string{"s1", "s2"}); b == a1 {
+		t.Fatal("different inputs collided")
+	}
+	// Length framing: the split point between parts must matter.
+	if mustKey(t, "ab", "c") == mustKey(t, "a", "bc") {
+		t.Fatal("part boundaries not framed")
+	}
+	if _, err := Fingerprint(make(chan int)); err == nil {
+		t.Fatal("unmarshalable part accepted")
+	}
+}
+
+func TestCacheRejectsCorruptAndForeignEntries(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := mustKey(t, "corrupt-test")
+	// Truncated write, as if a crash happened without the atomic rename.
+	if err := os.WriteFile(cache.Path(key), []byte(`{"key":"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	// Entry whose recorded key disagrees with its address.
+	other := mustKey(t, "other")
+	b, _ := json.Marshal(cacheEntry{Key: other, Version: CodeVersion, Value: json.RawMessage(`1`)})
+	if err := os.WriteFile(cache.Path(key), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(key); ok {
+		t.Fatal("mismatched entry served as a hit")
+	}
+	// Entry from an older code version.
+	b, _ = json.Marshal(cacheEntry{Key: key, Version: "stale-v0", Value: json.RawMessage(`1`)})
+	if err := os.WriteFile(cache.Path(key), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(key); ok {
+		t.Fatal("stale-version entry served as a hit")
+	}
+	// A Put over the bad entry must repair it.
+	if err := cache.Put(key, "fixed", json.RawMessage(`42`)); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := cache.Get(key)
+	if !ok || string(raw) != "42" {
+		t.Fatalf("repaired entry: ok=%v raw=%s", ok, raw)
+	}
+}
+
+func TestCachePutIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := mustKey(t, "atomic")
+	if err := cache.Put(key, "lbl", json.RawMessage(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// No temp droppings left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+	if got := cache.Path(key); filepath.Dir(got) != dir {
+		t.Fatalf("entry path %s outside store", got)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("Len = %d", cache.Len())
+	}
+}
+
+func TestOpenCacheEmptyDirRejected(t *testing.T) {
+	if _, err := OpenCache(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}

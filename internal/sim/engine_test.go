@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"sync/atomic"
@@ -294,5 +295,49 @@ func TestTracefWithoutTraceIsNoop(t *testing.T) {
 	e.Tracef("x", "y", "z") // must not panic
 	if e.TraceOf() != nil {
 		t.Fatal("trace attached unexpectedly")
+	}
+}
+
+func TestTraceRingWrapsMultipleTimes(t *testing.T) {
+	// Regression test for the head-index ring: after wrapping several times
+	// the events must still come back oldest-first, at every fill level.
+	for total := 1; total <= 13; total++ {
+		e := NewEngine(1)
+		tr := NewTrace(e, 4)
+		for i := 0; i < total; i++ {
+			i := i
+			e.At(float64(i), func() { e.Tracef("tick", "test", "i=%d", i) })
+		}
+		e.Run()
+		evs := tr.Events()
+		want := total
+		if want > 4 {
+			want = 4
+		}
+		if len(evs) != want {
+			t.Fatalf("total=%d: kept %d events, want %d", total, len(evs), want)
+		}
+		for j, ev := range evs {
+			if wantMsg := fmt.Sprintf("i=%d", total-want+j); ev.Msg != wantMsg {
+				t.Fatalf("total=%d: event %d = %q, want %q (%v)", total, j, ev.Msg, wantMsg, evs)
+			}
+		}
+		if tr.Total() != int64(total) {
+			t.Fatalf("total=%d: Total()=%d", total, tr.Total())
+		}
+	}
+}
+
+func BenchmarkTraceRecordFullRing(b *testing.B) {
+	// The ring is at capacity for the whole benchmark, so every Record
+	// takes the eviction path; it must be O(1), not O(capacity).
+	e := NewEngine(1)
+	tr := NewTrace(e, 4096)
+	for i := 0; i < 4096; i++ {
+		tr.Record("warm", "bench", "fill")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Record("tick", "bench", "hot")
 	}
 }

@@ -22,10 +22,15 @@ func (e TraceEvent) String() string {
 	return fmt.Sprintf("%12.9f %-10s %-12s %s", e.T, e.Kind, e.Who, e.Msg)
 }
 
-// Trace is a bounded ring buffer of simulation events.
+// Trace is a bounded ring buffer of simulation events. Once full, each
+// Record overwrites the oldest slot and advances the head index — O(1) per
+// event, so tracing a long simulation costs the same per event as a short
+// one (the previous implementation shifted the whole buffer on every
+// eviction, making a full trace O(capacity) per event).
 type Trace struct {
 	eng    *Engine
 	events []TraceEvent
+	head   int // index of the oldest event once the buffer is full
 	max    int
 	total  int64
 }
@@ -42,25 +47,38 @@ func NewTrace(eng *Engine, capacity int) *Trace {
 func (t *Trace) Record(kind, who, format string, args ...any) {
 	t.total++
 	ev := TraceEvent{T: t.eng.Now(), Kind: kind, Who: who, Msg: fmt.Sprintf(format, args...)}
-	if t.max > 0 && len(t.events) >= t.max {
-		copy(t.events, t.events[1:])
-		t.events[len(t.events)-1] = ev
+	if t.max > 0 && len(t.events) == t.max {
+		t.events[t.head] = ev
+		t.head++
+		if t.head == t.max {
+			t.head = 0
+		}
 		return
 	}
 	t.events = append(t.events, ev)
 }
 
-// Events returns the recorded events (oldest first).
-func (t *Trace) Events() []TraceEvent { return t.events }
+// Events returns the recorded events (oldest first). When the ring has
+// wrapped, the returned slice is a fresh copy assembled in order; otherwise
+// it is the live buffer, as before.
+func (t *Trace) Events() []TraceEvent {
+	if t.head == 0 {
+		return t.events
+	}
+	out := make([]TraceEvent, 0, len(t.events))
+	out = append(out, t.events[t.head:]...)
+	out = append(out, t.events[:t.head]...)
+	return out
+}
 
 // Total returns how many events were recorded overall, including any that
 // fell out of the ring.
 func (t *Trace) Total() int64 { return t.total }
 
-// Filter returns the recorded events with the given kind.
+// Filter returns the recorded events with the given kind, oldest first.
 func (t *Trace) Filter(kind string) []TraceEvent {
 	var out []TraceEvent
-	for _, e := range t.events {
+	for _, e := range t.Events() {
 		if e.Kind == kind {
 			out = append(out, e)
 		}
@@ -70,7 +88,7 @@ func (t *Trace) Filter(kind string) []TraceEvent {
 
 // Dump writes the trace to w, oldest first.
 func (t *Trace) Dump(w io.Writer) {
-	for _, e := range t.events {
+	for _, e := range t.Events() {
 		fmt.Fprintln(w, e.String())
 	}
 }
