@@ -15,16 +15,21 @@
 //
 //	fftbench -fig 9                   # LibNBC vs ADCL on crill
 //	fftbench -fig 11 -full -jobs 8    # extended function set vs MPI, larger scale
+//	fftbench -fig 9 -trace traces/    # per-run Perfetto timelines (sequential)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"nbctune/internal/bench"
 	"nbctune/internal/fft"
+	"nbctune/internal/obs"
 	"nbctune/internal/platform"
 	"nbctune/internal/runner"
 )
@@ -46,8 +51,20 @@ func main() {
 		cacheDir = flag.String("cachedir", "results/cache", "result store directory")
 		resume   = flag.Bool("resume", false, "resume an interrupted figure from the store (implies -cache)")
 		quiet    = flag.Bool("quiet", false, "suppress per-cell progress lines")
+		trace    = flag.String("trace", "", "directory for per-run Chrome trace-event JSON (bypasses the runner; sequential)")
+		metrics  = flag.String("metrics", "", "file for per-run overlap/progress metrics JSON")
 	)
 	flag.Parse()
+
+	if *trace != "" || *metrics != "" {
+		oc = &collector{traceDir: *trace}
+		if *trace != "" {
+			if err := os.MkdirAll(*trace, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	var progress io.Writer = os.Stderr
 	if *quiet {
@@ -93,6 +110,134 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	if oc != nil && *metrics != "" {
+		if err := oc.writeMetrics(*metrics); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics for %d runs written to %s\n", len(oc.rows), *metrics)
+	}
+}
+
+// collector gathers per-run observability output when -trace/-metrics are
+// given. When oc is nil the figure drivers run exactly as before (parallel,
+// cached, through the experiment runner).
+var oc *collector
+
+type collector struct {
+	traceDir string
+	rows     []metricsRow
+}
+
+type metricsRow struct {
+	Scenario         string       `json:"scenario"`
+	Flavor           string       `json:"flavor"`
+	Winner           string       `json:"winner,omitempty"`
+	Overlap          float64      `json:"overlap"`
+	ProgressCalls    int64        `json:"progress_calls"`
+	ProgressAdvanced int64        `json:"progress_advanced"`
+	StallTime        float64      `json:"rendezvous_stall_time"`
+	Detail           *obs.Metrics `json:"detail,omitempty"` // per-rank breakdown (-trace runs only)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		}
+		return '-'
+	}, s)
+}
+
+func (c *collector) add(spec bench.FFTSpec, r bench.FFTResult, rec *obs.Recorder) error {
+	row := metricsRow{
+		Scenario: spec.String(), Flavor: r.Label, Winner: r.Winner,
+		Overlap: r.Overlap, ProgressCalls: r.ProgressMade,
+		ProgressAdvanced: r.ProgressAdvanced, StallTime: r.StallTime,
+	}
+	if rec != nil {
+		row.Detail = rec.Metrics()
+		if c.traceDir != "" {
+			name := sanitize(fmt.Sprintf("%s-np%d-%s_%s", spec.Platform.Name, spec.Procs, spec.Pattern, r.Label)) + ".trace.json"
+			f, err := os.Create(filepath.Join(c.traceDir, name))
+			if err != nil {
+				return err
+			}
+			if err := rec.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "trace written: %s\n", filepath.Join(c.traceDir, name))
+		}
+	}
+	c.rows = append(c.rows, row)
+	return nil
+}
+
+func (c *collector) writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c.rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runFFTMatrix is bench.FFTMatrixOpts with observation layered in:
+// with -metrics only, specs run through the runner with Observe set (the
+// metric fields survive the result store); with -trace, cells run directly
+// and sequentially so each run's recorder can be exported.
+func runFFTMatrix(specs []bench.FFTSpec, flavors []fft.Flavor, opt bench.RunOptions) ([][]bench.FFTResult, error) {
+	if oc == nil {
+		return bench.FFTMatrixOpts(specs, flavors, opt)
+	}
+	if oc.traceDir == "" {
+		observed := make([]bench.FFTSpec, len(specs))
+		for i, s := range specs {
+			s.Observe = true
+			observed[i] = s
+		}
+		matrix, err := bench.FFTMatrixOpts(observed, flavors, opt)
+		if err != nil {
+			return nil, err
+		}
+		for i := range matrix {
+			for _, r := range matrix[i] {
+				if err := oc.add(observed[i], r, nil); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return matrix, nil
+	}
+	out := make([][]bench.FFTResult, len(specs))
+	for i, spec := range specs {
+		out[i] = make([]bench.FFTResult, len(flavors))
+		for j, fl := range flavors {
+			s := spec
+			s.Flavor = fl
+			s.Observe = true
+			r, rec, err := bench.RunFFTObserved(s)
+			if err != nil {
+				return nil, err
+			}
+			if err := oc.add(s, r, rec); err != nil {
+				return nil, err
+			}
+			out[i][j] = r
+		}
+	}
+	return out, nil
 }
 
 // grid picks the process counts / grid size / iteration count for the FFT
@@ -135,7 +280,7 @@ func runMatrix(title string, plats []platform.Platform, full bool, opt bench.Run
 			}
 		}
 	}
-	matrix, err := bench.FFTMatrixOpts(specs, flavors, opt)
+	matrix, err := runFFTMatrix(specs, flavors, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +334,7 @@ func fig12(full bool, opt bench.RunOptions) (*bench.Table, error) {
 			Iterations: iters, Seed: seed, EvalsPerFn: 2,
 		})
 	}
-	matrix, err := bench.FFTMatrixOpts(specs, []fft.Flavor{fft.FlavorADCLExt, fft.FlavorMPI, fft.FlavorNBC}, opt)
+	matrix, err := runFFTMatrix(specs, []fft.Flavor{fft.FlavorADCLExt, fft.FlavorMPI, fft.FlavorNBC}, opt)
 	if err != nil {
 		return nil, err
 	}

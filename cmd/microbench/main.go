@@ -7,14 +7,19 @@
 //
 //	microbench -fig 4          # message-size crossover on crill
 //	microbench -fig 7 -full    # progress-call crossover at full scale
+//	microbench -fig 6 -trace traces/ -metrics fig6.json   # observe the runs
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"nbctune/internal/bench"
+	"nbctune/internal/obs"
 	"nbctune/internal/platform"
 )
 
@@ -27,11 +32,23 @@ func must(p platform.Platform, err error) platform.Platform {
 
 func main() {
 	var (
-		fig  = flag.Int("fig", 0, "paper figure to regenerate: 2..7 (0 = all)")
-		full = flag.Bool("full", false, "use larger process counts / iteration counts (slower)")
-		csv  = flag.Bool("csv", false, "emit CSV tables")
+		fig     = flag.Int("fig", 0, "paper figure to regenerate: 2..7 (0 = all)")
+		full    = flag.Bool("full", false, "use larger process counts / iteration counts (slower)")
+		csv     = flag.Bool("csv", false, "emit CSV tables")
+		trace   = flag.String("trace", "", "directory for per-run Chrome trace-event JSON (open in Perfetto)")
+		metrics = flag.String("metrics", "", "file for per-run overlap/progress metrics JSON")
 	)
 	flag.Parse()
+
+	if *trace != "" || *metrics != "" {
+		oc = &collector{traceDir: *trace}
+		if *trace != "" {
+			if err := os.MkdirAll(*trace, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	figs := []int{2, 3, 4, 5, 6, 7}
 	if *fig != 0 {
@@ -67,6 +84,141 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	if oc != nil && *metrics != "" {
+		if err := oc.writeMetrics(*metrics); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics for %d runs written to %s\n", len(oc.rows), *metrics)
+	}
+}
+
+// collector gathers per-run observability output when -trace/-metrics are
+// given. When oc is nil the fig drivers run exactly as before.
+var oc *collector
+
+type collector struct {
+	traceDir string
+	rows     []metricsRow
+}
+
+// metricsRow is one observed run in the -metrics file.
+type metricsRow struct {
+	Scenario         string       `json:"scenario"`
+	Impl             string       `json:"impl"`
+	Overlap          float64      `json:"overlap"`
+	ProgressCalls    int64        `json:"progress_calls"`
+	ProgressAdvanced int64        `json:"progress_advanced"`
+	StallTime        float64      `json:"rendezvous_stall_time"`
+	Detail           *obs.Metrics `json:"detail,omitempty"` // per-rank breakdown (direct runs only)
+}
+
+func scenarioLabel(spec bench.MicroSpec) string {
+	return fmt.Sprintf("%s-%s-np%d-msg%d-pc%d", spec.Op, spec.Platform.Name, spec.Procs, spec.MsgSize, spec.ProgressCalls)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		}
+		return '-'
+	}, s)
+}
+
+// add records one observed run: a metrics row always, and a Chrome trace
+// when -trace was given.
+func (c *collector) add(spec bench.MicroSpec, impl string, res bench.MicroResult, rec *obs.Recorder) error {
+	row := metricsRow{
+		Scenario: scenarioLabel(spec), Impl: impl,
+		Overlap: res.Overlap, ProgressCalls: res.ProgressMade,
+		ProgressAdvanced: res.ProgressAdvanced, StallTime: res.StallTime,
+	}
+	if rec != nil {
+		row.Detail = rec.Metrics()
+		if c.traceDir != "" {
+			name := sanitize(row.Scenario+"_"+impl) + ".trace.json"
+			f, err := os.Create(filepath.Join(c.traceDir, name))
+			if err != nil {
+				return err
+			}
+			if err := rec.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "trace written: %s\n", filepath.Join(c.traceDir, name))
+		}
+	}
+	c.rows = append(c.rows, row)
+	return nil
+}
+
+func (c *collector) writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c.rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runFixed is bench.RunFixed, observed when -trace/-metrics are active.
+func runFixed(spec bench.MicroSpec, fn int) (bench.MicroResult, error) {
+	if oc == nil {
+		return bench.RunFixed(spec, fn)
+	}
+	r, rec, err := bench.RunFixedObserved(spec, fn)
+	if err != nil {
+		return r, err
+	}
+	return r, oc.add(spec, r.Impl, r, rec)
+}
+
+// runAllFixed is bench.RunAllFixed, observed when -trace/-metrics are active.
+func runAllFixed(spec bench.MicroSpec) ([]bench.MicroResult, error) {
+	if oc == nil {
+		return bench.RunAllFixed(spec)
+	}
+	names := spec.FunctionNames()
+	out := make([]bench.MicroResult, 0, len(names))
+	for i := range names {
+		r, err := runFixed(spec, i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// runVerification is bench.RunVerification; when observing, the runs carry
+// overlap metrics (no per-rank traces — verification fans out on the
+// experiment runner).
+func runVerification(spec bench.MicroSpec) (*bench.Verification, error) {
+	if oc == nil {
+		return bench.RunVerification(spec)
+	}
+	spec.Observe = true
+	v, err := bench.RunVerification(spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range append(append([]bench.MicroResult{}, v.Fixed...), v.ADCL...) {
+		if err := oc.add(spec, r.Impl, r, nil); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
 }
 
 func scaleNP(full bool, paper, scaled int) int {
@@ -103,7 +255,7 @@ func fig2(full bool) (*bench.Table, error) {
 			Platform: c.plat, Procs: c.np, MsgSize: 128 * 1024, Op: bench.OpIalltoall,
 			ComputePerIter: 0.05, Iterations: iters, ProgressCalls: 5, Seed: 21, EvalsPerFn: 2,
 		}
-		v, err := bench.RunVerification(spec)
+		v, err := runVerification(spec)
 		if err != nil {
 			return nil, err
 		}
@@ -130,7 +282,7 @@ func fig3(full bool) (*bench.Table, error) {
 			Platform: plat, Procs: np, MsgSize: 128 * 1024, Op: bench.OpIalltoall,
 			ComputePerIter: 0.05, Iterations: 30, ProgressCalls: 5, Seed: 31,
 		}
-		rs, err := bench.RunAllFixed(spec)
+		rs, err := runAllFixed(spec)
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +312,7 @@ func fig4(full bool) (*bench.Table, error) {
 			Platform: crill, Procs: c.np, MsgSize: c.msg, Op: bench.OpIalltoall,
 			ComputePerIter: c.compute, Iterations: c.iters, ProgressCalls: 5, Seed: 41,
 		}
-		rs, err := bench.RunAllFixed(spec)
+		rs, err := runAllFixed(spec)
 		if err != nil {
 			return nil, err
 		}
@@ -182,7 +334,7 @@ func fig5(full bool) (*bench.Table, error) {
 			Platform: whale, Procs: np, MsgSize: 1024, Op: bench.OpIalltoall,
 			ComputePerIter: 1e-3, Iterations: 40, ProgressCalls: 100, Seed: 51,
 		}
-		rs, err := bench.RunAllFixed(spec)
+		rs, err := runAllFixed(spec)
 		if err != nil {
 			return nil, err
 		}
@@ -197,19 +349,27 @@ func fig5(full bool) (*bench.Table, error) {
 // rises when too many progress calls are inserted.
 func fig6(full bool) (*bench.Table, error) {
 	whale := must(platform.ByName("whale"))
+	cols := []string{"progress_calls", "implementation", "periter_ms"}
+	if oc != nil {
+		cols = append(cols, "overlap")
+	}
 	t := bench.NewTable("Fig 6: Ibcast whale np=32, 1KB, 5ms compute/iter — time vs number of progress calls",
-		"progress_calls", "implementation", "periter_ms")
+		cols...)
 	counts := []int{1, 2, 5, 10, 100, 1000}
 	for _, pc := range counts {
 		spec := bench.MicroSpec{
 			Platform: whale, Procs: 32, MsgSize: 1024, Op: bench.OpIbcast,
 			ComputePerIter: 5e-3, Iterations: 30, ProgressCalls: pc, Seed: 61,
 		}
-		r, err := bench.RunFixed(spec, 0)
+		r, err := runFixed(spec, 0)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(pc, r.Impl, bench.Ms(r.PerIter))
+		if oc != nil {
+			t.AddRow(pc, r.Impl, bench.Ms(r.PerIter), fmt.Sprintf("%.3f", r.Overlap))
+		} else {
+			t.AddRow(pc, r.Impl, bench.Ms(r.PerIter))
+		}
 	}
 	return t, nil
 }
@@ -225,7 +385,7 @@ func fig7(full bool) (*bench.Table, error) {
 			Platform: crill, Procs: 32, MsgSize: 128 * 1024, Op: bench.OpIalltoall,
 			ComputePerIter: 0.1, Iterations: 20, ProgressCalls: pc, Seed: 71,
 		}
-		rs, err := bench.RunAllFixed(spec)
+		rs, err := runAllFixed(spec)
 		if err != nil {
 			return nil, err
 		}

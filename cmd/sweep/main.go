@@ -40,6 +40,7 @@ func main() {
 		cacheDir = flag.String("cachedir", "results/cache", "result store directory")
 		resume   = flag.Bool("resume", false, "resume an interrupted sweep from the store (implies -cache)")
 		out      = flag.String("out", "results/sweep_summary.json", "machine-readable summary path (empty disables)")
+		observe  = flag.Bool("observe", false, "attach obs recorders so summary rows carry overlap ratios (timing-neutral)")
 	)
 	flag.Parse()
 
@@ -61,6 +62,11 @@ func main() {
 	switch *suite {
 	case "verification":
 		specs := bench.VerificationScenarios(*fast)
+		if *observe {
+			for i := range specs {
+				specs[i].Observe = true
+			}
+		}
 		selectors := []string{"brute-force", "attr-heuristic", "factorial-2k"}
 		st, err := bench.VerificationSweepOpts(specs, selectors, opt)
 		if err != nil {
@@ -77,6 +83,11 @@ func main() {
 
 	case "fft":
 		specs := bench.FFTScenarios(*fast)
+		if *observe {
+			for i := range specs {
+				specs[i].Observe = true
+			}
+		}
 		st, err := bench.FFTSweepOpts(specs, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

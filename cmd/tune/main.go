@@ -10,15 +10,18 @@
 //	tune -op ibcast -selector attr-heuristic -np 16
 //	tune -op ialltoall-prim -np 16         # algorithm x primitive (put/get) set
 //	tune -op ialltoall -history /tmp/adcl.json   # run twice to see the hit
+//	tune -op ialltoall -metrics audit.json       # selection audit + overlap
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"nbctune/internal/core"
 	"nbctune/internal/mpi"
+	"nbctune/internal/obs"
 	"nbctune/internal/platform"
 )
 
@@ -35,6 +38,8 @@ func main() {
 		evals    = flag.Int("evals", 3, "measurements per implementation")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		histPath = flag.String("history", "", "history file for persistent learning (optional)")
+		tracOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run (open in Perfetto)")
+		metrOut  = flag.String("metrics", "", "write overlap metrics + the rank-0 selection audit as JSON")
 	)
 	flag.Parse()
 
@@ -56,9 +61,16 @@ func main() {
 		histKey = core.HistoryKey(*op, plat.Name, *np, *msg)
 	}
 
+	var rec *obs.Recorder
+	if *tracOut != "" || *metrOut != "" {
+		rec = obs.NewRecorder(*np)
+		world.Observe(rec)
+	}
+
 	var report string
 	var winnerName string
 	var evalsUsed int
+	var audit *obs.Audit
 	world.Start(func(c *mpi.Comm) {
 		fs, err := buildSet(c, *op, *msg)
 		if err != nil {
@@ -71,6 +83,9 @@ func main() {
 		hit := false
 		if hist != nil {
 			sel, hit = core.SelectorWithHistory(hist, histKey, fs, sel)
+		}
+		if c.Rank() == 0 && rec != nil {
+			audit = core.AttachAudit(sel, fs)
 		}
 		if c.Rank() == 0 && hit {
 			fmt.Printf("history hit for %q: learning phase skipped\n\n", histKey)
@@ -113,6 +128,60 @@ func main() {
 		}
 		fmt.Printf("\nwinner stored in %s under key %q\n", *histPath, histKey)
 	}
+
+	if *tracOut != "" {
+		f, err := os.Create(*tracOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\ntrace written to %s\n", *tracOut)
+	}
+	if *metrOut != "" {
+		out := tuneMetrics{
+			Platform: plat.Name, Op: *op, Procs: *np, MsgSize: *msg,
+			Compute: *compute, ProgressCalls: *progress, Selector: *selName,
+			Seed: *seed, Winner: winnerName, Evals: evalsUsed,
+			Metrics: rec.Metrics(), Audit: audit,
+		}
+		f, err := os.Create(*metrOut)
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nmetrics + selection audit written to %s\n", *metrOut)
+	}
+}
+
+// tuneMetrics is the -metrics artifact: enough to reproduce the selection
+// decision by hand (see EXPERIMENTS.md, E7 walkthrough).
+type tuneMetrics struct {
+	Platform      string       `json:"platform"`
+	Op            string       `json:"op"`
+	Procs         int          `json:"np"`
+	MsgSize       int          `json:"msg"`
+	Compute       float64      `json:"compute"`
+	ProgressCalls int          `json:"progress_calls"`
+	Selector      string       `json:"selector"`
+	Seed          int64        `json:"seed"`
+	Winner        string       `json:"winner"`
+	Evals         int          `json:"evals"`
+	Metrics       *obs.Metrics `json:"metrics"`
+	Audit         *obs.Audit   `json:"audit,omitempty"`
 }
 
 func buildSet(c *mpi.Comm, op string, msg int) (*core.FunctionSet, error) {

@@ -6,6 +6,7 @@ import (
 
 	"nbctune/internal/fft"
 	"nbctune/internal/mpi"
+	"nbctune/internal/obs"
 	"nbctune/internal/platform"
 	"nbctune/internal/runner"
 )
@@ -23,6 +24,9 @@ type FFTSpec struct {
 	ProgressPerTile int
 	Seed            int64
 	Placement       platform.Placement // Cyclic (default) or Block
+	// Observe attaches an obs.Recorder and fills the result's
+	// overlap/progress/stall metrics; passive, timing-neutral.
+	Observe bool
 }
 
 func (s FFTSpec) String() string {
@@ -41,14 +45,27 @@ type FFTResult struct {
 	DecidedIter      int
 	PostLearnPerIter float64 // mean per-iteration time after the decision
 	LearnTime        float64 // time spent until the decision locked in
+
+	// Observability metrics, filled only when Spec.Observe is set.
+	Overlap          float64 `json:",omitempty"`
+	ProgressMade     int64   `json:",omitempty"`
+	ProgressAdvanced int64   `json:",omitempty"`
+	StallTime        float64 `json:",omitempty"`
 }
 
 // RunFFT executes the kernel with timing-only payloads (the paper's loop of
 // 350 iterations on random data, scaled down; correctness of the FFT itself
 // is covered by the fft package's tests on real data).
 func RunFFT(spec FFTSpec) (FFTResult, error) {
+	r, _, err := RunFFTObserved(spec)
+	return r, err
+}
+
+// RunFFTObserved is RunFFT, additionally returning the run's recorder when
+// spec.Observe is set (nil otherwise).
+func RunFFTObserved(spec FFTSpec) (FFTResult, *obs.Recorder, error) {
 	if spec.Iterations < 1 {
-		return FFTResult{}, fmt.Errorf("bench: iterations must be >= 1")
+		return FFTResult{}, nil, fmt.Errorf("bench: iterations must be >= 1")
 	}
 	sel := spec.Selector
 	if sel == "" {
@@ -60,7 +77,12 @@ func RunFFT(spec FFTSpec) (FFTResult, error) {
 	}
 	eng, w, err := spec.Platform.NewWorldPlaced(spec.Procs, spec.Seed, spec.Placement)
 	if err != nil {
-		return FFTResult{}, err
+		return FFTResult{}, nil, err
+	}
+	var rec *obs.Recorder
+	if spec.Observe {
+		rec = obs.NewRecorder(spec.Procs)
+		w.Observe(rec)
 	}
 	res := FFTResult{Spec: spec, Label: label, DecidedIter: -1}
 	starts := make([]float64, spec.Procs)
@@ -121,7 +143,7 @@ func RunFFT(spec FFTSpec) (FFTResult, error) {
 	})
 	eng.Run()
 	if planErr != nil {
-		return FFTResult{}, planErr
+		return FFTResult{}, nil, planErr
 	}
 	for me := 0; me < spec.Procs; me++ {
 		if d := ends[me] - starts[me]; d > res.Total {
@@ -129,7 +151,14 @@ func RunFFT(spec FFTSpec) (FFTResult, error) {
 		}
 	}
 	res.PerIter = res.Total / float64(spec.Iterations)
-	return res, nil
+	if rec != nil {
+		m := rec.Metrics()
+		res.Overlap = m.Overlap
+		res.ProgressMade = m.ProgressCalls
+		res.ProgressAdvanced = m.ProgressAdvanced
+		res.StallTime = m.RendezvousStallTime
+	}
+	return res, rec, nil
 }
 
 // FFTComparison runs the kernel under several flavors on the same scenario,

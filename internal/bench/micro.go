@@ -2,7 +2,14 @@
 // overlap micro-benchmark (initiate a non-blocking collective, compute in
 // chunks with progress calls in between, wait), the verification-run
 // methodology of Fig 2, and the table/CSV reporting used by the cmd/
-// drivers and the repository's benchmark suite.
+// drivers and the repository's benchmark suite. It is layer S7 of the
+// substitution map (DESIGN.md §1).
+//
+// Invariant: a spec fully determines its result — runs are deterministic
+// per seed, and attaching observation (MicroSpec.Observe, the *Observed
+// entry points) is passive: it never changes a simulated timestamp, so
+// observed and unobserved runs of the same spec report identical times
+// (bench's own tests pin this).
 package bench
 
 import (
@@ -10,6 +17,7 @@ import (
 
 	"nbctune/internal/core"
 	"nbctune/internal/mpi"
+	"nbctune/internal/obs"
 	"nbctune/internal/platform"
 	"nbctune/internal/runner"
 )
@@ -31,6 +39,10 @@ type MicroSpec struct {
 	// fraction, deterministically staggered across ranks, so ranks enter
 	// the collective at different times.
 	Imbalance float64
+	// Observe attaches an obs.Recorder to the run and fills the result's
+	// overlap/progress/stall metrics. Recording is passive, so the timing
+	// fields are identical with or without it.
+	Observe bool
 }
 
 // Ops supported by the micro-benchmark.
@@ -109,17 +121,35 @@ type MicroResult struct {
 	Evals            int     // ADCL runs: learning-phase measurements
 	DecidedIter      int     // ADCL runs: iteration at which the winner locked in
 	PostLearnPerIter float64 // ADCL runs: mean per-iteration time after decision
+
+	// Observability metrics, filled only when Spec.Observe is set.
+	Overlap          float64 `json:",omitempty"` // aggregate fraction of comm hidden under compute
+	ProgressMade     int64   `json:",omitempty"` // explicit progress calls across all ranks
+	ProgressAdvanced int64   `json:",omitempty"` // progress calls that advanced a schedule round
+	StallTime        float64 `json:",omitempty"` // summed rendezvous RTS->CTS stall seconds
 }
 
 // runLoop executes the §IV-A benchmark loop on every rank with the given
 // selector factory and returns the aggregate result.
 func runLoop(spec MicroSpec, label string, mkSel func(fs *core.FunctionSet) core.Selector) (MicroResult, error) {
+	r, _, err := runLoopObserved(spec, label, mkSel)
+	return r, err
+}
+
+// runLoopObserved is runLoop, additionally returning the recorder when
+// spec.Observe is set (nil otherwise).
+func runLoopObserved(spec MicroSpec, label string, mkSel func(fs *core.FunctionSet) core.Selector) (MicroResult, *obs.Recorder, error) {
 	if err := spec.validate(); err != nil {
-		return MicroResult{}, err
+		return MicroResult{}, nil, err
 	}
 	eng, w, err := spec.Platform.NewWorldPlaced(spec.Procs, spec.Seed, spec.Placement)
 	if err != nil {
-		return MicroResult{}, err
+		return MicroResult{}, nil, err
+	}
+	var rec *obs.Recorder
+	if spec.Observe {
+		rec = obs.NewRecorder(spec.Procs)
+		w.Observe(rec)
 	}
 	res := MicroResult{Spec: spec, Impl: label, DecidedIter: -1}
 	chunk := spec.ComputePerIter / float64(spec.ProgressCalls)
@@ -182,7 +212,14 @@ func runLoop(spec MicroSpec, label string, mkSel func(fs *core.FunctionSet) core
 		}
 	}
 	res.PerIter = res.Total / float64(spec.Iterations)
-	return res, nil
+	if rec != nil {
+		m := rec.Metrics()
+		res.Overlap = m.Overlap
+		res.ProgressMade = m.ProgressCalls
+		res.ProgressAdvanced = m.ProgressAdvanced
+		res.StallTime = m.RendezvousStallTime
+	}
+	return res, rec, nil
 }
 
 // RunFixed runs the benchmark pinned to implementation index fn.
@@ -199,6 +236,43 @@ func RunFixed(spec MicroSpec, fn int) (MicroResult, error) {
 	}
 	r.Winner = r.Impl
 	return r, nil
+}
+
+// RunFixedObserved is RunFixed with spec.Observe forced on, additionally
+// returning the run's recorder for trace export.
+func RunFixedObserved(spec MicroSpec, fn int) (MicroResult, *obs.Recorder, error) {
+	spec.Observe = true
+	names := spec.FunctionNames()
+	if fn < 0 || fn >= len(names) {
+		return MicroResult{}, nil, fmt.Errorf("bench: implementation index %d out of range (%d impls)", fn, len(names))
+	}
+	r, rec, err := runLoopObserved(spec, names[fn], func(fs *core.FunctionSet) core.Selector {
+		return &core.FixedSelector{Fn: fn}
+	})
+	if err != nil {
+		return r, nil, err
+	}
+	r.Winner = r.Impl
+	return r, rec, nil
+}
+
+// RunADCLObserved is RunADCL with spec.Observe forced on, additionally
+// returning the run's recorder for trace export.
+func RunADCLObserved(spec MicroSpec, selector string) (MicroResult, *obs.Recorder, error) {
+	spec.Observe = true
+	var selErr error
+	r, rec, err := runLoopObserved(spec, "adcl:"+selector, func(fs *core.FunctionSet) core.Selector {
+		sel, err := core.SelectorByName(selector, fs, spec.evals())
+		if err != nil {
+			selErr = err
+			return &core.FixedSelector{Fn: 0}
+		}
+		return sel
+	})
+	if selErr != nil {
+		return MicroResult{}, nil, selErr
+	}
+	return r, rec, err
 }
 
 // RunAllFixed measures every implementation of the spec's function set.

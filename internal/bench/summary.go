@@ -55,6 +55,10 @@ type SummaryRow struct {
 	ADCLTotal   float64         `json:"adcl_total,omitempty"`
 	Winner      string          `json:"winner,omitempty"`
 	Improvement float64         `json:"improvement,omitempty"`
+	// Overlap is the scenario's communication-overlap ratio (verification:
+	// of the best fixed run; FFT: of the ADCL run). Present only when the
+	// sweep ran with observation enabled (cmd/sweep -observe).
+	Overlap float64 `json:"overlap,omitempty"`
 }
 
 // Summary renders the verification sweep as a SweepSummary.
@@ -75,6 +79,7 @@ func (s *SweepStats) Summary() *SweepSummary {
 			Best:      v.Fixed[v.Best].Impl,
 			BestTotal: v.Fixed[v.Best].Total,
 			Correct:   map[string]bool{},
+			Overlap:   v.Fixed[v.Best].Overlap,
 		}
 		for j, sel := range s.Selectors {
 			row.Correct[sel] = v.Correct(j)
@@ -103,6 +108,7 @@ func (s *FFTSweepStats) Summary() *SweepSummary {
 			ADCLTotal:   adclR.Total,
 			Winner:      adclR.Winner,
 			Improvement: (nbcR.Total - adclR.Total) / nbcR.Total,
+			Overlap:     adclR.Overlap,
 		})
 	}
 	return sum

@@ -1,6 +1,8 @@
 // Package core implements ADCL, the Abstract Data and Communication Library
 // of the paper: an auto-tuning runtime for (non-blocking) collective
-// communication operations.
+// communication operations. It is layer S5 of the substitution map
+// (DESIGN.md §1) — the paper's contribution itself, reproduced rather than
+// substituted.
 //
 // A communication operation is a FunctionSet holding alternative
 // implementations (Functions), optionally characterized by an AttributeSet.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"nbctune/internal/obs"
 	"nbctune/internal/stats"
 )
 
@@ -80,6 +81,7 @@ type BruteForce struct {
 	store   measStore
 	decided bool
 	winner  int
+	audit   *obs.Audit
 }
 
 // NewBruteForce tunes over all fnCount implementations.
@@ -122,11 +124,14 @@ func (b *BruteForce) Record(fn int, t float64) {
 	if b.decided {
 		return
 	}
+	b.audit.Sample(fn, t)
 	b.store.record(fn, t)
 	b.seq++
 	if b.seq >= b.evals*len(b.cands) {
 		b.winner = b.store.argmin(b.cands)
 		b.decided = true
+		auditEstimates(b.audit, &b.store, b.cands)
+		b.audit.Decide(b.winner, b.store.n)
 	}
 }
 
@@ -153,6 +158,7 @@ type AttrHeuristic struct {
 	final   *BruteForce
 	decided bool
 	winner  int
+	audit   *obs.Audit
 }
 
 // NewAttrHeuristic builds the heuristic for a function set. Function sets
@@ -204,6 +210,7 @@ func (h *AttrHeuristic) advancePhase() {
 			if len(sl) >= 2 {
 				h.slice = sl
 				h.seq = 0
+				h.audit.Phase(fmt.Sprintf("slicing attribute %q over %d candidates", h.attrs.Attrs[h.attr].Name, len(sl)))
 				return
 			}
 		}
@@ -213,9 +220,12 @@ func (h *AttrHeuristic) advancePhase() {
 	if len(h.remaining) == 1 {
 		h.winner = h.remaining[0]
 		h.decided = true
+		h.audit.Decide(h.winner, h.store.n)
 		return
 	}
+	h.audit.Phase(fmt.Sprintf("final brute force over %d survivors", len(h.remaining)))
 	h.final = newBruteForceOver(h.remaining, h.evals)
+	h.final.audit = h.audit
 }
 
 func (h *AttrHeuristic) Name() string { return "attr-heuristic" }
@@ -247,20 +257,25 @@ func (h *AttrHeuristic) Record(fn int, t float64) {
 		}
 		return
 	}
+	h.audit.Sample(fn, t)
 	h.store.record(fn, t)
 	h.seq++
 	if h.seq < h.evals*len(h.slice) {
 		return
 	}
 	// Decide the optimal value for this attribute and prune.
+	auditEstimates(h.audit, &h.store, h.slice)
 	best := h.store.argmin(h.slice)
 	bestVal := h.fns[best].Attrs[h.attr]
-	var kept []int
+	var kept, removed []int
 	for _, i := range h.remaining {
 		if h.fns[i].Attrs[h.attr] == bestVal {
 			kept = append(kept, i)
+		} else {
+			removed = append(removed, i)
 		}
 	}
+	h.audit.Prune(fmt.Sprintf("attribute %q pinned to %d", h.attrs.Attrs[h.attr].Name, bestVal), removed)
 	h.remaining = kept
 	h.attr++
 	h.advancePhase()
@@ -300,6 +315,7 @@ type Factorial2K struct {
 	final   *BruteForce
 	decided bool
 	winner  int
+	audit   *obs.Audit
 }
 
 // NewFactorial2K builds the factorial-design selector; it falls back to
@@ -386,12 +402,14 @@ func (f *Factorial2K) Record(fn int, t float64) {
 		}
 		return
 	}
+	f.audit.Sample(fn, t)
 	f.store.record(fn, t)
 	f.seq++
 	if f.seq < f.evals*len(f.cornerFn) {
 		return
 	}
 	// Score corners and estimate effects.
+	auditEstimates(f.audit, &f.store, f.cornerFn)
 	total := 0.0
 	for i := range f.corners {
 		f.corners[i].Score = f.store.score(f.cornerFn[i])
@@ -410,7 +428,7 @@ func (f *Factorial2K) Record(fn int, t float64) {
 			}
 		}
 	}
-	var survivors []int
+	var survivors, removed []int
 	for i, fnc := range f.fns {
 		ok := true
 		for a, v := range pinned {
@@ -421,14 +439,22 @@ func (f *Factorial2K) Record(fn int, t float64) {
 		}
 		if ok {
 			survivors = append(survivors, i)
+		} else {
+			removed = append(removed, i)
 		}
+	}
+	if f.audit != nil && len(removed) > 0 {
+		f.audit.Prune(fmt.Sprintf("corner screen pinned %d attribute(s)", len(pinned)), removed)
 	}
 	if len(survivors) == 1 {
 		f.winner = survivors[0]
 		f.decided = true
+		f.audit.Decide(f.winner, f.store.n)
 		return
 	}
+	f.audit.Phase(fmt.Sprintf("final brute force over %d survivors", len(survivors)))
 	f.final = newBruteForceOver(survivors, f.evals)
+	f.final.audit = f.audit
 }
 
 func (f *Factorial2K) Winner() int { return f.winner }

@@ -3,6 +3,13 @@
 // non-blocking all-to-all operations in the pipelined / tiled / windowed /
 // window-tiled patterns of Hoefler et al. [14], with blocking-MPI, LibNBC
 // (fixed linear algorithm) and ADCL (runtime-tuned) communication back ends.
+// It is layer S6 of the substitution map (DESIGN.md §1).
+//
+// Invariant: the transform itself is exact — a real radix-2 FFT validated
+// against the direct DFT — while benchmark runs set Config.Virtual, which
+// keeps every schedule, message size and compute charge identical but skips
+// touching payload data, so simulated timings scale to rank counts whose
+// array allocations would not.
 package fft
 
 import (

@@ -30,7 +30,8 @@ type Request struct {
 	size int
 	done bool
 
-	rndvMatched bool // recv: matched an RTS, bulk transfer pending
+	rndvMatched bool    // recv: matched an RTS, bulk transfer pending
+	rtsAt       float64 // send: virtual time the RTS was posted (stall metric)
 
 	// Actual match metadata, valid for completed receives.
 	SrcActual int
@@ -131,6 +132,10 @@ func (r *Rank) sendCTS(rreq *Request, env *envelope) {
 }
 
 func (n ctsNotice) process(r *Rank) {
+	// The whole RTS→CTS handshake happened while this sender was outside
+	// MPI (or blocked): the elapsed time is the rendezvous stall that an
+	// extra progress call on either side could have shortened.
+	r.rec.RendezvousStall(r.id, r.w.eng.Now()-n.sreq.rtsAt)
 	p := r.net().Params()
 	cost := p.OSend
 	if !p.RDMA {
@@ -200,6 +205,7 @@ func (r *Rank) isend(dst, tag, ctx int, data []byte, vsize int) *Request {
 	// both sides.
 	r.outstanding++
 	r.charge(p.OSend)
+	req.rtsAt = r.w.eng.Now()
 	env := &envelope{src: r.id, dst: dst, tag: tag, ctx: ctx, size: size, data: data, sreq: req}
 	r.net().Ctrl(r.id, dst, func() {
 		dstRank.enqueue(rtsNotice{env: env})

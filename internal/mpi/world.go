@@ -1,5 +1,6 @@
 // Package mpi implements a simulated single-threaded MPI library on top of
-// the sim engine and the netmodel interconnect model.
+// the sim engine and the netmodel interconnect model — layer S3 of the
+// substitution map (DESIGN.md §1), the stand-in for Open MPI 1.6.
 //
 // The central design point, taken from the paper (§III-C), is that the
 // library has no progress thread: non-blocking operations only advance when
@@ -16,6 +17,7 @@ import (
 	"math/rand"
 
 	"nbctune/internal/netmodel"
+	"nbctune/internal/obs"
 	"nbctune/internal/sim"
 )
 
@@ -66,6 +68,19 @@ func (w *World) Engine() *sim.Engine { return w.eng }
 // Network returns the interconnect model.
 func (w *World) Network() *netmodel.Network { return w.net }
 
+// Observe attaches an observability recorder to every rank and to the
+// network: compute/in-MPI/blocked state spans, progress-call counts,
+// rendezvous stalls, and NIC occupancy are reported to it from now on.
+// Recording is passive (it never advances virtual time or perturbs any
+// decision), so an observed run is bit-identical to an unobserved one.
+// Call before Start; nil detaches.
+func (w *World) Observe(rec *obs.Recorder) {
+	for _, r := range w.ranks {
+		r.rec = rec
+	}
+	w.net.SetRecorder(rec)
+}
+
 // Start spawns one simulated process per rank, each executing prog with its
 // world communicator. Call eng.Run() afterwards to execute the simulation.
 func (w *World) Start(prog func(c *Comm)) {
@@ -91,6 +106,7 @@ type Rank struct {
 	id   int
 	proc *sim.Proc
 	rng  *rand.Rand
+	rec  *obs.Recorder // nil unless World.Observe attached one
 
 	// Message-progression state. All four queues are only mutated in
 	// engine-event context (enqueue) or in the rank's own proc context
@@ -122,6 +138,10 @@ func (r *Rank) Proc() *sim.Proc { return r.proc }
 // Rand returns this rank's deterministic RNG.
 func (r *Rank) Rand() *rand.Rand { return r.rng }
 
+// Recorder returns the attached observability recorder, or nil. All
+// *obs.Recorder methods are nil-safe, so callers use the result directly.
+func (r *Rank) Recorder() *obs.Recorder { return r.rec }
+
 // Compute advances this rank by d seconds of application computation,
 // perturbed by the world's noise model. It is the only rank API that does
 // NOT count as an MPI instant.
@@ -133,7 +153,9 @@ func (r *Rank) Compute(d float64) {
 		d = n(r.rng, d)
 	}
 	r.ComputeTime += d
+	t0 := r.proc.Now()
 	r.proc.Sleep(d)
+	r.rec.StateSpan(r.id, obs.StateCompute, t0, t0+d)
 }
 
 // ChargeCopy charges the CPU cost of moving n bytes through the host memory
@@ -154,7 +176,9 @@ func (r *Rank) charge(d float64) {
 		return
 	}
 	r.MPITime += d
+	t0 := r.proc.Now()
 	r.proc.Sleep(d)
+	r.rec.StateSpan(r.id, obs.StateMPI, t0, t0+d)
 }
 
 // enqueue adds a notice for this rank and wakes it if it is blocked inside
@@ -172,6 +196,7 @@ func (r *Rank) enqueue(n notice) {
 func (r *Rank) Progress() {
 	p := r.net().Params()
 	r.ProgressCalls++
+	r.rec.ProgressCall(r.id)
 	r.charge(p.OProgress + p.OTest*float64(r.outstanding))
 	r.processNotices()
 }
@@ -198,7 +223,9 @@ func (r *Rank) waitUntil(pred func() bool) {
 			return
 		}
 		r.blockedInMPI = true
+		t0 := r.proc.Now()
 		r.cond.Wait(r.proc)
+		r.rec.StateSpan(r.id, obs.StateBlocked, t0, r.proc.Now())
 		r.blockedInMPI = false
 	}
 }

@@ -1,5 +1,6 @@
 // Package nbc implements non-blocking collective operations in the style of
-// LibNBC (Hoefler et al., SC'07), the library the paper builds on.
+// LibNBC (Hoefler et al., SC'07), the library the paper builds on — layer S4
+// of the substitution map (DESIGN.md §1).
 //
 // Each collective algorithm compiles, per rank, into a Schedule: an ordered
 // list of rounds, each round holding point-to-point operations and local
@@ -80,6 +81,7 @@ type Handle struct {
 	await    int   // cumulative put count the current round waits for (-1: none)
 	instance int64 // collective instance id on the schedule's window
 	done     bool
+	obsID    int // recorder span id for this execution (-1: not observed)
 }
 
 // Start begins non-blocking execution of sched on comm. It posts the first
@@ -90,6 +92,8 @@ func Start(comm *mpi.Comm, sched *Schedule) *Handle {
 	if sched.Win != nil {
 		h.instance = sched.Win.NextInstance()
 	}
+	rank := comm.RankState()
+	h.obsID = rank.Recorder().OpBegin(rank.ID(), sched.Name, rank.Now())
 	h.execRounds()
 	return h
 }
@@ -97,6 +101,8 @@ func Start(comm *mpi.Comm, sched *Schedule) *Handle {
 // execRounds executes the current round's local ops, posts its p2p ops, and
 // falls through rounds that have no point-to-point operations.
 func (h *Handle) execRounds() {
+	rank := h.comm.RankState()
+	rec := rank.Recorder()
 	for h.round < len(h.sched.Rounds) {
 		r := h.sched.Rounds[h.round]
 		h.pending = h.pending[:0]
@@ -109,10 +115,12 @@ func (h *Handle) execRounds() {
 					op.Fn()
 				}
 			case OpSend:
+				rec.AlgoBytes(h.sched.Name, opBytes(op))
 				h.pending = append(h.pending, h.comm.Isend(op.Peer, h.tag+op.TagOff, op.Buf, op.Size))
 			case OpRecv:
 				h.pending = append(h.pending, h.comm.Irecv(op.Peer, h.tag+op.TagOff, op.Buf, op.Size))
 			case OpPut:
+				rec.AlgoBytes(h.sched.Name, opBytes(op))
 				h.pending = append(h.pending, h.sched.Win.PutInstanced(h.instance, op.Peer, op.Off, op.Buf, op.Size))
 			case OpAwaitPuts:
 				h.await = op.Count
@@ -121,11 +129,23 @@ func (h *Handle) execRounds() {
 			}
 		}
 		if len(h.pending) > 0 || h.await >= 0 {
+			if rec != nil {
+				rec.MarkInstant(rank.ID(), fmt.Sprintf("%s r%d", h.sched.Name, h.round), rank.Now())
+			}
 			return // wait for this round's communication
 		}
 		h.round++
 	}
 	h.done = true
+	rec.OpEnd(rank.ID(), h.obsID, rank.Now())
+}
+
+// opBytes returns the payload size of a send/put schedule entry.
+func opBytes(op Op) int {
+	if op.Buf != nil {
+		return len(op.Buf)
+	}
+	return op.Size
 }
 
 // roundDone reports whether all of the current round's requests completed
@@ -157,6 +177,8 @@ func (h *Handle) Progress() bool {
 	if !h.comm.Test(h.pending...) || !h.awaitSatisfied() {
 		return false
 	}
+	rank := h.comm.RankState()
+	rank.Recorder().ProgressAdvanced(rank.ID())
 	h.round++
 	h.execRounds()
 	return h.done

@@ -1,5 +1,6 @@
 // Package netmodel provides the interconnect timing model used by the
-// simulated MPI substrate.
+// simulated MPI substrate — layer S2 of the substitution map (DESIGN.md §1),
+// the stand-in for InfiniBand, GigE and the BG/P torus.
 //
 // The model is LogGP-flavored with three additions that the paper's results
 // hinge on:
@@ -21,6 +22,7 @@ package netmodel
 import (
 	"fmt"
 
+	"nbctune/internal/obs"
 	"nbctune/internal/sim"
 )
 
@@ -183,7 +185,14 @@ type Network struct {
 	CtrlMessages  int64
 	BytesOnWire   int64
 	IncastSamples int64
+
+	rec *obs.Recorder
 }
+
+// SetRecorder attaches an observability recorder; Transfer then reports the
+// tx/rx occupancy span of every inter-node bulk transfer. Recording is
+// passive — it never changes transfer timing — and nil detaches.
+func (n *Network) SetRecorder(rec *obs.Recorder) { n.rec = rec }
 
 // New builds a network for the given rank->node placement.
 func New(eng *sim.Engine, p Params, nodeOf []int) (*Network, error) {
@@ -267,6 +276,9 @@ func (n *Network) Transfer(src, dst, bytes int, deliver func()) float64 {
 	rxDur := n.p.MsgGap + float64(bytes)/n.p.Bandwidth*factor
 	rn.rxFree[ri] = rxStart + rxDur
 	arrival := rxStart + rxDur
+
+	n.rec.NIC(a, ti, obs.TX, start, start+txDur, bytes)
+	n.rec.NIC(b, ri, obs.RX, rxStart, arrival, bytes)
 
 	n.eng.AtTime(arrival, func() {
 		rn.inRx--

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Selection audit: a machine-readable log of everything an ADCL selector saw
+// and decided during one tuning session, detailed enough that a winner can
+// be re-derived by hand from the artifact alone (EXPERIMENTS.md walks
+// through one). The core selectors emit into an *Audit attached via
+// core.AttachAudit; like the Recorder, every method is a no-op on nil and
+// never influences the selection itself.
+
+// Audit event kinds.
+const (
+	// AuditSample: one raw measurement of one function.
+	AuditSample = "sample"
+	// AuditEstimate: the filtered (robust-score) estimate of one function at
+	// a decision point, with how many samples survived the outlier filter.
+	AuditEstimate = "estimate"
+	// AuditPrune: candidate functions removed from the search.
+	AuditPrune = "prune"
+	// AuditPhase: a selector phase transition (attribute slices, corner
+	// screening, final brute force).
+	AuditPhase = "phase"
+	// AuditDecide: the final winner.
+	AuditDecide = "decide"
+)
+
+// AuditEvent is one entry of the selection log. Fn is a function index into
+// Audit.Functions; it is -1 for events not tied to one function.
+type AuditEvent struct {
+	Seq     int     `json:"seq"`
+	Kind    string  `json:"kind"`
+	Fn      int     `json:"fn"`
+	Name    string  `json:"name,omitempty"`
+	Value   float64 `json:"value,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
+	Removed []int   `json:"removed,omitempty"`
+}
+
+// Audit is the selection log of one tuning session.
+type Audit struct {
+	Selector  string       `json:"selector"`
+	Functions []string     `json:"functions"`
+	Events    []AuditEvent `json:"events"`
+}
+
+// NewAudit creates an audit log for a selector over the named functions.
+func NewAudit(selector string, functions []string) *Audit {
+	return &Audit{Selector: selector, Functions: functions}
+}
+
+func (a *Audit) add(ev AuditEvent) {
+	ev.Seq = len(a.Events)
+	if ev.Fn >= 0 && ev.Fn < len(a.Functions) {
+		ev.Name = a.Functions[ev.Fn]
+	}
+	a.Events = append(a.Events, ev)
+}
+
+// Sample logs one raw measurement (seconds) of function fn.
+func (a *Audit) Sample(fn int, v float64) {
+	if a == nil {
+		return
+	}
+	a.add(AuditEvent{Kind: AuditSample, Fn: fn, Value: v})
+}
+
+// Estimate logs the filtered estimate of function fn at a decision point.
+func (a *Audit) Estimate(fn int, score float64, detail string) {
+	if a == nil {
+		return
+	}
+	a.add(AuditEvent{Kind: AuditEstimate, Fn: fn, Value: score, Detail: detail})
+}
+
+// Prune logs the removal of candidate functions, with the reason.
+func (a *Audit) Prune(detail string, removed []int) {
+	if a == nil {
+		return
+	}
+	a.add(AuditEvent{Kind: AuditPrune, Fn: -1, Detail: detail, Removed: removed})
+}
+
+// Phase logs a selector phase transition.
+func (a *Audit) Phase(detail string) {
+	if a == nil {
+		return
+	}
+	a.add(AuditEvent{Kind: AuditPhase, Fn: -1, Detail: detail})
+}
+
+// Decide logs the final winner and the number of measurements consumed.
+func (a *Audit) Decide(winner int, evals int) {
+	if a == nil {
+		return
+	}
+	a.add(AuditEvent{Kind: AuditDecide, Fn: winner, Value: float64(evals), Detail: "evals"})
+}
+
+// Samples returns the raw measurements logged for function fn, in order.
+func (a *Audit) Samples(fn int) []float64 {
+	if a == nil {
+		return nil
+	}
+	var out []float64
+	for _, ev := range a.Events {
+		if ev.Kind == AuditSample && ev.Fn == fn {
+			out = append(out, ev.Value)
+		}
+	}
+	return out
+}
+
+// Winner returns the decided function index, or -1 if no decision was
+// logged.
+func (a *Audit) Winner() int {
+	if a == nil {
+		return -1
+	}
+	for i := len(a.Events) - 1; i >= 0; i-- {
+		if a.Events[i].Kind == AuditDecide {
+			return a.Events[i].Fn
+		}
+	}
+	return -1
+}
+
+// WriteJSON writes the audit log as indented JSON.
+func (a *Audit) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}

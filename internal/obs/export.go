@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Exporters: Chrome trace-event JSON (loadable by Perfetto and
+// chrome://tracing) for the timelines, and flat indented JSON for the
+// derived metrics. Output is deterministic: events are emitted in a fixed
+// order (metadata, then per-rank states, ops, marks, then NIC spans in
+// recording order), so two identical runs export byte-identical files.
+
+// Process ids used in the trace. Each simulated concept gets its own trace
+// "process" so Perfetto groups the tracks.
+const (
+	pidRanks = 0 // rank state timelines, one thread per rank
+	pidOps   = 1 // collective-operation spans + round marks, one thread per rank
+	pidNIC   = 2 // NIC channel occupancy, one process per node, offset by node
+)
+
+// traceEvent is one entry of the Chrome trace-event format. Ts and Dur are
+// in microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const usPerSec = 1e6
+
+func complete(name string, pid, tid int, t0, t1 float64, cat string, args map[string]any) traceEvent {
+	dur := (t1 - t0) * usPerSec
+	return traceEvent{Name: name, Ph: "X", Pid: pid, Tid: tid, Ts: t0 * usPerSec, Dur: &dur, Cat: cat, Args: args}
+}
+
+func metaName(kind string, pid, tid int, name string) traceEvent {
+	ev := traceEvent{Name: kind, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}}
+	return ev
+}
+
+// WriteChromeTrace writes the recorded timelines in Chrome trace-event JSON.
+// Open the file at https://ui.perfetto.dev or chrome://tracing. Safe on a
+// nil recorder (writes an empty trace).
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	var evs []traceEvent
+	if r != nil {
+		evs = append(evs,
+			metaName("process_name", pidRanks, 0, "rank states"),
+			metaName("process_name", pidOps, 0, "collectives"),
+		)
+		for rank := range r.ranks {
+			evs = append(evs,
+				metaName("thread_name", pidRanks, rank, fmt.Sprintf("rank %d", rank)),
+				metaName("thread_name", pidOps, rank, fmt.Sprintf("rank %d", rank)),
+			)
+		}
+		for rank := range r.ranks {
+			tl := &r.ranks[rank]
+			for _, iv := range tl.intervals {
+				evs = append(evs, complete(iv.State.String(), pidRanks, rank, iv.Start, iv.End, "state", nil))
+			}
+			for _, op := range tl.ops {
+				if op.End <= op.Start {
+					continue // left open; no duration to draw
+				}
+				evs = append(evs, complete(op.Name, pidOps, rank, op.Start, op.End, "op", nil))
+			}
+		}
+		for _, mk := range r.marks {
+			evs = append(evs, traceEvent{
+				Name: mk.Name, Ph: "i", Pid: pidOps, Tid: mk.Rank,
+				Ts: mk.T * usPerSec, S: "t", Cat: "round",
+			})
+		}
+		nicNamed := map[int]bool{}
+		for _, s := range r.nic {
+			pid := pidNIC + s.Node
+			if !nicNamed[s.Node] {
+				nicNamed[s.Node] = true
+				evs = append(evs, metaName("process_name", pid, 0, fmt.Sprintf("node %d NIC", s.Node)))
+			}
+			tid := s.Channel*2 + int(s.Dir)
+			name := fmt.Sprintf("%s %dB", s.Dir, s.Bytes)
+			evs = append(evs, complete(name, pid, tid, s.Start, s.End, "nic",
+				map[string]any{"bytes": s.Bytes, "channel": s.Channel, "dir": s.Dir.String()}))
+		}
+	}
+	out := struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+		DisplayUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: evs, DisplayUnit: "ms"}
+	if out.TraceEvents == nil {
+		out.TraceEvents = []traceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteJSON writes the metrics summary as indented JSON.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -1,0 +1,224 @@
+package obs
+
+import "sort"
+
+// Derived metrics. The headline quantity is the overlap ratio, the paper's
+// §III-C measure of how much non-blocking communication is hidden under
+// application computation:
+//
+//	commWall = union of the rank's collective-operation in-flight spans
+//	hidden   = time the rank spent in StateCompute inside commWall
+//	exposed  = commWall - hidden
+//	overlap  = hidden / commWall        (0 when commWall == 0)
+//
+// A perfectly overlapped run computes through the whole operation lifetime
+// (overlap → 1); a fully serialized run (compute strictly before Start or
+// after Wait) has overlap 0, as do the degenerate zero-communication and
+// zero-compute runs.
+
+// RankMetrics are the per-rank derived quantities.
+type RankMetrics struct {
+	Rank    int     `json:"rank"`
+	Compute float64 `json:"compute"` // total seconds in StateCompute
+	MPI     float64 `json:"mpi"`     // total seconds in StateMPI
+	Blocked float64 `json:"blocked"` // total seconds in StateBlocked
+
+	CommWall float64 `json:"comm_wall"` // union of op in-flight spans
+	Hidden   float64 `json:"hidden"`    // compute time inside commWall
+	Exposed  float64 `json:"exposed"`   // commWall - hidden
+	Overlap  float64 `json:"overlap"`   // hidden / commWall, 0 if no comm
+
+	ProgressCalls    int64 `json:"progress_calls"`
+	ProgressAdvanced int64 `json:"progress_advanced"`
+
+	RendezvousStalls    int64   `json:"rendezvous_stalls"`
+	RendezvousStallTime float64 `json:"rendezvous_stall_time"`
+}
+
+// NICMetrics summarize one node's NIC activity.
+type NICMetrics struct {
+	Node    int     `json:"node"`
+	TxBusy  float64 `json:"tx_busy"` // summed channel-seconds of tx occupancy
+	RxBusy  float64 `json:"rx_busy"`
+	TxBytes int64   `json:"tx_bytes"`
+	RxBytes int64   `json:"rx_bytes"`
+}
+
+// Metrics is the flat, export-ready summary of a recorded run.
+type Metrics struct {
+	Ranks []RankMetrics `json:"ranks"`
+
+	// Overlap is the aggregate overlap ratio: sum(hidden) / sum(commWall)
+	// over all ranks (not the mean of the per-rank ratios, so idle ranks
+	// don't dilute it).
+	Overlap float64 `json:"overlap"`
+
+	TotalCompute float64 `json:"total_compute"`
+	TotalMPI     float64 `json:"total_mpi"`
+	TotalBlocked float64 `json:"total_blocked"`
+
+	ProgressCalls    int64 `json:"progress_calls"`
+	ProgressAdvanced int64 `json:"progress_advanced"`
+
+	RendezvousStalls    int64   `json:"rendezvous_stalls"`
+	RendezvousStallTime float64 `json:"rendezvous_stall_time"`
+
+	// BytesByAlgo attributes payload bytes-on-wire to schedule names.
+	BytesByAlgo map[string]int64 `json:"bytes_by_algo,omitempty"`
+
+	NIC []NICMetrics `json:"nic,omitempty"`
+}
+
+// span is a half-open-agnostic [start, end] helper for union/intersection.
+type span struct{ start, end float64 }
+
+// mergeSpans sorts and merges overlapping spans, returning a disjoint,
+// ordered union.
+func mergeSpans(in []span) []span {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].start < in[j].start })
+	out := in[:1]
+	for _, s := range in[1:] {
+		last := &out[len(out)-1]
+		if s.start <= last.end {
+			if s.end > last.end {
+				last.end = s.end
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// intersectLen returns the total length of the intersection of two disjoint,
+// ordered span lists.
+func intersectLen(a, b []span) float64 {
+	total, i, j := 0.0, 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].start
+		if b[j].start > lo {
+			lo = b[j].start
+		}
+		hi := a[i].end
+		if b[j].end < hi {
+			hi = b[j].end
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+		if a[i].end < b[j].end {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
+}
+
+func spanLen(xs []span) float64 {
+	total := 0.0
+	for _, s := range xs {
+		total += s.end - s.start
+	}
+	return total
+}
+
+// Metrics derives the flat metrics summary from everything recorded so far.
+// Safe on a nil recorder (returns an empty summary).
+func (r *Recorder) Metrics() *Metrics {
+	m := &Metrics{}
+	if r == nil {
+		return m
+	}
+	var sumHidden, sumWall float64
+	for rank := range r.ranks {
+		tl := &r.ranks[rank]
+		rm := RankMetrics{
+			Rank:                rank,
+			ProgressCalls:       tl.progressCalls,
+			ProgressAdvanced:    tl.progressAdvanced,
+			RendezvousStalls:    tl.stalls,
+			RendezvousStallTime: tl.stallTime,
+		}
+		var compute []span
+		for _, iv := range tl.intervals {
+			d := iv.End - iv.Start
+			switch iv.State {
+			case StateCompute:
+				rm.Compute += d
+				compute = append(compute, span{iv.Start, iv.End})
+			case StateMPI:
+				rm.MPI += d
+			case StateBlocked:
+				rm.Blocked += d
+			}
+		}
+		var ops []span
+		for _, op := range tl.ops {
+			if op.End > op.Start { // skip spans left open
+				ops = append(ops, span{op.Start, op.End})
+			}
+		}
+		wall := mergeSpans(ops)
+		rm.CommWall = spanLen(wall)
+		rm.Hidden = intersectLen(mergeSpans(compute), wall)
+		rm.Exposed = rm.CommWall - rm.Hidden
+		if rm.CommWall > 0 {
+			rm.Overlap = rm.Hidden / rm.CommWall
+		}
+
+		m.Ranks = append(m.Ranks, rm)
+		m.TotalCompute += rm.Compute
+		m.TotalMPI += rm.MPI
+		m.TotalBlocked += rm.Blocked
+		m.ProgressCalls += rm.ProgressCalls
+		m.ProgressAdvanced += rm.ProgressAdvanced
+		m.RendezvousStalls += rm.RendezvousStalls
+		m.RendezvousStallTime += rm.RendezvousStallTime
+		sumHidden += rm.Hidden
+		sumWall += rm.CommWall
+	}
+	if sumWall > 0 {
+		m.Overlap = sumHidden / sumWall
+	}
+	if len(r.bytesByAlgo) > 0 {
+		m.BytesByAlgo = make(map[string]int64, len(r.bytesByAlgo))
+		for k, v := range r.bytesByAlgo {
+			m.BytesByAlgo[k] = v
+		}
+	}
+	m.NIC = r.nicMetrics()
+	return m
+}
+
+func (r *Recorder) nicMetrics() []NICMetrics {
+	if len(r.nic) == 0 {
+		return nil
+	}
+	byNode := map[int]*NICMetrics{}
+	var order []int
+	for _, s := range r.nic {
+		nm := byNode[s.Node]
+		if nm == nil {
+			nm = &NICMetrics{Node: s.Node}
+			byNode[s.Node] = nm
+			order = append(order, s.Node)
+		}
+		if s.Dir == TX {
+			nm.TxBusy += s.End - s.Start
+			nm.TxBytes += int64(s.Bytes)
+		} else {
+			nm.RxBusy += s.End - s.Start
+			nm.RxBytes += int64(s.Bytes)
+		}
+	}
+	sort.Ints(order)
+	out := make([]NICMetrics, 0, len(order))
+	for _, nd := range order {
+		out = append(out, *byNode[nd])
+	}
+	return out
+}

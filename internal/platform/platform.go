@@ -4,7 +4,10 @@
 // BlueGene/P-like system. The presets are not measurements of those systems
 // — they are parameter sets chosen so the simulated interconnects exhibit
 // the qualitative properties the paper attributes to each platform
-// (DESIGN.md, substitution 1).
+// (DESIGN.md, substitution 1). It is layer S8 of the substitution map
+// (DESIGN.md §1); the invariant is that a preset plus a seed fully
+// determines the simulated machine — NewWorld is the single assembly point
+// wiring sim, netmodel and mpi together.
 package platform
 
 import (

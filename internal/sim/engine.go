@@ -1,5 +1,6 @@
 // Package sim implements a deterministic discrete-event simulation engine
-// with cooperatively scheduled processes.
+// with cooperatively scheduled processes. It is layer S1 of the substitution
+// map (DESIGN.md §1): the stand-in for MPI ranks running on real clusters.
 //
 // The engine owns a virtual clock and a priority queue of events. Simulated
 // processes run as goroutines, but the engine guarantees that at most one

@@ -27,6 +27,12 @@ func (e TraceEvent) String() string {
 // event, so tracing a long simulation costs the same per event as a short
 // one (the previous implementation shifted the whole buffer on every
 // eviction, making a full trace O(capacity) per event).
+//
+// Invariant: head is meaningful only while the buffer is full
+// (len(events) == max). Until the first eviction — including the unbounded
+// case and a buffer filled exactly to capacity — head stays 0 and events is
+// in insertion order, so Events() can return the live buffer without
+// copying. trace_test.go pins all three regimes.
 type Trace struct {
 	eng    *Engine
 	events []TraceEvent

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The ring-buffer invariant (see Trace): head is meaningful only when the
+// buffer is full (len(events) == max); until then head stays 0 and events is
+// in insertion order. These tests pin the three regimes — unbounded, exactly
+// full without wrapping, and wrapped — against the head-index rewrite.
+
+func recordN(t *Trace, n int) { recordRange(t, 0, n) }
+
+func recordRange(t *Trace, first, n int) {
+	for i := 0; i < n; i++ {
+		t.Record("k", "who", "%d", first+i)
+	}
+}
+
+func wantSeq(t *testing.T, evs []TraceEvent, first, n int) {
+	t.Helper()
+	if len(evs) != n {
+		t.Fatalf("got %d events, want %d", len(evs), n)
+	}
+	for i, e := range evs {
+		if want := fmt.Sprintf("%d", first+i); e.Msg != want {
+			t.Fatalf("event %d: msg %q, want %q (oldest-first order broken)", i, e.Msg, want)
+		}
+	}
+}
+
+func TestTraceUnbounded(t *testing.T) {
+	tr := NewTrace(NewEngine(1), 0)
+	recordN(tr, 100)
+	if tr.head != 0 {
+		t.Errorf("unbounded trace advanced head to %d", tr.head)
+	}
+	wantSeq(t, tr.Events(), 0, 100)
+	if tr.Total() != 100 {
+		t.Errorf("Total = %d, want 100", tr.Total())
+	}
+}
+
+func TestTraceExactFillNoWrap(t *testing.T) {
+	tr := NewTrace(NewEngine(1), 8)
+	recordN(tr, 8)
+	if tr.head != 0 {
+		t.Errorf("exactly-full trace advanced head to %d before any eviction", tr.head)
+	}
+	wantSeq(t, tr.Events(), 0, 8)
+}
+
+func TestTraceWrappedOrdering(t *testing.T) {
+	tr := NewTrace(NewEngine(1), 8)
+	recordN(tr, 20)
+	// 20 records into capacity 8: events 12..19 survive, oldest first.
+	wantSeq(t, tr.Events(), 12, 8)
+	if tr.Total() != 20 {
+		t.Errorf("Total = %d, want 20 (evicted events must still count)", tr.Total())
+	}
+	// Events() on a wrapped ring returns a copy; recording more must not
+	// mutate the snapshot.
+	snap := tr.Events()
+	recordRange(tr, 20, 3)
+	wantSeq(t, snap, 12, 8)
+	wantSeq(t, tr.Events(), 15, 8)
+}

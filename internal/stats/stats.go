@@ -1,6 +1,11 @@
 // Package stats provides the robust statistics ADCL's selection logic uses
 // to compare implementations in the presence of OS noise, plus 2^k factorial
-// design helpers for the attribute-based search-space pruning.
+// design helpers for the attribute-based search-space pruning. It is layer
+// S9 of the substitution map (DESIGN.md §1).
+//
+// Invariant: every function here is pure and deterministic — same input
+// slice, same answer — and none mutates its input; selection decisions and
+// audit replays (obs.Audit) depend on this to be reproducible by hand.
 package stats
 
 import (
