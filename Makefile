@@ -2,7 +2,7 @@
 # command: `make ci`.
 GO ?= go
 
-.PHONY: all build test vet race bench ci
+.PHONY: all build test vet race bench benchsmoke ci
 
 all: ci
 
@@ -17,11 +17,17 @@ vet:
 
 # The experiment runner is the one package with real goroutine concurrency
 # (worker pool, shared progress state, cache writes); run it — and the
-# engine it schedules — under the race detector.
+# execution core it schedules plus the mpi/nbc layers built on the token
+# handoff — under the race detector.
 race:
-	$(GO) test -race ./internal/runner ./internal/sim
+	$(GO) test -race ./internal/runner ./internal/sim/... ./internal/mpi/... ./internal/nbc/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run XXX ./...
 
-ci: build vet test race
+# One-iteration smoke of the committed engine baseline (BENCH_sim.json);
+# regenerate the committed numbers with -benchtime=2s.
+benchsmoke:
+	$(GO) test -bench EngineThroughput -benchtime 1x -run XXX ./internal/sim
+
+ci: build vet test race benchsmoke

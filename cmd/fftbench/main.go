@@ -25,6 +25,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"nbctune/internal/bench"
@@ -53,8 +55,39 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress per-cell progress lines")
 		trace    = flag.String("trace", "", "directory for per-run Chrome trace-event JSON (bypasses the runner; sequential)")
 		metrics  = flag.String("metrics", "", "file for per-run overlap/progress metrics JSON")
+		data     = flag.Bool("data", false, "run the FFT on real field data (virtual times unchanged; slower)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	dataMode = *data
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *trace != "" || *metrics != "" {
 		oc = &collector{traceDir: *trace}
@@ -124,6 +157,9 @@ func main() {
 // given. When oc is nil the figure drivers run exactly as before (parallel,
 // cached, through the experiment runner).
 var oc *collector
+
+// dataMode mirrors -data: figure drivers then run on real field data.
+var dataMode bool
 
 type collector struct {
 	traceDir string
@@ -198,6 +234,11 @@ func (c *collector) writeMetrics(path string) error {
 // metric fields survive the result store); with -trace, cells run directly
 // and sequentially so each run's recorder can be exported.
 func runFFTMatrix(specs []bench.FFTSpec, flavors []fft.Flavor, opt bench.RunOptions) ([][]bench.FFTResult, error) {
+	if dataMode {
+		for i := range specs {
+			specs[i].Data = true
+		}
+	}
 	if oc == nil {
 		return bench.FFTMatrixOpts(specs, flavors, opt)
 	}

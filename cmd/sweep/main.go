@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"nbctune/internal/bench"
 	"nbctune/internal/runner"
@@ -41,8 +43,38 @@ func main() {
 		resume   = flag.Bool("resume", false, "resume an interrupted sweep from the store (implies -cache)")
 		out      = flag.String("out", "results/sweep_summary.json", "machine-readable summary path (empty disables)")
 		observe  = flag.Bool("observe", false, "attach obs recorders so summary rows carry overlap ratios (timing-neutral)")
+		data     = flag.Bool("data", false, "real payloads with per-iteration data verification (virtual times unchanged; slower)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}()
+	}
 
 	var progress io.Writer = os.Stderr
 	if *quiet {
@@ -62,10 +94,9 @@ func main() {
 	switch *suite {
 	case "verification":
 		specs := bench.VerificationScenarios(*fast)
-		if *observe {
-			for i := range specs {
-				specs[i].Observe = true
-			}
+		for i := range specs {
+			specs[i].Observe = specs[i].Observe || *observe
+			specs[i].Data = specs[i].Data || *data
 		}
 		selectors := []string{"brute-force", "attr-heuristic", "factorial-2k"}
 		st, err := bench.VerificationSweepOpts(specs, selectors, opt)
@@ -83,10 +114,9 @@ func main() {
 
 	case "fft":
 		specs := bench.FFTScenarios(*fast)
-		if *observe {
-			for i := range specs {
-				specs[i].Observe = true
-			}
+		for i := range specs {
+			specs[i].Observe = specs[i].Observe || *observe
+			specs[i].Data = specs[i].Data || *data
 		}
 		st, err := bench.FFTSweepOpts(specs, opt)
 		if err != nil {

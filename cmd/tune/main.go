@@ -187,17 +187,21 @@ type tuneMetrics struct {
 func buildSet(c *mpi.Comm, op string, msg int) (*core.FunctionSet, error) {
 	switch op {
 	case "ialltoall":
-		return core.IalltoallSet(c, nil, nil, msg, false), nil
+		n := c.Size()
+		return core.IalltoallSet(c, mpi.Virtual(n*msg), mpi.Virtual(n*msg), false), nil
 	case "ialltoall-ext":
-		return core.IalltoallSet(c, nil, nil, msg, true), nil
+		n := c.Size()
+		return core.IalltoallSet(c, mpi.Virtual(n*msg), mpi.Virtual(n*msg), true), nil
 	case "ialltoall-prim":
-		return core.IalltoallPrimitivesSet(c, nil, nil, msg), nil
+		n := c.Size()
+		return core.IalltoallPrimitivesSet(c, mpi.Virtual(n*msg), mpi.Virtual(n*msg)), nil
 	case "ibcast":
-		return core.IbcastSet(c, 0, nil, msg), nil
+		return core.IbcastSet(c, 0, mpi.Virtual(msg)), nil
 	case "iallgather":
-		return core.IallgatherSet(c, nil, nil, msg), nil
+		n := c.Size()
+		return core.IallgatherSet(c, mpi.Virtual(msg), mpi.Virtual(n*msg)), nil
 	case "iallreduce":
-		return core.IallreduceSet(c, nil, nil, msg, nil), nil
+		return core.IallreduceSet(c, mpi.Virtual(msg), mpi.Virtual(msg), nil), nil
 	case "neighborhood":
 		// Square periodic process grid; msg bytes per field row.
 		g := 1
@@ -211,7 +215,7 @@ func buildSet(c *mpi.Comm, op string, msg int) (*core.FunctionSet, error) {
 		if cols < 4 {
 			cols = 4
 		}
-		halo, err := core.Grid2D(c, g, g, cols, cols, 8, nil)
+		halo, err := core.Grid2D(c, g, g, cols, cols, 8, mpi.Buf{})
 		if err != nil {
 			return nil, err
 		}

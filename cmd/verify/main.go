@@ -41,6 +41,7 @@ func main() {
 		cacheOn   = flag.Bool("cache", false, "serve and persist measurements via the content-addressed store")
 		cacheDir  = flag.String("cachedir", "results/cache", "result store directory")
 		resume    = flag.Bool("resume", false, "resume from previously cached measurements (implies -cache)")
+		data      = flag.Bool("data", false, "real payloads with per-iteration data verification (virtual times unchanged; slower)")
 	)
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 		Platform: plat, Procs: *np, MsgSize: *msg, Op: *op,
 		ComputePerIter: *compute, Iterations: *iters,
 		ProgressCalls: *progress, Seed: *seed, EvalsPerFn: *evals,
+		Data: *data,
 	}
 	// Each fixed implementation and each selector run is an independent
 	// simulation: fan them out on the experiment runner.

@@ -35,8 +35,8 @@ func main() {
 	}
 
 	world.Start(func(c *mpi.Comm) {
-		transpose := core.IalltoallSet(c, nil, nil, 64*1024, false)
-		residual := core.IallreduceSet(c, nil, nil, 8*1024, nil)
+		transpose := core.IalltoallSet(c, mpi.Virtual(np*64*1024), mpi.Virtual(np*64*1024), false)
+		residual := core.IallreduceSet(c, mpi.Virtual(8*1024), mpi.Virtual(8*1024), nil)
 		reqT := core.MustRequest(transpose, core.NewBruteForce(len(transpose.Fns), 3), c.Now)
 		reqR := core.MustRequest(residual, core.NewBruteForce(len(residual.Fns), 3), c.Now)
 		timer := core.MustTimer(c.Now, reqT, reqR)

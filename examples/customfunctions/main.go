@@ -44,29 +44,30 @@ func neighbors(r int) (left, right, up, down int) {
 func haloSet(c *mpi.Comm) *core.FunctionSet {
 	left, right, up, down := neighbors(c.Rank())
 	const tag = 7
+	halo := mpi.Virtual(haloBytes)
 
 	blockingByDim := core.CustomFunction("blocking-by-dimension", []int{0}, func() core.Started {
-		c.Sendrecv(right, tag, nil, haloBytes, left, tag, nil, haloBytes)
-		c.Sendrecv(left, tag, nil, haloBytes, right, tag, nil, haloBytes)
-		c.Sendrecv(down, tag, nil, haloBytes, up, tag, nil, haloBytes)
-		c.Sendrecv(up, tag, nil, haloBytes, down, tag, nil, haloBytes)
+		c.Sendrecv(right, tag, halo, left, tag, halo)
+		c.Sendrecv(left, tag, halo, right, tag, halo)
+		c.Sendrecv(down, tag, halo, up, tag, halo)
+		c.Sendrecv(up, tag, halo, down, tag, halo)
 		return nil
 	})
 	allNonBlocking := core.CustomFunction("isend-irecv-waitall", []int{1}, func() core.Started {
 		var reqs []*mpi.Request
 		for _, src := range []int{left, right, up, down} {
-			reqs = append(reqs, c.Irecv(src, tag, nil, haloBytes))
+			reqs = append(reqs, c.Irecv(src, tag, halo))
 		}
 		for _, dst := range []int{left, right, up, down} {
-			reqs = append(reqs, c.Isend(dst, tag, nil, haloBytes))
+			reqs = append(reqs, c.Isend(dst, tag, halo))
 		}
 		return &waitallOp{c: c, reqs: reqs}
 	})
 	orderedPairs := core.CustomFunction("ordered-pairwise", []int{2}, func() core.Started {
-		c.Sendrecv(right, tag, nil, haloBytes, left, tag, nil, haloBytes)
-		c.Sendrecv(down, tag, nil, haloBytes, up, tag, nil, haloBytes)
-		c.Sendrecv(left, tag, nil, haloBytes, right, tag, nil, haloBytes)
-		c.Sendrecv(up, tag, nil, haloBytes, down, tag, nil, haloBytes)
+		c.Sendrecv(right, tag, halo, left, tag, halo)
+		c.Sendrecv(down, tag, halo, up, tag, halo)
+		c.Sendrecv(left, tag, halo, right, tag, halo)
+		c.Sendrecv(up, tag, halo, down, tag, halo)
 		return nil
 	})
 

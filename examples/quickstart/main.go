@@ -33,9 +33,9 @@ func main() {
 	}
 
 	world.Start(func(c *mpi.Comm) {
-		// The function set holds the three Ialltoall algorithms; nil buffers
-		// mean timing-only payloads.
-		fs := core.IalltoallSet(c, nil, nil, msgSize, false)
+		// The function set holds the three Ialltoall algorithms; virtual
+		// buffers mean timing-only payloads.
+		fs := core.IalltoallSet(c, mpi.Virtual(nprocs*msgSize), mpi.Virtual(nprocs*msgSize), false)
 		req := core.MustRequest(fs, core.NewBruteForce(len(fs.Fns), 3), c.Now)
 		timer := core.MustTimer(c.Now, req)
 

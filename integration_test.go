@@ -33,7 +33,7 @@ func TestIntegration_PutPrimitiveWinsWhenProgressStarved(t *testing.T) {
 	}
 	var winner string
 	world.Start(func(c *mpi.Comm) {
-		fs := core.IalltoallPrimitivesSet(c, nil, nil, msg)
+		fs := core.IalltoallPrimitivesSet(c, mpi.Virtual(np*msg), mpi.Virtual(np*msg))
 		req := core.MustRequest(fs, core.NewBruteForce(len(fs.Fns), 3), c.Now)
 		timer := core.MustTimer(c.Now, req)
 		for it := 0; it < 25; it++ {
@@ -73,7 +73,7 @@ func TestIntegration_HistoryAcrossSimulatedRuns(t *testing.T) {
 			t.Fatal(err)
 		}
 		world.Start(func(c *mpi.Comm) {
-			fs := core.IalltoallSet(c, nil, nil, 64*1024, false)
+			fs := core.IalltoallSet(c, mpi.Virtual(8*64*1024), mpi.Virtual(8*64*1024), false)
 			sel, _ := core.SelectorWithHistory(hist, key, fs, core.NewBruteForce(len(fs.Fns), 4))
 			req := core.MustRequest(fs, sel, c.Now)
 			timer := core.MustTimer(c.Now, req)
@@ -154,7 +154,7 @@ func TestIntegration_TraceObservesRendezvous(t *testing.T) {
 	}
 	tr := sim.NewTrace(eng, 10000)
 	world.Start(func(c *mpi.Comm) {
-		c.Alltoall(nil, 64*1024, nil) // rendezvous-sized blocking alltoall
+		c.Alltoall(mpi.Virtual(4*64*1024), mpi.Virtual(4*64*1024)) // rendezvous-sized blocking alltoall
 	})
 	eng.Run()
 	sends := tr.Filter("isend")

@@ -27,6 +27,11 @@ type FFTSpec struct {
 	// Observe attaches an obs.Recorder and fills the result's
 	// overlap/progress/stall metrics; passive, timing-neutral.
 	Observe bool
+	// Data runs the kernel on real field data instead of length-only
+	// payloads: every transposed byte is transferred and the FFT math
+	// actually executes. Virtual times are identical; only host memory and
+	// wall-clock cost change.
+	Data bool `json:",omitempty"`
 }
 
 func (s FFTSpec) String() string {
@@ -53,9 +58,11 @@ type FFTResult struct {
 	StallTime        float64 `json:",omitempty"`
 }
 
-// RunFFT executes the kernel with timing-only payloads (the paper's loop of
-// 350 iterations on random data, scaled down; correctness of the FFT itself
-// is covered by the fft package's tests on real data).
+// RunFFT executes the kernel, by default with timing-only payloads (the
+// paper's loop of 350 iterations on random data, scaled down; correctness of
+// the FFT itself is covered by the fft package's tests on real data). With
+// spec.Data set the transform runs on real field data at identical virtual
+// times.
 func RunFFT(spec FFTSpec) (FFTResult, error) {
 	r, _, err := RunFFTObserved(spec)
 	return r, err
@@ -98,7 +105,7 @@ func RunFFTObserved(spec FFTSpec) (FFTResult, *obs.Recorder, error) {
 			Selector:        sel,
 			EvalsPerFn:      spec.EvalsPerFn,
 			ProgressPerTile: spec.ProgressPerTile,
-			Virtual:         true,
+			Virtual:         !spec.Data,
 			FlopRate:        spec.Platform.FlopRate,
 		})
 		if err != nil {

@@ -43,6 +43,11 @@ type MicroSpec struct {
 	// overlap/progress/stall metrics. Recording is passive, so the timing
 	// fields are identical with or without it.
 	Observe bool
+	// Data attaches real payload storage to every buffer and verifies the
+	// received bytes after each iteration. Every simulated cost is computed
+	// from sizes, never from contents, so timing results are identical to
+	// the default length-only (virtual) runs.
+	Data bool `json:",omitempty"`
 }
 
 // Ops supported by the micro-benchmark.
@@ -76,14 +81,81 @@ func (s MicroSpec) evals() int {
 	return 3
 }
 
-// functionSet builds the op's function set on a communicator with virtual
-// payloads (timing only).
+// payload allocates an n-byte buffer descriptor in the spec's data mode:
+// length-only by default, real storage with Data set.
+func (s MicroSpec) payload(n int) mpi.Buf {
+	if s.Data {
+		return mpi.Bytes(make([]byte, n))
+	}
+	return mpi.Virtual(n)
+}
+
+// functionSet builds the op's function set on a communicator, with virtual
+// payloads (timing only) unless the spec opts into data verification.
 func (s MicroSpec) functionSet(c *mpi.Comm) *core.FunctionSet {
+	fs, _, _ := s.functionSetData(c)
+	return fs
+}
+
+// functionSetData builds the op's function set plus, in data mode, an init
+// function that stamps the send buffers with a deterministic pattern and a
+// check function that validates the received bytes (both nil on virtual
+// runs).
+func (s MicroSpec) functionSetData(c *mpi.Comm) (*core.FunctionSet, func(), func() error) {
+	n, me := c.Size(), c.Rank()
+	pat := func(src, dst, k int) byte { return byte(src*131 + dst*31 + k) }
 	switch s.Op {
 	case OpIalltoall:
-		return core.IalltoallSet(c, nil, nil, s.MsgSize, false)
+		send := s.payload(n * s.MsgSize)
+		recv := s.payload(n * s.MsgSize)
+		fs := core.IalltoallSet(c, send, recv, false)
+		if !s.Data {
+			return fs, nil, nil
+		}
+		init := func() {
+			for j := 0; j < n; j++ {
+				b := send.Slice(j*s.MsgSize, s.MsgSize).Data()
+				for k := range b {
+					b[k] = pat(me, j, k)
+				}
+			}
+		}
+		check := func() error {
+			for j := 0; j < n; j++ {
+				b := recv.Slice(j*s.MsgSize, s.MsgSize).Data()
+				for k := range b {
+					if b[k] != pat(j, me, k) {
+						return fmt.Errorf("bench: ialltoall data mismatch at rank %d block %d byte %d", me, j, k)
+					}
+				}
+			}
+			return nil
+		}
+		return fs, init, check
 	case OpIbcast:
-		return core.IbcastSet(c, 0, nil, s.MsgSize)
+		buf := s.payload(s.MsgSize)
+		fs := core.IbcastSet(c, 0, buf)
+		if !s.Data {
+			return fs, nil, nil
+		}
+		init := func() {
+			if me == 0 {
+				b := buf.Data()
+				for k := range b {
+					b[k] = pat(0, 1, k)
+				}
+			}
+		}
+		check := func() error {
+			b := buf.Data()
+			for k := range b {
+				if b[k] != pat(0, 1, k) {
+					return fmt.Errorf("bench: ibcast data mismatch at rank %d byte %d", me, k)
+				}
+			}
+			return nil
+		}
+		return fs, init, check
 	default:
 		panic("bench: unknown op " + s.Op)
 	}
@@ -156,12 +228,16 @@ func runLoopObserved(spec MicroSpec, label string, mkSel func(fs *core.FunctionS
 
 	starts := make([]float64, spec.Procs)
 	ends := make([]float64, spec.Procs)
+	var dataErr error
 
 	w.Start(func(c *mpi.Comm) {
 		me := c.Rank()
-		fs := spec.functionSet(c)
+		fs, dinit, dcheck := spec.functionSetData(c)
 		req := core.MustRequest(fs, mkSel(fs), c.Now)
 		timer := core.MustTimer(c.Now, req)
+		if dinit != nil {
+			dinit()
+		}
 
 		c.Barrier()
 		starts[me] = c.Now()
@@ -186,6 +262,9 @@ func runLoopObserved(spec MicroSpec, label string, mkSel func(fs *core.FunctionS
 				req.Progress()
 			}
 			req.Wait()
+			if dcheck != nil && dataErr == nil {
+				dataErr = dcheck()
+			}
 			core.StopMaybeSynced(c, timer, req)
 			if me == 0 && req.Decided() {
 				postSum += c.Now() - iterStart
@@ -205,6 +284,9 @@ func runLoopObserved(spec MicroSpec, label string, mkSel func(fs *core.FunctionS
 		}
 	})
 	eng.Run()
+	if dataErr != nil {
+		return res, nil, dataErr
+	}
 
 	for me := 0; me < spec.Procs; me++ {
 		if d := ends[me] - starts[me]; d > res.Total {

@@ -15,10 +15,10 @@ import (
 // Ialltoall function set.
 const AlltoallBlocking = 3
 
-// IbcastSet builds the paper's default Ibcast function set over buf (or a
-// virtual message of vsize bytes) from root on comm. Schedules are compiled
-// once and reused per execution (persistent request semantics).
-func IbcastSet(c *mpi.Comm, root int, buf []byte, vsize int) *FunctionSet {
+// IbcastSet builds the paper's default Ibcast function set over buf
+// (virtual or real) from root on comm. Schedules are compiled once and
+// reused per execution (persistent request semantics).
+func IbcastSet(c *mpi.Comm, root int, buf mpi.Buf) *FunctionSet {
 	n, me := c.Size(), c.Rank()
 	fanouts := nbc.DefaultFanouts
 	segs := nbc.DefaultSegSizes
@@ -32,7 +32,7 @@ func IbcastSet(c *mpi.Comm, root int, buf []byte, vsize int) *FunctionSet {
 	for _, f := range fanouts {
 		for _, s := range segs {
 			f, s := f, s
-			sched := nbc.Ibcast(n, me, root, buf, vsize, f, s)
+			sched := nbc.Ibcast(n, me, root, buf, f, s)
 			fs.Fns = append(fs.Fns, &Function{
 				Name:  sched.Name,
 				Attrs: []int{f, s},
@@ -44,11 +44,11 @@ func IbcastSet(c *mpi.Comm, root int, buf []byte, vsize int) *FunctionSet {
 }
 
 // IalltoallSet builds the paper's Ialltoall function set exchanging
-// blockSize bytes per rank pair. With includeBlocking the set also contains
+// send.Len()/Size() bytes per rank pair. With includeBlocking the set also contains
 // the blocking MPI_Alltoall as a function whose wait pointer is nil — the
 // modified function set of §IV-B-f that lets ADCL decide at runtime whether
 // a code region benefits from a non-blocking operation at all.
-func IalltoallSet(c *mpi.Comm, send, recv []byte, blockSize int, includeBlocking bool) *FunctionSet {
+func IalltoallSet(c *mpi.Comm, send, recv mpi.Buf, includeBlocking bool) *FunctionSet {
 	n, me := c.Size(), c.Rank()
 	algoVals := []int{int(nbc.AlgoLinear), int(nbc.AlgoBruck), int(nbc.AlgoPairwise)}
 	if includeBlocking {
@@ -66,7 +66,7 @@ func IalltoallSet(c *mpi.Comm, send, recv []byte, blockSize int, includeBlocking
 	}
 	for _, a := range nbc.DefaultAlltoallAlgos {
 		a := a
-		sched := nbc.Ialltoall(n, me, send, recv, blockSize, a)
+		sched := nbc.Ialltoall(n, me, send, recv, a)
 		fs.Fns = append(fs.Fns, &Function{
 			Name:  sched.Name,
 			Attrs: []int{int(a)},
@@ -78,7 +78,7 @@ func IalltoallSet(c *mpi.Comm, send, recv []byte, blockSize int, includeBlocking
 			Name:  "alltoall-blocking",
 			Attrs: []int{AlltoallBlocking},
 			Start: func() Started {
-				c.Alltoall(send, blockSize, recv)
+				c.Alltoall(send, recv)
 				return nil
 			},
 		})
@@ -99,7 +99,7 @@ const (
 // store-and-forward staging defeats one-sided deposits), so the attribute
 // grid is intentionally incomplete — selection logics that require full
 // grids fall back to brute force.
-func IalltoallPrimitivesSet(c *mpi.Comm, send, recv []byte, blockSize int) *FunctionSet {
+func IalltoallPrimitivesSet(c *mpi.Comm, send, recv mpi.Buf) *FunctionSet {
 	n, me := c.Size(), c.Rank()
 	fs := &FunctionSet{
 		Name: "ialltoall-prim",
@@ -110,16 +110,16 @@ func IalltoallPrimitivesSet(c *mpi.Comm, send, recv []byte, blockSize int) *Func
 	}
 	for _, a := range nbc.DefaultAlltoallAlgos {
 		a := a
-		sched := nbc.Ialltoall(n, me, send, recv, blockSize, a)
+		sched := nbc.Ialltoall(n, me, send, recv, a)
 		fs.Fns = append(fs.Fns, &Function{
 			Name:  sched.Name,
 			Attrs: []int{int(a), PrimitiveP2P},
 			Start: func() Started { return nbc.Start(c, sched) },
 		})
 	}
-	win := nbc.IalltoallWindows(c, recv, blockSize)
-	linPut := nbc.IalltoallLinearPut(n, me, send, recv, blockSize, win)
-	pwPut := nbc.IalltoallPairwisePut(n, me, send, recv, blockSize, win)
+	win := nbc.IalltoallWindows(c, recv)
+	linPut := nbc.IalltoallLinearPut(n, me, send, recv, win)
+	pwPut := nbc.IalltoallPairwisePut(n, me, send, recv, win)
 	fs.Fns = append(fs.Fns,
 		&Function{Name: linPut.Name, Attrs: []int{int(nbc.AlgoLinear), PrimitivePut},
 			Start: func() Started { return nbc.Start(c, linPut) }},
@@ -130,7 +130,7 @@ func IalltoallPrimitivesSet(c *mpi.Comm, send, recv []byte, blockSize int) *Func
 }
 
 // IallgatherSet builds a function set over the two Iallgather algorithms.
-func IallgatherSet(c *mpi.Comm, send, recv []byte, bs int) *FunctionSet {
+func IallgatherSet(c *mpi.Comm, send, recv mpi.Buf) *FunctionSet {
 	n, me := c.Size(), c.Rank()
 	fs := &FunctionSet{
 		Name: "iallgather",
@@ -140,7 +140,7 @@ func IallgatherSet(c *mpi.Comm, send, recv []byte, bs int) *FunctionSet {
 	}
 	for _, a := range []nbc.AllgatherAlgo{nbc.AllgatherRing, nbc.AllgatherLinear} {
 		a := a
-		sched := nbc.Iallgather(n, me, send, recv, bs, a)
+		sched := nbc.Iallgather(n, me, send, recv, a)
 		fs.Fns = append(fs.Fns, &Function{
 			Name:  sched.Name,
 			Attrs: []int{int(a)},
@@ -151,7 +151,7 @@ func IallgatherSet(c *mpi.Comm, send, recv []byte, bs int) *FunctionSet {
 }
 
 // IreduceSet builds a function set over the Ireduce algorithms.
-func IreduceSet(c *mpi.Comm, root int, send, recv []byte, vsize int, op mpi.ReduceOp) *FunctionSet {
+func IreduceSet(c *mpi.Comm, root int, send, recv mpi.Buf, op mpi.ReduceOp) *FunctionSet {
 	n, me := c.Size(), c.Rank()
 	fs := &FunctionSet{
 		Name: "ireduce",
@@ -161,7 +161,7 @@ func IreduceSet(c *mpi.Comm, root int, send, recv []byte, vsize int, op mpi.Redu
 	}
 	for _, a := range []nbc.ReduceAlgo{nbc.ReduceBinomial, nbc.ReduceChain} {
 		a := a
-		sched := nbc.Ireduce(n, me, root, send, recv, vsize, op, a)
+		sched := nbc.Ireduce(n, me, root, send, recv, op, a)
 		fs.Fns = append(fs.Fns, &Function{
 			Name:  sched.Name,
 			Attrs: []int{int(a)},
@@ -172,7 +172,7 @@ func IreduceSet(c *mpi.Comm, root int, send, recv []byte, vsize int, op mpi.Redu
 }
 
 // IallreduceSet builds a function set over the Iallreduce algorithms.
-func IallreduceSet(c *mpi.Comm, send, recv []byte, vsize int, op mpi.ReduceOp) *FunctionSet {
+func IallreduceSet(c *mpi.Comm, send, recv mpi.Buf, op mpi.ReduceOp) *FunctionSet {
 	n, me := c.Size(), c.Rank()
 	fs := &FunctionSet{
 		Name: "iallreduce",
@@ -182,7 +182,7 @@ func IallreduceSet(c *mpi.Comm, send, recv []byte, vsize int, op mpi.ReduceOp) *
 	}
 	for _, a := range []nbc.AllreduceAlgo{nbc.AllreduceRecursiveDoubling, nbc.AllreduceReduceBcast} {
 		a := a
-		sched := nbc.Iallreduce(n, me, send, recv, vsize, op, a)
+		sched := nbc.Iallreduce(n, me, send, recv, op, a)
 		fs.Fns = append(fs.Fns, &Function{
 			Name:  sched.Name,
 			Attrs: []int{int(a)},

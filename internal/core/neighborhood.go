@@ -48,7 +48,7 @@ type Halo struct {
 	Peers     []int          // comm ranks, in opposite pairs
 	SendTypes []mpi.Datatype // interior layout sent to each peer
 	RecvTypes []mpi.Datatype // ghost layout received from each peer
-	Buf       []byte         // local buffer (nil = virtual)
+	Buf       mpi.Buf        // local buffer (virtual = timing only)
 }
 
 // opposite returns the index of the peer at the other end of i's dimension.
@@ -70,8 +70,8 @@ func (h *Halo) Validate() error {
 			return fmt.Errorf("adcl: peer %d send size %d != recv size %d",
 				i, h.SendTypes[i].Size(), h.RecvTypes[i].Size())
 		}
-		if h.Buf != nil {
-			if h.SendTypes[i].Extent() > len(h.Buf) || h.RecvTypes[i].Extent() > len(h.Buf) {
+		if h.Buf.HasData() {
+			if h.SendTypes[i].Extent() > h.Buf.Len() || h.RecvTypes[i].Extent() > h.Buf.Len() {
 				return fmt.Errorf("adcl: datatype %d exceeds buffer", i)
 			}
 		}
@@ -116,7 +116,7 @@ func NeighborhoodSet(c *mpi.Comm, halo *Halo) (*FunctionSet, error) {
 		sends = make([][]byte, len(halo.Peers))
 		recvs = make([][]byte, len(halo.Peers))
 		for i := range halo.Peers {
-			if halo.Buf != nil {
+			if halo.Buf.HasData() {
 				sends[i] = make([]byte, halo.SendTypes[i].Size())
 				recvs[i] = make([]byte, halo.RecvTypes[i].Size())
 			}
@@ -143,15 +143,15 @@ func NeighborhoodSet(c *mpi.Comm, halo *Halo) (*FunctionSet, error) {
 					if handling == HandleDDT {
 						chargeDDT(c, rt)
 					}
-					var rbuf []byte
-					if halo.Buf != nil {
-						rbuf = recvs[i]
+					rbuf := mpi.Virtual(size)
+					if halo.Buf.HasData() {
+						rbuf = mpi.Bytes(recvs[i])
 					}
-					w.reqs = append(w.reqs, c.Irecv(peer, tag, rbuf, size))
+					w.reqs = append(w.reqs, c.Irecv(peer, tag, rbuf))
 					i := i
 					w.unpacks = append(w.unpacks, func() {
-						if halo.Buf != nil {
-							halo.RecvTypes[i].Unpack(halo.Buf, recvs[i])
+						if halo.Buf.HasData() {
+							halo.RecvTypes[i].Unpack(halo.Buf.Data(), recvs[i])
 						}
 						if handling == HandlePack {
 							c.RankState().ChargeCopy(halo.RecvTypes[i].Size())
@@ -161,17 +161,17 @@ func NeighborhoodSet(c *mpi.Comm, halo *Halo) (*FunctionSet, error) {
 				for i, peer := range halo.Peers {
 					st := halo.SendTypes[i]
 					size := st.Size()
-					var sbuf []byte
-					if halo.Buf != nil {
-						st.Pack(sends[i], halo.Buf)
-						sbuf = sends[i]
+					sbuf := mpi.Virtual(size)
+					if halo.Buf.HasData() {
+						st.Pack(sends[i], halo.Buf.Data())
+						sbuf = mpi.Bytes(sends[i])
 					}
 					if handling == HandlePack {
 						c.RankState().ChargeCopy(size)
 					} else {
 						chargeDDT(c, st)
 					}
-					w.reqs = append(w.reqs, c.Isend(peer, tag, sbuf, size))
+					w.reqs = append(w.reqs, c.Isend(peer, tag, sbuf))
 				}
 				return w
 			},
@@ -208,10 +208,10 @@ func NeighborhoodSet(c *mpi.Comm, halo *Halo) (*FunctionSet, error) {
 						from := halo.Peers[opp]
 						st, rt := halo.SendTypes[i], halo.RecvTypes[opp]
 						size := st.Size()
-						var sbuf, rbuf []byte
-						if halo.Buf != nil {
-							st.Pack(sends[i], halo.Buf)
-							sbuf, rbuf = sends[i], recvs[opp]
+						sbuf, rbuf := mpi.Virtual(size), mpi.Virtual(size)
+						if halo.Buf.HasData() {
+							st.Pack(sends[i], halo.Buf.Data())
+							sbuf, rbuf = mpi.Bytes(sends[i]), mpi.Bytes(recvs[opp])
 						}
 						if handling == HandlePack {
 							c.RankState().ChargeCopy(2 * size)
@@ -220,14 +220,14 @@ func NeighborhoodSet(c *mpi.Comm, halo *Halo) (*FunctionSet, error) {
 							chargeDDT(c, rt)
 						}
 						if prim == PrimSendrecv {
-							c.Sendrecv(peer, tag, sbuf, size, from, tag, rbuf, size)
+							c.Sendrecv(peer, tag, sbuf, from, tag, rbuf)
 						} else {
-							rq := c.Irecv(from, tag, rbuf, size)
-							sq := c.Isend(peer, tag, sbuf, size)
+							rq := c.Irecv(from, tag, rbuf)
+							sq := c.Isend(peer, tag, sbuf)
 							c.Wait(rq, sq)
 						}
-						if halo.Buf != nil {
-							rt.Unpack(halo.Buf, recvs[opp])
+						if halo.Buf.HasData() {
+							rt.Unpack(halo.Buf.Data(), recvs[opp])
 						}
 					}
 					return nil // completed synchronously
@@ -267,7 +267,7 @@ func ddtBlocks(dt mpi.Datatype) int {
 // north/south neighbors and its outermost interior columns (strided
 // vectors) to west/east, receiving into the opposite ghost regions.
 // rows and cols must be at least 4 (two ghost + two interior lines).
-func Grid2D(c *mpi.Comm, gridW, gridH, rows, cols, elemSize int, buf []byte) (*Halo, error) {
+func Grid2D(c *mpi.Comm, gridW, gridH, rows, cols, elemSize int, buf mpi.Buf) (*Halo, error) {
 	if gridW*gridH != c.Size() {
 		return nil, fmt.Errorf("adcl: %dx%d grid needs %d ranks, have %d", gridW, gridH, gridW*gridH, c.Size())
 	}

@@ -34,7 +34,7 @@ func TestNeighborhoodSetStructure(t *testing.T) {
 	var fnCount int
 	var names []string
 	w.Start(func(c *mpi.Comm) {
-		halo, err := Grid2D(c, 2, 2, 8, 8, 8, nil)
+		halo, err := Grid2D(c, 2, 2, 8, 8, 8, mpi.Buf{})
 		if err != nil {
 			t.Error(err)
 			return
@@ -76,7 +76,7 @@ func TestNeighborhoodDataCorrectness(t *testing.T) {
 			for i := range buf {
 				buf[i] = byte(c.Rank()*50 + i)
 			}
-			halo, err := Grid2D(c, gw, gh, rows, cols, es, buf)
+			halo, err := Grid2D(c, gw, gh, rows, cols, es, mpi.Bytes(buf))
 			if err != nil {
 				t.Error(err)
 				return
@@ -124,7 +124,7 @@ func TestNeighborhoodTuning(t *testing.T) {
 	eng, w := nbWorld(t, gw*gh)
 	winners := make([]string, gw*gh)
 	w.Start(func(c *mpi.Comm) {
-		halo, err := Grid2D(c, gw, gh, 64, 64, 8, nil) // 64x64 doubles, virtual
+		halo, err := Grid2D(c, gw, gh, 64, 64, 8, mpi.Buf{}) // 64x64 doubles, virtual
 		if err != nil {
 			t.Error(err)
 			return
@@ -164,7 +164,7 @@ func TestNeighborhoodHeuristicSlices(t *testing.T) {
 	eng, w := nbWorld(t, 4)
 	decided := false
 	w.Start(func(c *mpi.Comm) {
-		halo, err := Grid2D(c, 2, 2, 32, 32, 8, nil)
+		halo, err := Grid2D(c, 2, 2, 32, 32, 8, mpi.Buf{})
 		if err != nil {
 			t.Error(err)
 			return
@@ -198,10 +198,10 @@ func TestNeighborhoodHeuristicSlices(t *testing.T) {
 func TestGrid2DValidation(t *testing.T) {
 	eng, w := nbWorld(t, 4)
 	w.Start(func(c *mpi.Comm) {
-		if _, err := Grid2D(c, 3, 2, 4, 4, 8, nil); err == nil {
+		if _, err := Grid2D(c, 3, 2, 4, 4, 8, mpi.Buf{}); err == nil {
 			t.Error("grid size mismatch accepted")
 		}
-		if _, err := Grid2D(c, 2, 2, 4, 4, 8, make([]byte, 10)); err == nil {
+		if _, err := Grid2D(c, 2, 2, 4, 4, 8, mpi.Bytes(make([]byte, 10))); err == nil {
 			t.Error("undersized buffer accepted")
 		}
 	})

@@ -14,7 +14,7 @@ func SyncedStop(c *mpi.Comm, t *Timer) {
 	e := t.Elapsed()
 	in := mpi.Float64sToBytes([]float64{e})
 	out := make([]byte, 8)
-	c.Allreduce(in, out, 0, mpi.MaxFloat64)
+	c.Allreduce(mpi.Bytes(in), mpi.Bytes(out), mpi.MaxFloat64)
 	t.StopWith(mpi.BytesToFloat64s(out)[0])
 }
 

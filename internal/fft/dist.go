@@ -121,7 +121,8 @@ func (c Config) withDefaults() Config {
 
 // slot is one window entry: buffers plus the in-flight operation state.
 type slot struct {
-	send, recv []byte
+	send, recv   []byte
+	sendB, recvB mpi.Buf
 	req        *core.Request // ADCL flavors
 	sched      *nbc.Schedule // NBC flavor
 	handle     *nbc.Handle   // NBC flavor, in flight
@@ -186,18 +187,23 @@ func NewPlan(c *mpi.Comm, cfg Config) (*Plan, error) {
 	// operation bound to them.
 	var shared core.Selector
 	for s := 0; s < pl.W; s++ {
-		sl := &slot{}
+		sl := &slot{
+			sendB: mpi.Virtual(P * pl.blockB),
+			recvB: mpi.Virtual(P * pl.blockB),
+		}
 		if !cfg.Virtual {
 			sl.send = make([]byte, P*pl.blockB)
 			sl.recv = make([]byte, P*pl.blockB)
+			sl.sendB = mpi.Bytes(sl.send)
+			sl.recvB = mpi.Bytes(sl.recv)
 		}
 		switch cfg.Flavor {
 		case FlavorMPI:
 			// blocking: no persistent op needed
 		case FlavorNBC:
-			sl.sched = nbc.Ialltoall(P, pl.me, sl.send, sl.recv, pl.blockB, nbc.AlgoLinear)
+			sl.sched = nbc.Ialltoall(P, pl.me, sl.sendB, sl.recvB, nbc.AlgoLinear)
 		case FlavorADCL, FlavorADCLExt:
-			fs := core.IalltoallSet(c, sl.send, sl.recv, pl.blockB, cfg.Flavor == FlavorADCLExt)
+			fs := core.IalltoallSet(c, sl.sendB, sl.recvB, cfg.Flavor == FlavorADCLExt)
 			if shared == nil {
 				sel, err := core.SelectorByName(cfg.Selector, fs, cfg.EvalsPerFn)
 				if err != nil {
@@ -364,7 +370,7 @@ func (p *Plan) startTranspose(t int, sl *slot) {
 	sl.tile = t
 	switch p.cfg.Flavor {
 	case FlavorMPI:
-		p.c.Alltoall(sl.send, p.blockB, sl.recv)
+		p.c.Alltoall(sl.sendB, sl.recvB)
 		sl.busy = true // completed, but unpack still pending
 	case FlavorNBC:
 		sl.handle = nbc.Start(p.c, sl.sched)
@@ -468,7 +474,7 @@ func (p *Plan) Inverse() error {
 		}
 	}
 	p.c.RankState().ChargeCopy(p.P * blockB)
-	p.c.Alltoall(send, blockB, recv)
+	p.c.Alltoall(mpi.Bytes(send), mpi.Bytes(recv))
 	for j := 0; j < p.P; j++ {
 		off := j * blockB
 		for i := 0; i < L; i++ { // my plane index

@@ -15,7 +15,7 @@ import "fmt"
 // provided as a blocking MPI-level primitive here; to tune it with ADCL,
 // wrap a fixed (send/recv pattern) instance as a persistent custom function
 // set (see core.CustomFunction).
-func (c *Comm) Alltoallv(send []byte, sendCounts, sendDispls []int, recv []byte, recvCounts, recvDispls []int) error {
+func (c *Comm) Alltoallv(send Buf, sendCounts, sendDispls []int, recv Buf, recvCounts, recvDispls []int) error {
 	n := c.Size()
 	if len(sendCounts) != n || len(recvCounts) != n ||
 		len(sendDispls) != n || len(recvDispls) != n {
@@ -25,18 +25,18 @@ func (c *Comm) Alltoallv(send []byte, sendCounts, sendDispls []int, recv []byte,
 		if sendCounts[j] < 0 || recvCounts[j] < 0 {
 			return fmt.Errorf("mpi: negative count for peer %d", j)
 		}
-		if send != nil && sendDispls[j]+sendCounts[j] > len(send) {
+		if sendDispls[j]+sendCounts[j] > send.Len() {
 			return fmt.Errorf("mpi: send block for peer %d exceeds buffer", j)
 		}
-		if recv != nil && recvDispls[j]+recvCounts[j] > len(recv) {
+		if recvDispls[j]+recvCounts[j] > recv.Len() {
 			return fmt.Errorf("mpi: recv block for peer %d exceeds buffer", j)
 		}
 	}
 	tag := c.nextCollTag()
 	// Self block.
-	if send != nil && recv != nil && sendCounts[c.me] > 0 {
+	if sendCounts[c.me] > 0 {
 		nn := min(sendCounts[c.me], recvCounts[c.me])
-		copy(recv[recvDispls[c.me]:recvDispls[c.me]+nn], send[sendDispls[c.me]:sendDispls[c.me]+nn])
+		Copy(recv.Slice(recvDispls[c.me], nn), send.Slice(sendDispls[c.me], nn))
 	}
 	// Pairwise exchange over non-uniform blocks; zero-size transfers are
 	// skipped entirely, which is the point of the vector interface.
@@ -45,18 +45,10 @@ func (c *Comm) Alltoallv(send []byte, sendCounts, sendDispls []int, recv []byte,
 		recvFrom := (c.me - step + n) % n
 		var reqs []*Request
 		if recvCounts[recvFrom] > 0 {
-			var blk []byte
-			if recv != nil {
-				blk = recv[recvDispls[recvFrom] : recvDispls[recvFrom]+recvCounts[recvFrom]]
-			}
-			reqs = append(reqs, c.Irecv(recvFrom, tag, blk, recvCounts[recvFrom]))
+			reqs = append(reqs, c.Irecv(recvFrom, tag, recv.Slice(recvDispls[recvFrom], recvCounts[recvFrom])))
 		}
 		if sendCounts[sendTo] > 0 {
-			var blk []byte
-			if send != nil {
-				blk = send[sendDispls[sendTo] : sendDispls[sendTo]+sendCounts[sendTo]]
-			}
-			reqs = append(reqs, c.Isend(sendTo, tag, blk, sendCounts[sendTo]))
+			reqs = append(reqs, c.Isend(sendTo, tag, send.Slice(sendDispls[sendTo], sendCounts[sendTo])))
 		}
 		if len(reqs) > 0 {
 			c.Wait(reqs...)
@@ -74,12 +66,12 @@ func (c *Comm) Iprobe(src, tag int) (found bool, size int) {
 	probe := &Request{r: c.r, kind: reqRecv, peer: wsrc, tag: tag, ctx: c.ctx}
 	for _, env := range c.r.unexpEager {
 		if matches(probe, env) {
-			return true, env.size
+			return true, env.buf.Len()
 		}
 	}
 	for _, env := range c.r.unexpRTS {
 		if matches(probe, env) {
-			return true, env.size
+			return true, env.buf.Len()
 		}
 	}
 	return false, 0
@@ -94,13 +86,13 @@ func (c *Comm) Probe(src, tag int) int {
 	c.WaitFor(func() bool {
 		for _, env := range c.r.unexpEager {
 			if matches(probe, env) {
-				size = env.size
+				size = env.buf.Len()
 				return true
 			}
 		}
 		for _, env := range c.r.unexpRTS {
 			if matches(probe, env) {
-				size = env.size
+				size = env.buf.Len()
 				return true
 			}
 		}

@@ -36,7 +36,7 @@ func TestAlltoallvTriangular(t *testing.T) {
 			rtotal += me + 1
 		}
 		recv := make([]byte, rtotal)
-		if err := c.Alltoallv(send, sendCounts, sendDispls, recv, recvCounts, recvDispls); err != nil {
+		if err := c.Alltoallv(Bytes(send), sendCounts, sendDispls, Bytes(recv), recvCounts, recvDispls); err != nil {
 			t.Error(err)
 			return
 		}
@@ -81,7 +81,7 @@ func TestAlltoallvZeroCounts(t *testing.T) {
 			recvDispls[0] = 0
 			recvDispls[2] = 4
 		}
-		if err := c.Alltoallv(send, sendCounts, sendDispls, recv, recvCounts, recvDispls); err != nil {
+		if err := c.Alltoallv(Bytes(send), sendCounts, sendDispls, Bytes(recv), recvCounts, recvDispls); err != nil {
 			t.Error(err)
 			return
 		}
@@ -101,13 +101,13 @@ func TestAlltoallvZeroCounts(t *testing.T) {
 
 func TestAlltoallvValidation(t *testing.T) {
 	runProg(t, 2, nil, func(c *Comm) {
-		if err := c.Alltoallv(nil, []int{1}, []int{0, 0}, nil, []int{0, 0}, []int{0, 0}); err == nil {
+		if err := c.Alltoallv(Buf{}, []int{1}, []int{0, 0}, Buf{}, []int{0, 0}, []int{0, 0}); err == nil {
 			t.Error("short count vector accepted")
 		}
-		if err := c.Alltoallv(nil, []int{-1, 0}, []int{0, 0}, nil, []int{0, 0}, []int{0, 0}); err == nil {
+		if err := c.Alltoallv(Buf{}, []int{-1, 0}, []int{0, 0}, Buf{}, []int{0, 0}, []int{0, 0}); err == nil {
 			t.Error("negative count accepted")
 		}
-		if err := c.Alltoallv(make([]byte, 2), []int{4, 0}, []int{0, 0}, nil, []int{0, 0}, []int{0, 0}); err == nil {
+		if err := c.Alltoallv(Bytes(make([]byte, 2)), []int{4, 0}, []int{0, 0}, Buf{}, []int{0, 0}, []int{0, 0}); err == nil {
 			t.Error("out-of-bounds send block accepted")
 		}
 	})
@@ -134,12 +134,12 @@ func TestAlltoallvUniformEqualsAlltoall(t *testing.T) {
 				displs[j] = j * bs
 			}
 			r1 := make([]byte, n*bs)
-			if err := c.Alltoallv(send, counts, displs, r1, counts, displs); err != nil {
+			if err := c.Alltoallv(Bytes(send), counts, displs, Bytes(r1), counts, displs); err != nil {
 				ok = false
 				return
 			}
 			r2 := make([]byte, n*bs)
-			c.Alltoall(send, 0, r2)
+			c.Alltoall(Bytes(send), Bytes(r2))
 			av[me], aa[me] = r1, r2
 		})
 		if !ok {
@@ -163,7 +163,7 @@ func TestIprobeAndProbe(t *testing.T) {
 	runProg(t, 2, nil, func(c *Comm) {
 		switch c.Rank() {
 		case 0:
-			c.Send(1, 42, []byte{1, 2, 3}, 0)
+			c.Send(1, 42, Bytes([]byte{1, 2, 3}))
 		case 1:
 			// Blocking probe sees the eager message without consuming it.
 			size := c.Probe(0, 42)
@@ -175,7 +175,7 @@ func TestIprobeAndProbe(t *testing.T) {
 				t.Errorf("iprobe = %v %d", found, size2)
 			}
 			buf := make([]byte, 3)
-			c.Recv(0, 42, buf, 0)
+			c.Recv(0, 42, Bytes(buf))
 			if buf[1] != 2 {
 				t.Errorf("payload after probe = %v", buf)
 			}
@@ -191,13 +191,13 @@ func TestProbeRendezvous(t *testing.T) {
 	runProg(t, 2, nil, func(c *Comm) {
 		switch c.Rank() {
 		case 0:
-			c.Send(1, 7, nil, 64*1024) // rendezvous: RTS visible to probe
+			c.Send(1, 7, Virtual(64*1024)) // rendezvous: RTS visible to probe
 		case 1:
 			size := c.Probe(0, 7)
 			if size != 64*1024 {
 				t.Errorf("probe size = %d", size)
 			}
-			c.Recv(0, 7, nil, 64*1024)
+			c.Recv(0, 7, Virtual(64*1024))
 		}
 	})
 }

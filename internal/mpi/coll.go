@@ -45,75 +45,63 @@ func (c *Comm) Barrier() {
 	for dist := 1; dist < n; dist *= 2 {
 		to := (c.me + dist) % n
 		from := (c.me - dist + n) % n
-		c.Sendrecv(to, tag, nil, 1, from, tag, nil, 1)
+		c.Sendrecv(to, tag, Virtual(1), from, tag, Virtual(1))
 	}
 }
 
-// Bcast broadcasts data (or a virtual message of vsize bytes) from root
-// using a binomial tree.
-func (c *Comm) Bcast(root int, data []byte, vsize int) {
+// Bcast broadcasts b from root using a binomial tree.
+func (c *Comm) Bcast(root int, b Buf) {
 	n := c.Size()
 	if n == 1 {
 		return
-	}
-	size := vsize
-	if data != nil {
-		size = len(data)
 	}
 	tag := c.nextCollTag()
 	vrank := (c.me - root + n) % n
 	// Receive from parent.
 	if vrank != 0 {
 		parent := vrank & (vrank - 1) // clear lowest set bit
-		c.Recv((parent+root)%n, tag, data, size)
+		c.Recv((parent+root)%n, tag, b)
 	}
 	// Forward to children, highest distance first (classic binomial order).
 	for dist := nextPow2(n); dist >= 1; dist /= 2 {
 		if vrank&(dist-1) == 0 && vrank|dist != vrank && vrank+dist < n {
 			if vrank&dist == 0 {
-				c.Send((vrank+dist+root)%n, tag, data, size)
+				c.Send((vrank+dist+root)%n, tag, b)
 			}
 		}
 	}
 }
 
 // Reduce combines contributions element-wise onto root (binomial tree).
-// sendbuf may equal recvbuf at root. Virtual payloads pass nil buffers.
-func (c *Comm) Reduce(root int, sendbuf, recvbuf []byte, vsize int, op ReduceOp) {
+// send may alias recv at root; recv may be virtual on non-root ranks.
+func (c *Comm) Reduce(root int, send, recv Buf, op ReduceOp) {
 	n := c.Size()
-	size := vsize
-	if sendbuf != nil {
-		size = len(sendbuf)
-	}
-	var acc []byte
-	if sendbuf != nil {
-		acc = append([]byte(nil), sendbuf...)
-	}
+	size := send.Len()
+	acc := send.Clone()
 	if n > 1 {
 		tag := c.nextCollTag()
 		vrank := (c.me - root + n) % n
 		for dist := 1; dist < n; dist *= 2 {
 			if vrank&dist != 0 {
-				c.Send((vrank-dist+root)%n, tag, acc, size)
-				acc = nil
+				c.Send((vrank-dist+root)%n, tag, acc)
 				break
 			}
 			peer := vrank + dist
 			if peer < n {
-				var tmp []byte
-				if acc != nil {
-					tmp = make([]byte, size)
+				tmp := Virtual(size)
+				if acc.HasData() {
+					tmp = Bytes(make([]byte, size))
 				}
-				c.Recv((peer+root)%n, tag, tmp, size)
+				c.Recv((peer+root)%n, tag, tmp)
 				c.chargeReduce(size)
-				if op != nil && acc != nil {
-					op(acc, tmp)
+				if op != nil && acc.HasData() && tmp.HasData() {
+					op(acc.Data(), tmp.Data())
 				}
 			}
 		}
 	}
-	if c.me == root && recvbuf != nil && acc != nil {
-		copy(recvbuf, acc)
+	if c.me == root {
+		Copy(recv, acc)
 	}
 }
 
@@ -122,30 +110,18 @@ func (c *Comm) chargeReduce(size int) {
 	c.r.charge(c.r.net().Params().CopyTime(size))
 }
 
-// Allreduce reduces to rank 0 and broadcasts the result.
-func (c *Comm) Allreduce(sendbuf, recvbuf []byte, vsize int, op ReduceOp) {
-	size := vsize
-	if sendbuf != nil {
-		size = len(sendbuf)
-	}
-	var tmp []byte
-	if recvbuf != nil {
-		tmp = recvbuf
-	}
-	c.Reduce(0, sendbuf, tmp, size, op)
-	c.Bcast(0, tmp, size)
+// Allreduce reduces to rank 0 and broadcasts the result through recv.
+func (c *Comm) Allreduce(send, recv Buf, op ReduceOp) {
+	c.Reduce(0, send, recv, op)
+	c.Bcast(0, recv)
 }
 
-// Allgather gathers ssize bytes from each rank into recv (ring algorithm).
-// recv must hold Size()*ssize bytes when non-nil.
-func (c *Comm) Allgather(send []byte, ssize int, recv []byte) {
+// Allgather gathers each rank's send block into recv (ring algorithm).
+// recv must describe Size()*send.Len() bytes.
+func (c *Comm) Allgather(send, recv Buf) {
 	n := c.Size()
-	if send != nil {
-		ssize = len(send)
-	}
-	if recv != nil && send != nil {
-		copy(recv[c.me*ssize:], send)
-	}
+	ssize := send.Len()
+	Copy(recv.Slice(c.me*ssize, ssize), send)
 	if n == 1 {
 		return
 	}
@@ -155,29 +131,21 @@ func (c *Comm) Allgather(send []byte, ssize int, recv []byte) {
 	cur := c.me
 	for step := 0; step < n-1; step++ {
 		prev := (cur - 1 + n) % n
-		var sblk, rblk []byte
-		if recv != nil {
-			sblk = recv[cur*ssize : (cur+1)*ssize]
-			rblk = recv[prev*ssize : (prev+1)*ssize]
-		}
-		c.Sendrecv(right, tag, sblk, ssize, left, tag, rblk, ssize)
+		c.Sendrecv(right, tag, recv.Slice(cur*ssize, ssize),
+			left, tag, recv.Slice(prev*ssize, ssize))
 		cur = prev
 	}
 }
 
-// Alltoall exchanges blockSize bytes between every pair of ranks. send and
-// recv, when non-nil, must hold Size()*blockSize bytes. The decision
-// function mirrors Open MPI tuned: basic linear for small blocks, pairwise
-// exchange for large ones.
-func (c *Comm) Alltoall(send []byte, blockSize int, recv []byte) {
+// Alltoall exchanges Size()-th blocks of send between every pair of ranks.
+// send and recv must describe Size()*blockSize bytes. The decision function
+// mirrors Open MPI tuned: basic linear for small blocks, pairwise exchange
+// for large ones.
+func (c *Comm) Alltoall(send, recv Buf) {
 	n := c.Size()
-	if send != nil {
-		blockSize = len(send) / n
-	}
+	blockSize := send.Len() / n
 	// Self block.
-	if send != nil && recv != nil {
-		copy(recv[c.me*blockSize:(c.me+1)*blockSize], send[c.me*blockSize:(c.me+1)*blockSize])
-	}
+	Copy(recv.Slice(c.me*blockSize, blockSize), send.Slice(c.me*blockSize, blockSize))
 	if n == 1 {
 		return
 	}
@@ -187,19 +155,11 @@ func (c *Comm) Alltoall(send []byte, blockSize int, recv []byte) {
 		reqs := make([]*Request, 0, 2*(n-1))
 		for off := 1; off < n; off++ {
 			peer := (c.me + off) % n
-			var rblk []byte
-			if recv != nil {
-				rblk = recv[peer*blockSize : (peer+1)*blockSize]
-			}
-			reqs = append(reqs, c.Irecv(peer, tag, rblk, blockSize))
+			reqs = append(reqs, c.Irecv(peer, tag, recv.Slice(peer*blockSize, blockSize)))
 		}
 		for off := 1; off < n; off++ {
 			peer := (c.me - off + n) % n
-			var sblk []byte
-			if send != nil {
-				sblk = send[peer*blockSize : (peer+1)*blockSize]
-			}
-			reqs = append(reqs, c.Isend(peer, tag, sblk, blockSize))
+			reqs = append(reqs, c.Isend(peer, tag, send.Slice(peer*blockSize, blockSize)))
 		}
 		c.Wait(reqs...)
 		return
@@ -208,71 +168,51 @@ func (c *Comm) Alltoall(send []byte, blockSize int, recv []byte) {
 	for step := 1; step < n; step++ {
 		sendTo := (c.me + step) % n
 		recvFrom := (c.me - step + n) % n
-		var sblk, rblk []byte
-		if send != nil {
-			sblk = send[sendTo*blockSize : (sendTo+1)*blockSize]
-		}
-		if recv != nil {
-			rblk = recv[recvFrom*blockSize : (recvFrom+1)*blockSize]
-		}
-		c.Sendrecv(sendTo, tag, sblk, blockSize, recvFrom, tag, rblk, blockSize)
+		c.Sendrecv(sendTo, tag, send.Slice(sendTo*blockSize, blockSize),
+			recvFrom, tag, recv.Slice(recvFrom*blockSize, blockSize))
 	}
 }
 
-// Gather collects ssize bytes from every rank at root (linear).
-func (c *Comm) Gather(root int, send []byte, ssize int, recv []byte) {
+// Gather collects each rank's send block at root (linear). recv must
+// describe Size()*send.Len() bytes at root.
+func (c *Comm) Gather(root int, send, recv Buf) {
 	n := c.Size()
-	if send != nil {
-		ssize = len(send)
-	}
+	ssize := send.Len()
 	tag := c.nextCollTag()
 	if c.me == root {
 		reqs := make([]*Request, 0, n-1)
 		for i := 0; i < n; i++ {
 			if i == root {
-				if recv != nil && send != nil {
-					copy(recv[i*ssize:], send)
-				}
+				Copy(recv.Slice(i*ssize, ssize), send)
 				continue
 			}
-			var blk []byte
-			if recv != nil {
-				blk = recv[i*ssize : (i+1)*ssize]
-			}
-			reqs = append(reqs, c.Irecv(i, tag, blk, ssize))
+			reqs = append(reqs, c.Irecv(i, tag, recv.Slice(i*ssize, ssize)))
 		}
 		c.Wait(reqs...)
 		return
 	}
-	c.Send(root, tag, send, ssize)
+	c.Send(root, tag, send)
 }
 
-// Scatter distributes ssize-byte blocks from root to every rank (linear).
-func (c *Comm) Scatter(root int, send []byte, ssize int, recv []byte) {
+// Scatter distributes recv.Len()-byte blocks from root to every rank
+// (linear). send must describe Size()*recv.Len() bytes at root.
+func (c *Comm) Scatter(root int, send, recv Buf) {
 	n := c.Size()
-	if recv != nil {
-		ssize = len(recv)
-	}
+	ssize := recv.Len()
 	tag := c.nextCollTag()
 	if c.me == root {
 		reqs := make([]*Request, 0, n-1)
 		for i := 0; i < n; i++ {
-			var blk []byte
-			if send != nil {
-				blk = send[i*ssize : (i+1)*ssize]
-			}
 			if i == root {
-				if recv != nil && blk != nil {
-					copy(recv, blk)
-				}
+				Copy(recv, send.Slice(i*ssize, ssize))
 				continue
 			}
-			reqs = append(reqs, c.Isend(i, tag, blk, ssize))
+			reqs = append(reqs, c.Isend(i, tag, send.Slice(i*ssize, ssize)))
 		}
 		c.Wait(reqs...)
 		return
 	}
-	c.Recv(root, tag, recv, ssize)
+	c.Recv(root, tag, recv)
 }
 
 func nextPow2(n int) int {

@@ -36,7 +36,7 @@ func TestBcastDeliversData(t *testing.T) {
 				if c.Rank() == root {
 					copy(buf, payload)
 				}
-				c.Bcast(root, buf, 0)
+				c.Bcast(root, Bytes(buf))
 				got[c.Rank()] = buf
 			})
 			for r := 0; r < n; r++ {
@@ -60,7 +60,7 @@ func TestBcastLargeRendezvous(t *testing.T) {
 		if c.Rank() == 0 {
 			copy(buf, payload)
 		}
-		c.Bcast(0, buf, 0)
+		c.Bcast(0, Bytes(buf))
 		got[c.Rank()] = buf
 	})
 	for r := 0; r < n; r++ {
@@ -79,7 +79,7 @@ func TestReduceSum(t *testing.T) {
 			vals := []float64{float64(c.Rank()), 1, float64(c.Rank() * c.Rank())}
 			send := Float64sToBytes(vals)
 			recv := make([]byte, len(send))
-			c.Reduce(0, send, recv, 0, SumFloat64)
+			c.Reduce(0, Bytes(send), Bytes(recv), SumFloat64)
 			if c.Rank() == 0 {
 				result = BytesToFloat64s(recv)
 			}
@@ -102,7 +102,7 @@ func TestAllreduce(t *testing.T) {
 	runProg(t, n, nil, func(c *Comm) {
 		send := Float64sToBytes([]float64{float64(c.Rank() + 1)})
 		recv := make([]byte, len(send))
-		c.Allreduce(send, recv, 0, SumFloat64)
+		c.Allreduce(Bytes(send), Bytes(recv), SumFloat64)
 		results[c.Rank()] = BytesToFloat64s(recv)
 	})
 	want := float64(n * (n + 1) / 2)
@@ -119,7 +119,7 @@ func TestAllgather(t *testing.T) {
 		runProg(t, n, nil, func(c *Comm) {
 			mine := []byte{byte(c.Rank()), byte(c.Rank() * 2)}
 			out := make([]byte, 2*n)
-			c.Allgather(mine, 0, out)
+			c.Allgather(Bytes(mine), Bytes(out))
 			results[c.Rank()] = out
 		})
 		for r := 0; r < n; r++ {
@@ -143,7 +143,7 @@ func alltoallPattern(t *testing.T, n, blockSize int) {
 			}
 		}
 		recv := make([]byte, n*blockSize)
-		c.Alltoall(send, 0, recv)
+		c.Alltoall(Bytes(send), Bytes(recv))
 		results[c.Rank()] = recv
 	})
 	for r := 0; r < n; r++ {
@@ -181,12 +181,12 @@ func TestGatherScatter(t *testing.T) {
 		if c.Rank() == 2 {
 			all = make([]byte, n)
 		}
-		c.Gather(2, mine, 0, all)
+		c.Gather(2, Bytes(mine), Bytes(all))
 		if c.Rank() == 2 {
 			gathered = all
 		}
 		out := make([]byte, 1)
-		c.Scatter(2, all, 0, out)
+		c.Scatter(2, Bytes(all), Bytes(out))
 		scattered[c.Rank()] = out
 	})
 	for i := 0; i < n; i++ {
@@ -216,7 +216,7 @@ func TestAlltoallPermutationProperty(t *testing.T) {
 				send[p*blockSize+1] = byte(p)
 			}
 			recv := make([]byte, n*blockSize)
-			c.Alltoall(send, 0, recv)
+			c.Alltoall(Bytes(send), Bytes(recv))
 			results[c.Rank()] = recv
 		})
 		for r := 0; r < n && ok; r++ {
@@ -249,7 +249,7 @@ func TestBcastProperty(t *testing.T) {
 			if c.Rank() == root {
 				copy(buf, payload)
 			}
-			c.Bcast(root, buf, 0)
+			c.Bcast(root, Bytes(buf))
 			for i := range buf {
 				if buf[i] != payload[i] {
 					ok = false
@@ -272,7 +272,7 @@ func TestSplitCreatesDisjointComms(t *testing.T) {
 		sub := c.Split(color, c.Rank())
 		send := Float64sToBytes([]float64{float64(c.Rank())})
 		recv := make([]byte, 8)
-		sub.Allreduce(send, recv, 0, SumFloat64)
+		sub.Allreduce(Bytes(send), Bytes(recv), SumFloat64)
 		sums[c.Rank()] = BytesToFloat64s(recv)[0]
 	})
 	// Even ranks: 0+2+4+6 = 12; odd ranks: 1+3+5+7 = 16.
@@ -295,10 +295,10 @@ func TestDupIsolatesTraffic(t *testing.T) {
 		// Same tag on two communicators: traffic must not cross.
 		b1 := make([]byte, 1)
 		b2 := make([]byte, 1)
-		r1 := c.Irecv(peer, 9, b1, 0)
-		r2 := d.Irecv(peer, 9, b2, 0)
-		d.Send(peer, 9, []byte{2}, 0) // dup comm first
-		c.Send(peer, 9, []byte{1}, 0)
+		r1 := c.Irecv(peer, 9, Bytes(b1))
+		r2 := d.Irecv(peer, 9, Bytes(b2))
+		d.Send(peer, 9, Bytes([]byte{2})) // dup comm first
+		c.Send(peer, 9, Bytes([]byte{1}))
 		c.Wait(r1, r2)
 		if b1[0] != 1 || b2[0] != 2 {
 			t.Errorf("context mixing: comm got %d, dup got %d", b1[0], b2[0])

@@ -43,34 +43,34 @@ func (c *Comm) translate(peer int) int {
 	return c.members[peer]
 }
 
-// Isend posts a non-blocking send of data (or a virtual message of vsize
-// bytes when data is nil) to comm rank dst.
-func (c *Comm) Isend(dst, tag int, data []byte, vsize int) *Request {
-	return c.r.isend(c.members[dst], tag, c.ctx, data, vsize)
+// Isend posts a non-blocking send of b to comm rank dst.
+func (c *Comm) Isend(dst, tag int, b Buf) *Request {
+	return c.r.isend(c.members[dst], tag, c.ctx, b)
 }
 
-// Irecv posts a non-blocking receive from comm rank src (or AnySource).
-func (c *Comm) Irecv(src, tag int, buf []byte, vsize int) *Request {
-	return c.r.irecv(c.translate(src), tag, c.ctx, buf, vsize)
+// Irecv posts a non-blocking receive into b from comm rank src (or
+// AnySource).
+func (c *Comm) Irecv(src, tag int, b Buf) *Request {
+	return c.r.irecv(c.translate(src), tag, c.ctx, b)
 }
 
 // Send performs a blocking send.
-func (c *Comm) Send(dst, tag int, data []byte, vsize int) {
-	c.r.Wait(c.Isend(dst, tag, data, vsize))
+func (c *Comm) Send(dst, tag int, b Buf) {
+	c.r.Wait(c.Isend(dst, tag, b))
 }
 
 // Recv performs a blocking receive and returns the matched request for its
 // source/tag metadata.
-func (c *Comm) Recv(src, tag int, buf []byte, vsize int) *Request {
-	req := c.Irecv(src, tag, buf, vsize)
+func (c *Comm) Recv(src, tag int, b Buf) *Request {
+	req := c.Irecv(src, tag, b)
 	c.r.Wait(req)
 	return req
 }
 
 // Sendrecv exchanges messages with two peers, progressing both directions.
-func (c *Comm) Sendrecv(dst, sendTag int, sdata []byte, ssize int, src, recvTag int, rbuf []byte, rsize int) {
-	rq := c.Irecv(src, recvTag, rbuf, rsize)
-	sq := c.Isend(dst, sendTag, sdata, ssize)
+func (c *Comm) Sendrecv(dst, sendTag int, sbuf Buf, src, recvTag int, rbuf Buf) {
+	rq := c.Irecv(src, recvTag, rbuf)
+	sq := c.Isend(dst, sendTag, sbuf)
 	c.r.Wait(rq, sq)
 }
 
@@ -166,10 +166,9 @@ func (c *Comm) allgatherBytes(mine []byte, out []byte) {
 	left := (c.me - 1 + n) % n
 	cur := c.me
 	for step := 0; step < n-1; step++ {
-		sendBlock := out[cur*bs : (cur+1)*bs]
 		prev := (cur - 1 + n) % n
-		recvBlock := out[prev*bs : (prev+1)*bs]
-		c.Sendrecv(right, tag, sendBlock, bs, left, tag, recvBlock, bs)
+		c.Sendrecv(right, tag, Bytes(out[cur*bs:(cur+1)*bs]),
+			left, tag, Bytes(out[prev*bs:(prev+1)*bs]))
 		cur = prev
 	}
 }

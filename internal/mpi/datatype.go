@@ -195,44 +195,39 @@ func blocks(dt Datatype) int {
 // SendTyped sends the elements dt selects from buf to dst, handling the
 // layout with pack/unpack staging when packed is true or as an in-place
 // derived datatype otherwise. The receive side mirrors with RecvTyped.
-// Virtual payloads (nil buf) simulate the costs only.
-func (c *Comm) SendTyped(dst, tag int, buf []byte, dt Datatype, packed bool) {
+// Virtual payloads simulate the costs only.
+func (c *Comm) SendTyped(dst, tag int, buf Buf, dt Datatype, packed bool) {
 	size := dt.Size()
+	staging := Virtual(size)
+	if buf.HasData() {
+		staging = Bytes(make([]byte, size))
+		dt.Pack(staging.Data(), buf.Data())
+	}
 	if packed {
-		var staging []byte
-		if buf != nil {
-			staging = make([]byte, size)
-			dt.Pack(staging, buf)
-		}
 		c.r.ChargeCopy(size)
-		c.Send(dst, tag, staging, size)
-		return
+	} else {
+		// Derived datatype: no copy, but per-block descriptor overhead.
+		// (The payload extraction above is semantic, at zero virtual cost.)
+		c.r.charge(ddtPerBlockOverhead * float64(blocks(dt)))
 	}
-	// Derived datatype: no copy, but per-block descriptor overhead.
-	c.r.charge(ddtPerBlockOverhead * float64(blocks(dt)))
-	var payload []byte
-	if buf != nil {
-		payload = make([]byte, size)
-		dt.Pack(payload, buf) // semantic payload extraction (zero virtual cost)
-	}
-	c.Send(dst, tag, payload, size)
+	c.Send(dst, tag, staging)
 }
 
 // RecvTyped receives into the layout dt selects in buf.
-func (c *Comm) RecvTyped(src, tag int, buf []byte, dt Datatype, packed bool) {
+func (c *Comm) RecvTyped(src, tag int, buf Buf, dt Datatype, packed bool) {
 	size := dt.Size()
-	var staging []byte
-	if buf != nil {
-		staging = make([]byte, size)
+	staging := Virtual(size)
+	if buf.HasData() {
+		staging = Bytes(make([]byte, size))
 	}
 	if !packed {
 		c.r.charge(ddtPerBlockOverhead * float64(blocks(dt)))
 	}
-	c.Recv(src, tag, staging, size)
+	c.Recv(src, tag, staging)
 	if packed {
 		c.r.ChargeCopy(size)
 	}
-	if buf != nil {
-		dt.Unpack(buf, staging)
+	if buf.HasData() {
+		dt.Unpack(buf.Data(), staging.Data())
 	}
 }

@@ -159,9 +159,9 @@ func TestSendRecvTypedBothModes(t *testing.T) {
 		runProg(t, 2, nil, func(c *Comm) {
 			switch c.Rank() {
 			case 0:
-				c.SendTyped(1, 5, src, v, packed)
+				c.SendTyped(1, 5, Bytes(src), v, packed)
 			case 1:
-				c.RecvTyped(0, 5, dst, v, packed)
+				c.RecvTyped(0, 5, Bytes(dst), v, packed)
 			}
 		})
 		for i := 0; i < v.Count; i++ {
@@ -187,11 +187,11 @@ func TestTypedCostTradeoff(t *testing.T) {
 			switch c.Rank() {
 			case 0:
 				for i := 0; i < 20; i++ {
-					c.SendTyped(1, i, buf, dt, packed)
+					c.SendTyped(1, i, Bytes(buf), dt, packed)
 				}
 			case 1:
 				for i := 0; i < 20; i++ {
-					c.RecvTyped(0, i, buf, dt, packed)
+					c.RecvTyped(0, i, Bytes(buf), dt, packed)
 				}
 			}
 			if c.Rank() == 0 {

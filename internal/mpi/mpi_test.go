@@ -55,9 +55,9 @@ func TestEagerSendRecvData(t *testing.T) {
 	runProg(t, 2, nil, func(c *Comm) {
 		switch c.Rank() {
 		case 0:
-			c.Send(1, 7, []byte{1, 2, 3, 4}, 0)
+			c.Send(1, 7, Bytes([]byte{1, 2, 3, 4}))
 		case 1:
-			req := c.Recv(0, 7, got, 0)
+			req := c.Recv(0, 7, Bytes(got))
 			if req.SrcActual != 0 || req.TagActual != 7 {
 				t.Errorf("match metadata = (%d,%d), want (0,7)", req.SrcActual, req.TagActual)
 			}
@@ -77,9 +77,9 @@ func TestRendezvousSendRecvData(t *testing.T) {
 	runProg(t, 2, nil, func(c *Comm) {
 		switch c.Rank() {
 		case 0:
-			c.Send(1, 1, big, 0)
+			c.Send(1, 1, Bytes(big))
 		case 1:
-			c.Recv(0, 1, got, 0)
+			c.Recv(0, 1, Bytes(got))
 		}
 	})
 	for i := range big {
@@ -94,11 +94,11 @@ func TestUnexpectedEagerMessageMatchesAtPost(t *testing.T) {
 	runProg(t, 2, nil, func(c *Comm) {
 		switch c.Rank() {
 		case 0:
-			c.Send(1, 5, []byte{9, 8, 7}, 0)
+			c.Send(1, 5, Bytes([]byte{9, 8, 7}))
 		case 1:
 			c.Compute(1e-3) // message arrives while computing
 			c.Progress()    // processed into the unexpected queue
-			c.Recv(0, 5, got, 0)
+			c.Recv(0, 5, Bytes(got))
 		}
 	})
 	if got[0] != 9 || got[2] != 7 {
@@ -111,14 +111,14 @@ func TestTagAndSourceMatching(t *testing.T) {
 	runProg(t, 3, nil, func(c *Comm) {
 		switch c.Rank() {
 		case 0:
-			c.Send(2, 10, []byte{10}, 0)
+			c.Send(2, 10, Bytes([]byte{10}))
 		case 1:
-			c.Send(2, 11, []byte{11}, 0)
+			c.Send(2, 11, Bytes([]byte{11}))
 		case 2:
 			b := make([]byte, 1)
-			c.Recv(1, 11, b, 0)
+			c.Recv(1, 11, Bytes(b))
 			order = append(order, int(b[0]))
-			c.Recv(0, 10, b, 0)
+			c.Recv(0, 10, Bytes(b))
 			order = append(order, int(b[0]))
 		}
 	})
@@ -133,11 +133,11 @@ func TestAnySourceAnyTag(t *testing.T) {
 		if c.Rank() == 0 {
 			b := make([]byte, 1)
 			for i := 0; i < 2; i++ {
-				req := c.Recv(AnySource, AnyTag, b, 0)
+				req := c.Recv(AnySource, AnyTag, Bytes(b))
 				srcs[req.SrcActual] = true
 			}
 		} else {
-			c.Send(0, 100+c.Rank(), []byte{byte(c.Rank())}, 0)
+			c.Send(0, 100+c.Rank(), Bytes([]byte{byte(c.Rank())}))
 		}
 	})
 	if !srcs[1] || !srcs[2] {
@@ -155,11 +155,11 @@ func TestRendezvousRequiresProgress(t *testing.T) {
 	runProg(t, 2, nil, func(c *Comm) {
 		switch c.Rank() {
 		case 0:
-			req := c.Isend(1, 1, nil, 64*1024)
+			req := c.Isend(1, 1, Virtual(64*1024))
 			c.Wait(req)
 			senderDone = c.Now()
 		case 1:
-			req := c.Irecv(0, 1, nil, 64*1024)
+			req := c.Irecv(0, 1, Virtual(64*1024))
 			c.Compute(computeT) // no progress at all
 			c.Wait(req)
 		}
@@ -179,11 +179,11 @@ func TestRendezvousOverlapsWithProgress(t *testing.T) {
 	runProg(t, 2, nil, func(c *Comm) {
 		switch c.Rank() {
 		case 0:
-			req := c.Isend(1, 1, nil, 64*1024)
+			req := c.Isend(1, 1, Virtual(64*1024))
 			c.Wait(req)
 			senderDone = c.Now()
 		case 1:
-			req := c.Irecv(0, 1, nil, 64*1024)
+			req := c.Irecv(0, 1, Virtual(64*1024))
 			for i := 0; i < 10; i++ {
 				c.Compute(computeT / 10)
 				c.Progress()
@@ -201,13 +201,13 @@ func TestEagerCompletesImmediatelyAtSender(t *testing.T) {
 	runProg(t, 2, nil, func(c *Comm) {
 		switch c.Rank() {
 		case 0:
-			req := c.Isend(1, 1, nil, 1024)
+			req := c.Isend(1, 1, Virtual(1024))
 			if !req.Done() {
 				t.Error("eager send not complete at post")
 			}
 			sendDone = c.Now()
 		case 1:
-			c.Recv(0, 1, nil, 1024)
+			c.Recv(0, 1, Virtual(1024))
 		}
 	})
 	if sendDone > 1e-4 {
@@ -219,7 +219,7 @@ func TestSendrecvNoDeadlock(t *testing.T) {
 	end := runProg(t, 2, nil, func(c *Comm) {
 		peer := 1 - c.Rank()
 		// Rendezvous-sized exchange in both directions simultaneously.
-		c.Sendrecv(peer, 3, nil, 64*1024, peer, 3, nil, 64*1024)
+		c.Sendrecv(peer, 3, Virtual(64*1024), peer, 3, Virtual(64*1024))
 	})
 	if end <= 0 {
 		t.Fatal("no time elapsed")
@@ -256,7 +256,7 @@ func TestAccountingCounters(t *testing.T) {
 	eng, w := testWorld(t, 2, nil)
 	w.Start(func(c *Comm) {
 		peer := 1 - c.Rank()
-		c.Sendrecv(peer, 1, nil, 1024, peer, 1, nil, 1024)
+		c.Sendrecv(peer, 1, Virtual(1024), peer, 1, Virtual(1024))
 		c.Progress()
 	})
 	eng.Run()
@@ -282,7 +282,7 @@ func TestManyMessagesStress(t *testing.T) {
 				if p == me {
 					continue
 				}
-				reqs = append(reqs, c.Irecv(p, i, nil, 256))
+				reqs = append(reqs, c.Irecv(p, i, Virtual(256)))
 			}
 		}
 		for i := 0; i < msgs; i++ {
@@ -290,7 +290,7 @@ func TestManyMessagesStress(t *testing.T) {
 				if p == me {
 					continue
 				}
-				reqs = append(reqs, c.Isend(p, i, nil, 256))
+				reqs = append(reqs, c.Isend(p, i, Virtual(256)))
 			}
 		}
 		c.Wait(reqs...)

@@ -29,8 +29,7 @@ import "fmt"
 // Creating a window is collective over the communicator.
 type Win struct {
 	c        *Comm
-	buf      []byte // exposed memory; nil = virtual window
-	size     int
+	buf      Buf // exposed memory; virtual windows carry no storage
 	ctx      int
 	local    []*Request // requests for locally-issued operations
 	inPuts   int        // incoming puts not yet visible (host-attended)
@@ -93,16 +92,11 @@ func (w *World) registry() *winRegistry {
 	return w.winReg
 }
 
-// CreateWin collectively creates a window exposing buf (or vsize virtual
-// bytes) on every rank of c.
-func (c *Comm) CreateWin(buf []byte, vsize int) *Win {
-	size := vsize
-	if buf != nil {
-		size = len(buf)
-	}
+// CreateWin collectively creates a window exposing b on every rank of c.
+func (c *Comm) CreateWin(b Buf) *Win {
 	c.splits++
 	ctx := c.ctx*1000003 + 500000 + c.splits
-	win := &Win{c: c, buf: buf, size: size, ctx: ctx}
+	win := &Win{c: c, buf: b, ctx: ctx}
 	reg := c.r.w.registry()
 	if reg.wins[ctx] == nil {
 		reg.wins[ctx] = map[int]*Win{}
@@ -112,7 +106,7 @@ func (c *Comm) CreateWin(buf []byte, vsize int) *Win {
 }
 
 // Size returns the window size in bytes.
-func (w *Win) Size() int { return w.size }
+func (w *Win) Size() int { return w.buf.Len() }
 
 // target returns the peer's window object.
 func (w *Win) target(peer int) *Win {
@@ -124,123 +118,127 @@ func (w *Win) target(peer int) *Win {
 	return t
 }
 
-// putVisibleNotice makes an incoming put visible at the target's next MPI
-// instant on host-attended transports.
-type putVisibleNotice struct {
-	win      *Win
-	data     []byte
+// osOp carries a one-sided operation across the network: the argument for
+// the put/get delivery functions and, for host-attended puts, the notice
+// payload made visible at the target's next MPI instant.
+type osOp struct {
+	tgt      *Win
+	tgtRank  *Rank
+	origin   *Rank
+	req      *Request
+	data     Buf // payload in flight (put) / fetched bytes (get reply)
+	dst      Buf // get: destination at the origin
 	off      int
-	size     int
 	instance int64
+	rdma     bool
+	get      bool // distinguishes get-reply processing from put-visible
 }
 
-func (n putVisibleNotice) process(r *Rank) {
+// process handles the ntOneSided notice at an MPI instant.
+func (op *osOp) process(r *Rank) {
 	p := r.net().Params()
-	r.charge(p.ORecv + p.CopyTime(n.size))
-	if n.data != nil && n.win.buf != nil {
-		copy(n.win.buf[n.off:], n.data)
+	if op.get {
+		// Get reply landed at the origin.
+		cost := p.ORecv
+		if !p.RDMA {
+			cost += p.CopyTime(op.req.Size())
+		}
+		r.charge(cost)
+		Copy(op.dst, op.data)
+		op.req.done = true
+		r.outstanding--
+		return
 	}
-	n.win.inPuts--
-	n.win.countArrival(n.instance)
+	// Host-attended put becomes visible.
+	r.charge(p.ORecv + p.CopyTime(op.data.Len()))
+	if op.data.HasData() && op.tgt.buf.HasData() {
+		copy(op.tgt.buf.Data()[op.off:], op.data.Data())
+	}
+	op.tgt.inPuts--
+	op.tgt.countArrival(op.instance)
 }
 
-// Put transfers data (or vsize virtual bytes) into the target rank's window
-// at byte offset off. It returns a request that completes when the local
-// buffer may be reused; visibility at the target is guaranteed by the next
-// Fence.
-func (w *Win) Put(peer, off int, data []byte, vsize int) *Request {
-	return w.PutInstanced(0, peer, off, data, vsize)
+// deliverPut is the Transfer callback for Put: on RDMA the bytes land
+// directly in target memory with no target CPU; on host-attended transports
+// visibility waits for the target's next MPI instant.
+func deliverPut(arg any) {
+	op := arg.(*osOp)
+	if op.rdma {
+		if op.data.HasData() && op.tgt.buf.HasData() {
+			copy(op.tgt.buf.Data()[op.off:], op.data.Data())
+		}
+		op.tgt.inPuts--
+		op.tgt.countArrival(op.instance)
+		// A target blocked in Fence or a put-counting schedule must
+		// observe the arrival.
+		op.tgtRank.enqueue(notice{kind: ntWake})
+	} else {
+		op.tgtRank.enqueue(notice{kind: ntOneSided, os: op})
+	}
+	// Local completion notice for the origin.
+	op.origin.enqueue(notice{kind: ntSendDone, sreq: op.req})
+}
+
+// Put transfers b into the target rank's window at byte offset off. It
+// returns a request that completes when the local buffer may be reused;
+// visibility at the target is guaranteed by the next Fence.
+func (w *Win) Put(peer, off int, b Buf) *Request {
+	return w.PutInstanced(0, peer, off, b)
 }
 
 // PutInstanced is Put tagged with a collective operation instance id (from
 // NextInstance); the target's ReceivedFor(instance) counts exactly these
 // puts, giving put-with-notify completion that is immune to early arrivals
 // from the next instance.
-func (w *Win) PutInstanced(instance int64, peer, off int, data []byte, vsize int) *Request {
+func (w *Win) PutInstanced(instance int64, peer, off int, b Buf) *Request {
 	r := w.c.r
 	p := r.net().Params()
-	size := vsize
-	if data != nil {
-		size = len(data)
+	size := b.Len()
+	if off < 0 || off+size > w.buf.Len() {
+		panic(fmt.Sprintf("mpi: put of %d bytes at offset %d exceeds window size %d", size, off, w.buf.Len()))
 	}
-	if off < 0 || off+size > w.size {
-		panic(fmt.Sprintf("mpi: put of %d bytes at offset %d exceeds window size %d", size, off, w.size))
-	}
-	req := &Request{r: r, kind: reqSend, peer: w.c.members[peer], ctx: w.ctx, size: size}
+	req := &Request{r: r, kind: reqSend, peer: w.c.members[peer], ctx: w.ctx, buf: b}
 	r.charge(p.OPost + p.OSend)
 	r.outstanding++
 	tgt := w.target(peer)
 	tgtRank := r.w.ranks[w.c.members[peer]]
-	var payload []byte
-	if data != nil {
-		payload = append([]byte(nil), data...)
-	}
 	if !p.RDMA {
 		r.charge(p.CopyTime(size))
 	}
 	w.local = append(w.local, req)
 	tgt.inPuts++
-	r.net().Transfer(r.id, tgtRank.id, size, func() {
-		if p.RDMA {
-			// RDMA write: lands directly in target memory, no target CPU.
-			if payload != nil && tgt.buf != nil {
-				copy(tgt.buf[off:], payload)
-			}
-			tgt.inPuts--
-			tgt.countArrival(instance)
-			// A target blocked in Fence or a put-counting schedule must
-			// observe the arrival.
-			tgtRank.enqueue(wakeNotice{})
-		} else {
-			tgtRank.enqueue(putVisibleNotice{win: tgt, data: payload, off: off, size: size, instance: instance})
-		}
-		// Local completion notice for the origin.
-		r.enqueue(sendDoneNotice{sreq: req})
-	})
+	op := &osOp{tgt: tgt, tgtRank: tgtRank, origin: r, req: req,
+		data: b.Clone(), off: off, instance: instance, rdma: p.RDMA}
+	r.net().Transfer(r.id, tgtRank.id, size, deliverPut, op)
 	return req
 }
 
-// wakeNotice is an empty notice whose only effect is waking a rank blocked
-// inside MPI so it re-evaluates its wait predicate.
-type wakeNotice struct{}
-
-func (wakeNotice) process(r *Rank) {}
-
-// getReplyNotice delivers fetched window bytes back at the origin.
-type getReplyNotice struct {
-	req  *Request
-	data []byte
-	dst  []byte
+// deliverGetRequest is the Ctrl callback for Get: the request arrived at the
+// target, whose window memory is read and sent back.
+func deliverGetRequest(arg any) {
+	op := arg.(*osOp)
+	size := op.req.Size()
+	op.data = op.tgt.buf.Slice(op.off, size).Clone()
+	op.origin.w.net.Transfer(op.tgtRank.id, op.origin.id, size, deliverGetReply, op)
 }
 
-func (n getReplyNotice) process(r *Rank) {
-	p := r.net().Params()
-	cost := p.ORecv
-	if !p.RDMA {
-		cost += p.CopyTime(n.req.size)
-	}
-	r.charge(cost)
-	if n.data != nil && n.dst != nil {
-		copy(n.dst, n.data)
-	}
-	n.req.done = true
-	r.outstanding--
+// deliverGetReply is the Transfer callback for the data flowing back to the
+// origin.
+func deliverGetReply(arg any) {
+	op := arg.(*osOp)
+	op.origin.enqueue(notice{kind: ntOneSided, os: op})
 }
 
-// Get fetches size bytes from the target rank's window at byte offset off
-// into dst (or vsize virtual bytes when dst is nil). The request completes
-// when the data has arrived locally.
-func (w *Win) Get(peer, off int, dst []byte, vsize int) *Request {
+// Get fetches dst.Len() bytes from the target rank's window at byte offset
+// off into dst. The request completes when the data has arrived locally.
+func (w *Win) Get(peer, off int, dst Buf) *Request {
 	r := w.c.r
 	p := r.net().Params()
-	size := vsize
-	if dst != nil {
-		size = len(dst)
+	size := dst.Len()
+	if off < 0 || off+size > w.buf.Len() {
+		panic(fmt.Sprintf("mpi: get of %d bytes at offset %d exceeds window size %d", size, off, w.buf.Len()))
 	}
-	if off < 0 || off+size > w.size {
-		panic(fmt.Sprintf("mpi: get of %d bytes at offset %d exceeds window size %d", size, off, w.size))
-	}
-	req := &Request{r: r, kind: reqRecv, peer: w.c.members[peer], ctx: w.ctx, size: size}
+	req := &Request{r: r, kind: reqRecv, peer: w.c.members[peer], ctx: w.ctx, buf: dst}
 	r.charge(p.OPost + p.OSend)
 	r.outstanding++
 	w.local = append(w.local, req)
@@ -248,15 +246,9 @@ func (w *Win) Get(peer, off int, dst []byte, vsize int) *Request {
 	tgtRank := r.w.ranks[w.c.members[peer]]
 	// The get request travels as a control message; on RDMA the data flows
 	// back without target CPU involvement.
-	r.net().Ctrl(r.id, tgtRank.id, func() {
-		var payload []byte
-		if tgt.buf != nil {
-			payload = append([]byte(nil), tgt.buf[off:off+size]...)
-		}
-		r.w.net.Transfer(tgtRank.id, r.id, size, func() {
-			r.enqueue(getReplyNotice{req: req, data: payload, dst: dst})
-		})
-	})
+	op := &osOp{tgt: tgt, tgtRank: tgtRank, origin: r, req: req,
+		dst: dst, off: off, get: true}
+	r.net().Ctrl(r.id, tgtRank.id, deliverGetRequest, op)
 	return req
 }
 

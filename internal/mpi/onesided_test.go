@@ -10,10 +10,10 @@ func TestPutDeliversData(t *testing.T) {
 	bufs := make([][]byte, 2)
 	runProg(t, 2, nil, func(c *Comm) {
 		buf := make([]byte, 16)
-		w := c.CreateWin(buf, 0)
+		w := c.CreateWin(Bytes(buf))
 		w.Fence()
 		if c.Rank() == 0 {
-			w.Put(1, 4, []byte{9, 8, 7}, 0)
+			w.Put(1, 4, Bytes([]byte{9, 8, 7}))
 		}
 		w.Fence()
 		bufs[c.Rank()] = buf
@@ -30,10 +30,10 @@ func TestPutHostAttendedTransport(t *testing.T) {
 	bufs := make([][]byte, 2)
 	runProg(t, 2, func(p *netmodel.Params) { p.RDMA = false }, func(c *Comm) {
 		buf := make([]byte, 8)
-		w := c.CreateWin(buf, 0)
+		w := c.CreateWin(Bytes(buf))
 		w.Fence()
 		if c.Rank() == 0 {
-			w.Put(1, 0, []byte{1, 2, 3, 4, 5, 6, 7, 8}, 0)
+			w.Put(1, 0, Bytes([]byte{1, 2, 3, 4, 5, 6, 7, 8}))
 		}
 		w.Fence()
 		bufs[c.Rank()] = buf
@@ -54,11 +54,11 @@ func TestGetFetchesData(t *testing.T) {
 				buf[i] = byte(40 + i)
 			}
 		}
-		w := c.CreateWin(buf, 0)
+		w := c.CreateWin(Bytes(buf))
 		w.Fence()
 		if c.Rank() == 0 {
 			dst := make([]byte, 4)
-			req := w.Get(1, 2, dst, 0)
+			req := w.Get(1, 2, Bytes(dst))
 			c.Wait(req)
 			got = dst
 		}
@@ -76,11 +76,11 @@ func TestPutVisibilityRequiresFence(t *testing.T) {
 	var sawAfterFence byte
 	runProg(t, 2, nil, func(c *Comm) {
 		buf := make([]byte, 4)
-		w := c.CreateWin(buf, 0)
+		w := c.CreateWin(Bytes(buf))
 		w.Fence()
 		if c.Rank() == 0 {
 			c.Compute(1e-3) // let rank 1 reach its fence first
-			w.Put(1, 0, []byte{77}, 0)
+			w.Put(1, 0, Bytes([]byte{77}))
 		}
 		w.Fence()
 		if c.Rank() == 1 {
@@ -98,11 +98,11 @@ func TestPutAutonomousOnRDMA(t *testing.T) {
 	// completes long before the target's next MPI instant.
 	var originDone float64
 	runProg(t, 2, nil, func(c *Comm) {
-		w := c.CreateWin(nil, 64*1024)
+		w := c.CreateWin(Virtual(64*1024))
 		w.Fence()
 		switch c.Rank() {
 		case 0:
-			req := w.Put(1, 0, nil, 64*1024)
+			req := w.Put(1, 0, Virtual(64*1024))
 			c.Wait(req)
 			originDone = c.Now()
 		case 1:
@@ -118,7 +118,7 @@ func TestPutAutonomousOnRDMA(t *testing.T) {
 func TestPutBoundsChecked(t *testing.T) {
 	panicked := false
 	runProg(t, 2, nil, func(c *Comm) {
-		w := c.CreateWin(make([]byte, 8), 0)
+		w := c.CreateWin(Bytes(make([]byte, 8)))
 		w.Fence()
 		if c.Rank() == 0 {
 			func() {
@@ -127,7 +127,7 @@ func TestPutBoundsChecked(t *testing.T) {
 						panicked = true
 					}
 				}()
-				w.Put(1, 6, []byte{1, 2, 3, 4}, 0) // exceeds the window
+				w.Put(1, 6, Bytes([]byte{1, 2, 3, 4})) // exceeds the window
 			}()
 		}
 		w.Fence()
@@ -143,7 +143,7 @@ func TestManyPutsThenFence(t *testing.T) {
 	bufs := make([][]byte, n)
 	runProg(t, n, nil, func(c *Comm) {
 		buf := make([]byte, n*chunk)
-		w := c.CreateWin(buf, 0)
+		w := c.CreateWin(Bytes(buf))
 		w.Fence()
 		data := make([]byte, chunk)
 		for i := range data {
@@ -151,7 +151,7 @@ func TestManyPutsThenFence(t *testing.T) {
 		}
 		for p := 0; p < n; p++ {
 			if p != c.Rank() {
-				w.Put(p, c.Rank()*chunk, data, 0)
+				w.Put(p, c.Rank()*chunk, Bytes(data))
 			}
 		}
 		w.Fence()
@@ -171,7 +171,7 @@ func TestManyPutsThenFence(t *testing.T) {
 
 func TestWinEpochCounts(t *testing.T) {
 	runProg(t, 2, nil, func(c *Comm) {
-		w := c.CreateWin(nil, 128)
+		w := c.CreateWin(Virtual(128))
 		w.Fence()
 		w.Fence()
 		if w.Epoch() != 2 {

@@ -26,12 +26,12 @@ type Request struct {
 	peer int // destination (send) or source filter (recv)
 	tag  int
 	ctx  int
-	data []byte // payload (send) or destination buffer (recv); may be nil
-	size int
+	buf  Buf // payload (send) or destination buffer (recv)
 	done bool
 
-	rndvMatched bool    // recv: matched an RTS, bulk transfer pending
-	rtsAt       float64 // send: virtual time the RTS was posted (stall metric)
+	rndvMatched bool     // recv: matched an RTS, bulk transfer pending
+	matched     *Request // send: the matched receive (rendezvous correlation)
+	rtsAt       float64  // send: virtual time the RTS was posted (stall metric)
 
 	// Actual match metadata, valid for completed receives.
 	SrcActual int
@@ -44,14 +44,14 @@ type Request struct {
 func (req *Request) Done() bool { return req.done }
 
 // Size returns the message size in bytes.
-func (req *Request) Size() int { return req.size }
+func (req *Request) Size() int { return req.buf.Len() }
 
 // envelope describes a message in flight.
 type envelope struct {
 	src, dst int // world ranks
 	tag, ctx int
-	size     int
-	data     []byte
+	buf      Buf
+	dstRank  *Rank    // receiver's library state (delivery target)
 	sreq     *Request // sending request (rendezvous correlation)
 }
 
@@ -61,60 +61,112 @@ func matches(req *Request, env *envelope) bool {
 		(req.tag == AnyTag || req.tag == env.tag)
 }
 
-// notice is a protocol event queued for processing at a rank's next MPI
-// instant.
-type notice interface{ process(r *Rank) }
+// Protocol notices are queued per rank and processed at its next MPI
+// instant. A notice is a small value struct tagged by kind — not an
+// interface — so enqueueing never boxes.
+type noticeKind uint8
 
-type eagerNotice struct{ env *envelope }
-type rtsNotice struct{ env *envelope }
-type ctsNotice struct {
-	sreq *Request
-	rreq *Request
+const (
+	ntEager noticeKind = iota
+	ntRTS
+	ntCTS
+	ntBulk
+	ntSendDone
+	ntOneSided // one-sided extras live behind notice.os
+	ntWake     // wake a blocked rank so it re-checks its predicate
+)
+
+type notice struct {
+	kind noticeKind
+	env  *envelope // ntEager, ntRTS
+	sreq *Request  // ntCTS, ntBulk, ntSendDone
+	rreq *Request  // ntCTS, ntBulk
+	os   *osOp     // ntOneSided
 }
-type bulkNotice struct {
-	sreq *Request
-	rreq *Request
+
+// process performs a notice's protocol action in the receiving rank's
+// context, charging its CPU cost.
+func (n notice) process(r *Rank) {
+	switch n.kind {
+	case ntEager:
+		r.processEager(n.env)
+	case ntRTS:
+		r.processRTS(n.env)
+	case ntCTS:
+		r.processCTS(n.sreq, n.rreq)
+	case ntBulk:
+		r.processBulk(n.sreq, n.rreq)
+	case ntSendDone:
+		n.sreq.done = true
+		r.outstanding--
+	case ntOneSided:
+		n.os.process(r)
+	case ntWake:
+		// No action: enqueueing already woke the rank.
+	}
 }
-type sendDoneNotice struct{ sreq *Request }
+
+// Delivery entry points passed to netmodel: package-level functions plus an
+// already-held pointer, so no per-message closure is ever allocated.
+
+func deliverEager(arg any) {
+	env := arg.(*envelope)
+	env.dstRank.enqueue(notice{kind: ntEager, env: env})
+}
+
+func deliverRTS(arg any) {
+	env := arg.(*envelope)
+	env.dstRank.enqueue(notice{kind: ntRTS, env: env})
+}
+
+func deliverCTS(arg any) {
+	sreq := arg.(*Request)
+	sreq.r.enqueue(notice{kind: ntCTS, sreq: sreq, rreq: sreq.matched})
+}
+
+func deliverBulk(arg any) {
+	sreq := arg.(*Request)
+	rreq := sreq.matched
+	rreq.r.enqueue(notice{kind: ntBulk, sreq: sreq, rreq: rreq})
+	sreq.r.enqueue(notice{kind: ntSendDone, sreq: sreq})
+}
 
 // completeRecv finishes a receive request with the given payload.
-func (r *Rank) completeRecv(rreq *Request, src, tag, size int, data []byte) {
-	if data != nil && rreq.data != nil {
-		copy(rreq.data, data)
-	}
+func (r *Rank) completeRecv(rreq *Request, src, tag int, data Buf) {
+	Copy(rreq.buf, data)
 	rreq.SrcActual, rreq.TagActual = src, tag
 	rreq.done = true
 	r.outstanding--
 }
 
-func (n eagerNotice) process(r *Rank) {
+func (r *Rank) processEager(env *envelope) {
 	p := r.net().Params()
 	cost := p.ORecv + p.OMatch*float64(len(r.postedRecvs))
 	if !p.RDMA {
-		cost += p.CopyTime(n.env.size)
+		cost += p.CopyTime(env.buf.Len())
 	}
 	r.charge(cost)
 	for i, rreq := range r.postedRecvs {
-		if matches(rreq, n.env) {
+		if matches(rreq, env) {
 			r.postedRecvs = append(r.postedRecvs[:i], r.postedRecvs[i+1:]...)
-			r.completeRecv(rreq, n.env.src, n.env.tag, n.env.size, n.env.data)
+			r.completeRecv(rreq, env.src, env.tag, env.buf)
 			return
 		}
 	}
-	r.unexpEager = append(r.unexpEager, n.env)
+	r.unexpEager = append(r.unexpEager, env)
 }
 
-func (n rtsNotice) process(r *Rank) {
+func (r *Rank) processRTS(env *envelope) {
 	p := r.net().Params()
 	r.charge(p.ORecv + p.OMatch*float64(len(r.postedRecvs)))
 	for i, rreq := range r.postedRecvs {
-		if matches(rreq, n.env) {
+		if matches(rreq, env) {
 			r.postedRecvs = append(r.postedRecvs[:i], r.postedRecvs[i+1:]...)
-			r.sendCTS(rreq, n.env)
+			r.sendCTS(rreq, env)
 			return
 		}
 	}
-	r.unexpRTS = append(r.unexpRTS, n.env)
+	r.unexpRTS = append(r.unexpRTS, env)
 }
 
 // sendCTS answers a rendezvous RTS: the receive is now matched and the
@@ -124,59 +176,43 @@ func (r *Rank) sendCTS(rreq *Request, env *envelope) {
 	rreq.SrcActual, rreq.TagActual = env.src, env.tag
 	p := r.net().Params()
 	r.charge(p.OSend)
-	sender := r.w.ranks[env.src]
-	sreq := env.sreq
-	r.net().Ctrl(r.id, env.src, func() {
-		sender.enqueue(ctsNotice{sreq: sreq, rreq: rreq})
-	})
+	env.sreq.matched = rreq
+	r.net().Ctrl(r.id, env.src, deliverCTS, env.sreq)
 }
 
-func (n ctsNotice) process(r *Rank) {
+func (r *Rank) processCTS(sreq, rreq *Request) {
 	// The whole RTS→CTS handshake happened while this sender was outside
 	// MPI (or blocked): the elapsed time is the rendezvous stall that an
 	// extra progress call on either side could have shortened.
-	r.rec.RendezvousStall(r.id, r.w.eng.Now()-n.sreq.rtsAt)
+	r.rec.RendezvousStall(r.id, r.w.eng.Now()-sreq.rtsAt)
 	p := r.net().Params()
 	cost := p.OSend
 	if !p.RDMA {
-		cost += p.CopyTime(n.sreq.size)
+		cost += p.CopyTime(sreq.buf.Len())
 	}
 	r.charge(cost)
-	receiver := r.w.ranks[n.rreq.r.id]
-	sreq, rreq := n.sreq, n.rreq
-	r.net().Transfer(r.id, receiver.id, sreq.size, func() {
-		receiver.enqueue(bulkNotice{sreq: sreq, rreq: rreq})
-		r.enqueue(sendDoneNotice{sreq: sreq})
-	})
+	r.net().Transfer(r.id, rreq.r.id, sreq.buf.Len(), deliverBulk, sreq)
 }
 
-func (n bulkNotice) process(r *Rank) {
-	r.w.eng.Tracef("bulk-done", fmt.Sprintf("rank%d", r.id), "src=%d size=%d", n.sreq.r.id, n.sreq.size)
+func (r *Rank) processBulk(sreq, rreq *Request) {
+	r.w.eng.Tracef("bulk-done", fmt.Sprintf("rank%d", r.id), "src=%d size=%d", sreq.r.id, sreq.buf.Len())
 	p := r.net().Params()
 	cost := p.ORecv
 	if !p.RDMA {
-		cost += p.CopyTime(n.sreq.size)
+		cost += p.CopyTime(sreq.buf.Len())
 	}
 	r.charge(cost)
-	r.completeRecv(n.rreq, n.sreq.r.id, n.sreq.tag, n.sreq.size, n.sreq.data)
+	r.completeRecv(rreq, sreq.r.id, sreq.tag, sreq.buf)
 }
 
-func (n sendDoneNotice) process(r *Rank) {
-	n.sreq.done = true
-	r.outstanding--
-}
-
-// isend posts a non-blocking send on a context. If data is nil the message
-// is "virtual": only vsize bytes of timing are simulated, no payload moves.
-func (r *Rank) isend(dst, tag, ctx int, data []byte, vsize int) *Request {
-	size := vsize
-	if data != nil {
-		size = len(data)
-	}
+// isend posts a non-blocking send of b on a context. Virtual payloads
+// simulate only b.Len() bytes of timing; no data moves.
+func (r *Rank) isend(dst, tag, ctx int, b Buf) *Request {
+	size := b.Len()
 	if dst < 0 || dst >= len(r.w.ranks) {
 		panic("mpi: isend to invalid rank")
 	}
-	req := &Request{r: r, kind: reqSend, peer: dst, tag: tag, ctx: ctx, data: data, size: size}
+	req := &Request{r: r, kind: reqSend, peer: dst, tag: tag, ctx: ctx, buf: b}
 	p := r.net().Params()
 	r.w.eng.Tracef("isend", fmt.Sprintf("rank%d", r.id), "dst=%d tag=%d size=%d", dst, tag, size)
 	r.charge(p.OPost)
@@ -190,14 +226,8 @@ func (r *Rank) isend(dst, tag, ctx int, data []byte, vsize int) *Request {
 			cost += p.CopyTime(size)
 		}
 		r.charge(cost)
-		var payload []byte
-		if data != nil {
-			payload = append([]byte(nil), data...)
-		}
-		env := &envelope{src: r.id, dst: dst, tag: tag, ctx: ctx, size: size, data: payload}
-		r.net().Transfer(r.id, dst, size, func() {
-			dstRank.enqueue(eagerNotice{env: env})
-		})
+		env := &envelope{src: r.id, dst: dst, tag: tag, ctx: ctx, buf: b.Clone(), dstRank: dstRank}
+		r.net().Transfer(r.id, dst, size, deliverEager, env)
 		req.done = true
 		return req
 	}
@@ -206,20 +236,14 @@ func (r *Rank) isend(dst, tag, ctx int, data []byte, vsize int) *Request {
 	r.outstanding++
 	r.charge(p.OSend)
 	req.rtsAt = r.w.eng.Now()
-	env := &envelope{src: r.id, dst: dst, tag: tag, ctx: ctx, size: size, data: data, sreq: req}
-	r.net().Ctrl(r.id, dst, func() {
-		dstRank.enqueue(rtsNotice{env: env})
-	})
+	env := &envelope{src: r.id, dst: dst, tag: tag, ctx: ctx, buf: b, dstRank: dstRank, sreq: req}
+	r.net().Ctrl(r.id, dst, deliverRTS, env)
 	return req
 }
 
-// irecv posts a non-blocking receive on a context.
-func (r *Rank) irecv(src, tag, ctx int, buf []byte, vsize int) *Request {
-	size := vsize
-	if buf != nil {
-		size = len(buf)
-	}
-	req := &Request{r: r, kind: reqRecv, peer: src, tag: tag, ctx: ctx, data: buf, size: size}
+// irecv posts a non-blocking receive into b on a context.
+func (r *Rank) irecv(src, tag, ctx int, b Buf) *Request {
+	req := &Request{r: r, kind: reqRecv, peer: src, tag: tag, ctx: ctx, buf: b}
 	p := r.net().Params()
 	r.charge(p.OPost + p.OMatch*float64(len(r.unexpEager)+len(r.unexpRTS)))
 	r.outstanding++
@@ -227,7 +251,7 @@ func (r *Rank) irecv(src, tag, ctx int, buf []byte, vsize int) *Request {
 	for i, env := range r.unexpEager {
 		if matches(req, env) {
 			r.unexpEager = append(r.unexpEager[:i], r.unexpEager[i+1:]...)
-			r.completeRecv(req, env.src, env.tag, env.size, env.data)
+			r.completeRecv(req, env.src, env.tag, env.buf)
 			return req
 		}
 	}

@@ -112,6 +112,7 @@ type Rank struct {
 	// engine-event context (enqueue) or in the rank's own proc context
 	// (processing); the engine serializes those.
 	notices      []notice    // arrived, not yet seen by the library
+	nhead        int         // first unprocessed notice (head cursor)
 	unexpEager   []*envelope // processed eager messages with no matching recv
 	unexpRTS     []*envelope // processed RTS with no matching recv
 	postedRecvs  []*Request  // posted receives not yet matched
@@ -203,13 +204,18 @@ func (r *Rank) Progress() {
 
 // processNotices drains the notice queue, performing protocol actions and
 // charging their CPU costs. New notices that arrive while costs are being
-// charged (the clock advances) are drained too.
+// charged (the clock advances) are appended behind the head cursor and
+// drained too; once empty, the queue is truncated in place so its capacity
+// is reused instead of abandoned.
 func (r *Rank) processNotices() {
-	for len(r.notices) > 0 {
-		n := r.notices[0]
-		r.notices = r.notices[1:]
+	for r.nhead < len(r.notices) {
+		n := r.notices[r.nhead]
+		r.notices[r.nhead] = notice{} // release references
+		r.nhead++
 		n.process(r)
 	}
+	r.notices = r.notices[:0]
+	r.nhead = 0
 }
 
 func (r *Rank) net() *netmodel.Network { return r.w.net }

@@ -1,6 +1,10 @@
 package nbc
 
-import "fmt"
+import (
+	"fmt"
+
+	"nbctune/internal/mpi"
+)
 
 // All-to-all schedules. The paper's Ialltoall function set contains three
 // algorithms: linear (everything posted in a single round), dissemination
@@ -34,12 +38,10 @@ func (a AlltoallAlgo) String() string {
 var DefaultAlltoallAlgos = []AlltoallAlgo{AlgoLinear, AlgoBruck, AlgoPairwise}
 
 // Ialltoall builds this rank's schedule for a non-blocking all-to-all where
-// each pair of ranks exchanges blockSize bytes. send/recv, when non-nil,
-// hold n*blockSize bytes; nil buffers simulate timing only.
-func Ialltoall(n, me int, send, recv []byte, blockSize int, algo AlltoallAlgo) *Schedule {
-	if send != nil {
-		blockSize = len(send) / n
-	}
+// each pair of ranks exchanges send.Len()/n bytes. send/recv describe
+// n*blockSize bytes each; virtual buffers simulate timing only.
+func Ialltoall(n, me int, send, recv mpi.Buf, algo AlltoallAlgo) *Schedule {
+	blockSize := send.Len() / n
 	switch algo {
 	case AlgoLinear:
 		return ialltoallLinear(n, me, send, recv, blockSize)
@@ -52,29 +54,36 @@ func Ialltoall(n, me int, send, recv []byte, blockSize int, algo AlltoallAlgo) *
 	}
 }
 
-func block(buf []byte, i, bs int) []byte { return slice(buf, i*bs, bs) }
+func block(b mpi.Buf, i, bs int) mpi.Buf { return b.Slice(i*bs, bs) }
 
-func selfCopyOp(send, recv []byte, me, bs int) Op {
+func selfCopyOp(send, recv mpi.Buf, me, bs int) Op {
 	return Op{Kind: OpLocal, Bytes: bs, Fn: func() {
-		if send != nil && recv != nil {
-			copy(block(recv, me, bs), block(send, me, bs))
-		}
+		mpi.Copy(block(recv, me, bs), block(send, me, bs))
 	}}
+}
+
+// staging allocates an n-byte build-time scratch buffer matching like's
+// payload mode: real bytes when like carries data, virtual otherwise.
+func staging(like mpi.Buf, n int) mpi.Buf {
+	if like.HasData() {
+		return mpi.Bytes(make([]byte, n))
+	}
+	return mpi.Virtual(n)
 }
 
 // ialltoallLinear posts all receives and sends in one round. It needs only a
 // single progress call to be fully in flight, but exposes maximal
 // concurrency to the network (incast on TCP).
-func ialltoallLinear(n, me int, send, recv []byte, bs int) *Schedule {
+func ialltoallLinear(n, me int, send, recv mpi.Buf, bs int) *Schedule {
 	s := &Schedule{Name: "ialltoall-linear"}
 	r := Round{selfCopyOp(send, recv, me, bs)}
 	for off := 1; off < n; off++ {
 		peer := (me + off) % n
-		r = append(r, Op{Kind: OpRecv, Peer: peer, Buf: block(recv, peer, bs), Size: bs})
+		r = append(r, Op{Kind: OpRecv, Peer: peer, Buf: block(recv, peer, bs)})
 	}
 	for off := 1; off < n; off++ {
 		peer := (me - off + n) % n
-		r = append(r, Op{Kind: OpSend, Peer: peer, Buf: block(send, peer, bs), Size: bs})
+		r = append(r, Op{Kind: OpSend, Peer: peer, Buf: block(send, peer, bs)})
 	}
 	if n > 1 {
 		s.Rounds = append(s.Rounds, r)
@@ -87,15 +96,15 @@ func ialltoallLinear(n, me int, send, recv []byte, bs int) *Schedule {
 // ialltoallPairwise exchanges with partner (me+step) / (me-step) in N-1
 // rounds. Structured and contention-free, but each round gates on a
 // progress call.
-func ialltoallPairwise(n, me int, send, recv []byte, bs int) *Schedule {
+func ialltoallPairwise(n, me int, send, recv mpi.Buf, bs int) *Schedule {
 	s := &Schedule{Name: "ialltoall-pairwise"}
 	s.Rounds = append(s.Rounds, Round{selfCopyOp(send, recv, me, bs)})
 	for step := 1; step < n; step++ {
 		to := (me + step) % n
 		from := (me - step + n) % n
 		s.Rounds = append(s.Rounds, Round{
-			{Kind: OpRecv, Peer: from, TagOff: step, Buf: block(recv, from, bs), Size: bs},
-			{Kind: OpSend, Peer: to, TagOff: step, Buf: block(send, to, bs), Size: bs},
+			{Kind: OpRecv, Peer: from, TagOff: step, Buf: block(recv, from, bs)},
+			{Kind: OpSend, Peer: to, TagOff: step, Buf: block(send, to, bs)},
 		})
 	}
 	return s
@@ -106,32 +115,24 @@ func ialltoallPairwise(n, me int, send, recv []byte, bs int) *Schedule {
 // (me+pow) and receiving from (me-pow). It sends the fewest messages
 // (log2 n) but ~n/2*log2(n) blocks of data in total, plus pack/unpack
 // copies, so it wins for small blocks and loses for large ones.
-func ialltoallBruck(n, me int, send, recv []byte, bs int) *Schedule {
+func ialltoallBruck(n, me int, send, recv mpi.Buf, bs int) *Schedule {
 	s := &Schedule{Name: "ialltoall-dissemination"}
-	virtual := send == nil
 
 	// Working buffer in "rotated" order: tmp[i] = block destined for rank
 	// (me+i)%n. Staging buffers per phase are allocated at build time so a
 	// persistent request reuses them.
-	var tmp []byte
-	if !virtual {
-		tmp = make([]byte, n*bs)
-	}
+	tmp := staging(send, n*bs)
 
 	// Round 0: local rotation.
 	rot := Round{Op{Kind: OpLocal, Bytes: n * bs, Fn: func() {
-		if virtual {
-			return
-		}
 		for i := 0; i < n; i++ {
-			copy(block(tmp, i, bs), block(send, (me+i)%n, bs))
+			mpi.Copy(block(tmp, i, bs), block(send, (me+i)%n, bs))
 		}
 	}}}
 	s.Rounds = append(s.Rounds, rot)
 
 	phase := 0
 	for pow := 1; pow < n; pow *= 2 {
-		pow := pow
 		var idxs []int
 		for i := 1; i < n; i++ {
 			if i&pow != 0 {
@@ -139,36 +140,27 @@ func ialltoallBruck(n, me int, send, recv []byte, bs int) *Schedule {
 			}
 		}
 		cnt := len(idxs)
-		var sbuf, rbuf []byte
-		if !virtual {
-			sbuf = make([]byte, cnt*bs)
-			rbuf = make([]byte, cnt*bs)
-		}
+		sbuf := staging(send, cnt*bs)
+		rbuf := staging(send, cnt*bs)
 		idxsCopy := append([]int(nil), idxs...)
 		to := (me + pow) % n
 		from := (me - pow + n) % n
 
 		// Pack + exchange in one round.
 		pack := Op{Kind: OpLocal, Bytes: cnt * bs, Fn: func() {
-			if virtual {
-				return
-			}
 			for j, i := range idxsCopy {
-				copy(block(sbuf, j, bs), block(tmp, i, bs))
+				mpi.Copy(block(sbuf, j, bs), block(tmp, i, bs))
 			}
 		}}
 		s.Rounds = append(s.Rounds, Round{
 			pack,
-			{Kind: OpRecv, Peer: from, TagOff: phase, Buf: rbuf, Size: cnt * bs},
-			{Kind: OpSend, Peer: to, TagOff: phase, Buf: sbuf, Size: cnt * bs},
+			{Kind: OpRecv, Peer: from, TagOff: phase, Buf: rbuf},
+			{Kind: OpSend, Peer: to, TagOff: phase, Buf: sbuf},
 		})
 		// Unpack in the next round (after the receive completed).
 		unpack := Op{Kind: OpLocal, Bytes: cnt * bs, Fn: func() {
-			if virtual {
-				return
-			}
 			for j, i := range idxsCopy {
-				copy(block(tmp, i, bs), block(rbuf, j, bs))
+				mpi.Copy(block(tmp, i, bs), block(rbuf, j, bs))
 			}
 		}}
 		s.Rounds = append(s.Rounds, Round{unpack})
@@ -177,11 +169,8 @@ func ialltoallBruck(n, me int, send, recv []byte, bs int) *Schedule {
 
 	// Final inverse rotation: recv[(me-i+n)%n] = tmp[i].
 	fin := Round{Op{Kind: OpLocal, Bytes: n * bs, Fn: func() {
-		if virtual {
-			return
-		}
 		for i := 0; i < n; i++ {
-			copy(block(recv, (me-i+n)%n, bs), block(tmp, i, bs))
+			mpi.Copy(block(recv, (me-i+n)%n, bs), block(tmp, i, bs))
 		}
 	}}}
 	s.Rounds = append(s.Rounds, fin)

@@ -16,14 +16,11 @@ import "nbctune/internal/mpi"
 
 // IalltoallWindows creates the per-rank receive window a put-based alltoall
 // schedule deposits into. recv is the same receive buffer the schedule's
-// p2p variants use; the window must be created collectively, once, and can
-// then back any number of put-based schedules over that buffer.
-func IalltoallWindows(c *mpi.Comm, recv []byte, blockSize int) *mpi.Win {
-	n := c.Size()
-	if recv != nil {
-		return c.CreateWin(recv, 0)
-	}
-	return c.CreateWin(nil, n*blockSize)
+// p2p variants use (virtual or real); the window must be created
+// collectively, once, and can then back any number of put-based schedules
+// over that buffer.
+func IalltoallWindows(c *mpi.Comm, recv mpi.Buf) *mpi.Win {
+	return c.CreateWin(recv)
 }
 
 // IalltoallLinearPut builds the one-sided linear algorithm: one round that
@@ -32,16 +29,14 @@ func IalltoallWindows(c *mpi.Comm, recv []byte, blockSize int) *mpi.Win {
 // schedule round, so a single progress call suffices to drive it — and on
 // RDMA fabrics not even the targets' progress is needed for the data to
 // flow.
-func IalltoallLinearPut(n, me int, send, recv []byte, blockSize int, win *mpi.Win) *Schedule {
-	if send != nil {
-		blockSize = len(send) / n
-	}
+func IalltoallLinearPut(n, me int, send, recv mpi.Buf, win *mpi.Win) *Schedule {
+	blockSize := send.Len() / n
 	s := &Schedule{Name: "ialltoall-linear-put", Win: win}
 	r := Round{selfCopyOp(send, recv, me, blockSize)}
 	for off := 1; off < n; off++ {
 		peer := (me + off) % n
 		r = append(r, Op{Kind: OpPut, Peer: peer, Off: me * blockSize,
-			Buf: block(send, peer, blockSize), Size: blockSize})
+			Buf: block(send, peer, blockSize)})
 	}
 	r = append(r, Op{Kind: OpAwaitPuts, Count: n - 1})
 	s.Rounds = append(s.Rounds, r)
@@ -52,17 +47,15 @@ func IalltoallLinearPut(n, me int, send, recv []byte, blockSize int, win *mpi.Wi
 // structured rounds, each putting one block and gating on the cumulative
 // number of arrived blocks. It trades the linear variant's burst for
 // bounded per-round network pressure.
-func IalltoallPairwisePut(n, me int, send, recv []byte, blockSize int, win *mpi.Win) *Schedule {
-	if send != nil {
-		blockSize = len(send) / n
-	}
+func IalltoallPairwisePut(n, me int, send, recv mpi.Buf, win *mpi.Win) *Schedule {
+	blockSize := send.Len() / n
 	s := &Schedule{Name: "ialltoall-pairwise-put", Win: win}
 	s.Rounds = append(s.Rounds, Round{selfCopyOp(send, recv, me, blockSize)})
 	for step := 1; step < n; step++ {
 		to := (me + step) % n
 		s.Rounds = append(s.Rounds, Round{
 			{Kind: OpPut, Peer: to, Off: me * blockSize,
-				Buf: block(send, to, blockSize), Size: blockSize},
+				Buf: block(send, to, blockSize)},
 			{Kind: OpAwaitPuts, Count: step},
 		})
 	}

@@ -20,12 +20,12 @@ func checkAlltoallPut(t *testing.T, n, bs int, pairwise bool) {
 			}
 		}
 		recv := make([]byte, n*bs)
-		win := IalltoallWindows(c, recv, bs)
+		win := IalltoallWindows(c, mpi.Bytes(recv))
 		var sched *Schedule
 		if pairwise {
-			sched = IalltoallPairwisePut(n, me, send, recv, 0, win)
+			sched = IalltoallPairwisePut(n, me, mpi.Bytes(send), mpi.Bytes(recv), win)
 		} else {
-			sched = IalltoallLinearPut(n, me, send, recv, 0, win)
+			sched = IalltoallLinearPut(n, me, mpi.Bytes(send), mpi.Bytes(recv), win)
 		}
 		Run(c, sched)
 		results[me] = recv
@@ -67,8 +67,8 @@ func TestIalltoallPutOnTCP(t *testing.T) {
 			send[i] = byte(me ^ i)
 		}
 		recv := make([]byte, 4*bs)
-		win := IalltoallWindows(c, recv, bs)
-		Run(c, IalltoallLinearPut(4, me, send, recv, 0, win))
+		win := IalltoallWindows(c, mpi.Bytes(recv))
+		Run(c, IalltoallLinearPut(4, me, mpi.Bytes(send), mpi.Bytes(recv), win))
 		results[me] = recv
 	})
 	for r := 0; r < 4; r++ {
@@ -94,8 +94,8 @@ func TestIalltoallPutPersistentReuse(t *testing.T) {
 		me := c.Rank()
 		send := make([]byte, n*bs)
 		recv := make([]byte, n*bs)
-		win := IalltoallWindows(c, recv, bs)
-		sched := IalltoallLinearPut(n, me, send, recv, 0, win)
+		win := IalltoallWindows(c, mpi.Bytes(recv))
+		sched := IalltoallLinearPut(n, me, mpi.Bytes(send), mpi.Bytes(recv), win)
 		for it := 0; it < 3; it++ {
 			for i := range send {
 				send[i] = byte(me + it + i)
@@ -126,10 +126,10 @@ func TestIalltoallPutOverlapsWithoutTargetProgress(t *testing.T) {
 			me := c.Rank()
 			var sched *Schedule
 			if put {
-				win := IalltoallWindows(c, nil, bs)
-				sched = IalltoallLinearPut(n, me, nil, nil, bs, win)
+				win := IalltoallWindows(c, mpi.Virtual(n*bs))
+				sched = IalltoallLinearPut(n, me, mpi.Virtual(n*bs), mpi.Virtual(n*bs), win)
 			} else {
-				sched = Ialltoall(n, me, nil, nil, bs, AlgoLinear)
+				sched = Ialltoall(n, me, mpi.Virtual(n*bs), mpi.Virtual(n*bs), AlgoLinear)
 			}
 			h := Start(c, sched)
 			c.Compute(compute) // zero progress calls
@@ -152,9 +152,9 @@ func TestIalltoallPutOverlapsWithoutTargetProgress(t *testing.T) {
 
 func TestPutScheduleRoundCounts(t *testing.T) {
 	runProg(t, 4, nil, func(c *mpi.Comm) {
-		win := IalltoallWindows(c, nil, 128)
-		lin := IalltoallLinearPut(4, c.Rank(), nil, nil, 128, win)
-		pw := IalltoallPairwisePut(4, c.Rank(), nil, nil, 128, win)
+		win := IalltoallWindows(c, mpi.Virtual(4*128))
+		lin := IalltoallLinearPut(4, c.Rank(), mpi.Virtual(4*128), mpi.Virtual(4*128), win)
+		pw := IalltoallPairwisePut(4, c.Rank(), mpi.Virtual(4*128), mpi.Virtual(4*128), win)
 		if lin.NumRounds() != 1 {
 			t.Errorf("linear-put rounds = %d, want 1", lin.NumRounds())
 		}

@@ -1,6 +1,10 @@
 package nbc
 
-import "fmt"
+import (
+	"fmt"
+
+	"nbctune/internal/mpi"
+)
 
 // Broadcast schedules. The paper's Ibcast function set is parameterized by
 // two attributes: the fan-out of the broadcast tree and the internal segment
@@ -86,15 +90,12 @@ func FanoutName(fanout int) string {
 }
 
 // Ibcast builds this rank's schedule for a non-blocking broadcast of buf
-// (or a virtual message of vsize bytes) from root, using the given tree
-// fan-out and segment size. Segments pipeline down the tree: a rank forwards
-// segment s to its children in the same round in which it receives segment
-// s+1 from its parent.
-func Ibcast(n, me, root int, buf []byte, vsize, fanout, segSize int) *Schedule {
-	size := vsize
-	if buf != nil {
-		size = len(buf)
-	}
+// (virtual or real) from root, using the given tree fan-out and segment
+// size. Segments pipeline down the tree: a rank forwards segment s to its
+// children in the same round in which it receives segment s+1 from its
+// parent.
+func Ibcast(n, me, root int, buf mpi.Buf, fanout, segSize int) *Schedule {
+	size := buf.Len()
 	name := fmt.Sprintf("ibcast-%s-seg%dk", FanoutName(fanout), segSize/1024)
 	s := &Schedule{Name: name}
 	if n == 1 {
@@ -111,7 +112,7 @@ func Ibcast(n, me, root int, buf []byte, vsize, fanout, segSize int) *Schedule {
 			off, l := seg(size, segSize, si)
 			var r Round
 			for _, c := range children {
-				r = append(r, Op{Kind: OpSend, Peer: toWorld(c), TagOff: si, Buf: slice(buf, off, l), Size: l})
+				r = append(r, Op{Kind: OpSend, Peer: toWorld(c), TagOff: si, Buf: buf.Slice(off, l)})
 			}
 			s.Rounds = append(s.Rounds, r)
 		}
@@ -124,12 +125,12 @@ func Ibcast(n, me, root int, buf []byte, vsize, fanout, segSize int) *Schedule {
 		if si > 0 && len(children) > 0 {
 			off, l := seg(size, segSize, si-1)
 			for _, c := range children {
-				r = append(r, Op{Kind: OpSend, Peer: toWorld(c), TagOff: si - 1, Buf: slice(buf, off, l), Size: l})
+				r = append(r, Op{Kind: OpSend, Peer: toWorld(c), TagOff: si - 1, Buf: buf.Slice(off, l)})
 			}
 		}
 		if si < S {
 			off, l := seg(size, segSize, si)
-			r = append(r, Op{Kind: OpRecv, Peer: toWorld(parent), TagOff: si, Buf: slice(buf, off, l), Size: l})
+			r = append(r, Op{Kind: OpRecv, Peer: toWorld(parent), TagOff: si, Buf: buf.Slice(off, l)})
 		}
 		if len(r) > 0 {
 			s.Rounds = append(s.Rounds, r)

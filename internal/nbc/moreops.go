@@ -29,57 +29,46 @@ func (a AllreduceAlgo) String() string {
 	return "reduce-bcast"
 }
 
-// Iallreduce builds this rank's schedule combining size bytes across all
-// ranks with op; every rank receives the result in recv. Nil buffers build
-// a timing-only schedule. Recursive doubling requires a power-of-two
-// communicator size and falls back to reduce+bcast otherwise.
-func Iallreduce(n, me int, send, recv []byte, vsize int, op mpi.ReduceOp, algo AllreduceAlgo) *Schedule {
-	size := vsize
-	if send != nil {
-		size = len(send)
-	}
+// Iallreduce builds this rank's schedule combining send.Len() bytes across
+// all ranks with op; every rank receives the result in recv. Virtual
+// buffers build a timing-only schedule. Recursive doubling requires a
+// power-of-two communicator size and falls back to reduce+bcast otherwise.
+func Iallreduce(n, me int, send, recv mpi.Buf, op mpi.ReduceOp, algo AllreduceAlgo) *Schedule {
+	size := send.Len()
 	if algo == AllreduceRecursiveDoubling && n&(n-1) != 0 {
 		algo = AllreduceReduceBcast
 	}
-	virtual := send == nil
 	switch algo {
 	case AllreduceRecursiveDoubling:
 		s := &Schedule{Name: "iallreduce-recursive-doubling"}
-		var acc, tmp []byte
-		if !virtual {
-			acc = make([]byte, size)
-			tmp = make([]byte, size)
-		}
+		acc := staging(send, size)
+		tmp := staging(send, size)
 		s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: size, Fn: func() {
-			if !virtual {
-				copy(acc, send)
-			}
+			mpi.Copy(acc, send)
 		}}})
 		phase := 0
 		for dist := 1; dist < n; dist *= 2 {
 			peer := me ^ dist
 			s.Rounds = append(s.Rounds, Round{
-				{Kind: OpRecv, Peer: peer, TagOff: phase, Buf: tmp, Size: size},
-				{Kind: OpSend, Peer: peer, TagOff: phase, Buf: acc, Size: size},
+				{Kind: OpRecv, Peer: peer, TagOff: phase, Buf: tmp},
+				{Kind: OpSend, Peer: peer, TagOff: phase, Buf: acc},
 			})
 			s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: size, Fn: func() {
-				if !virtual && op != nil {
-					op(acc, tmp)
+				if op != nil && acc.HasData() && tmp.HasData() {
+					op(acc.Data(), tmp.Data())
 				}
 			}}})
 			phase++
 		}
 		s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: size, Fn: func() {
-			if !virtual && recv != nil {
-				copy(recv, acc)
-			}
+			mpi.Copy(recv, acc)
 		}}})
 		return s
 	case AllreduceReduceBcast:
 		s := &Schedule{Name: "iallreduce-reduce-bcast"}
-		red := Ireduce(n, me, 0, send, recv, vsize, op, ReduceBinomial)
+		red := Ireduce(n, me, 0, send, recv, op, ReduceBinomial)
 		s.Rounds = append(s.Rounds, red.Rounds...)
-		bc := Ibcast(n, me, 0, recv, vsize, FanoutBinomial, 1<<30)
+		bc := Ibcast(n, me, 0, recv, FanoutBinomial, 1<<30)
 		// Offset the broadcast's tags past the reduce's.
 		base := 64
 		for _, r := range bc.Rounds {
@@ -96,30 +85,22 @@ func Iallreduce(n, me int, send, recv []byte, vsize int, op mpi.ReduceOp, algo A
 	}
 }
 
-// Igather builds this rank's schedule collecting bs bytes from every rank at
-// root: a binomial gather tree, log2(n) rounds at the root's children.
-// recv (root only) holds n*bs bytes; intermediate nodes allocate staging at
-// build time so the schedule stays reusable.
-func Igather(n, me, root int, send, recv []byte, bs int) *Schedule {
-	if send != nil {
-		bs = len(send)
-	}
+// Igather builds this rank's schedule collecting send.Len() bytes from every
+// rank at root: a binomial gather tree, log2(n) rounds at the root's
+// children. recv (root only) holds n*send.Len() bytes; intermediate nodes
+// allocate staging at build time so the schedule stays reusable.
+func Igather(n, me, root int, send, recv mpi.Buf) *Schedule {
+	bs := send.Len()
 	s := &Schedule{Name: "igather-binomial"}
-	virtual := send == nil
 	vrank := (me - root + n) % n
 	toWorld := func(v int) int { return (v + root) % n }
 
 	// Staging buffer holds this rank's subtree blocks in vrank order
 	// (binomial subtrees cover contiguous vrank ranges).
 	mySub := subtreeOf(vrank, n)
-	var stage []byte
-	if !virtual {
-		stage = make([]byte, mySub*bs)
-	}
+	stage := staging(send, mySub*bs)
 	s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: bs, Fn: func() {
-		if !virtual {
-			copy(stage[:bs], send)
-		}
+		mpi.Copy(stage.Slice(0, bs), send)
 	}}})
 	// Receive children's subtrees (low bit upward), then send to parent.
 	// Peers disambiguate the transfers, so no tag offsets are needed.
@@ -135,25 +116,21 @@ func Igather(n, me, root int, send, recv []byte, bs int) *Schedule {
 		}
 		cs := subtreeOf(child, n)
 		s.Rounds = append(s.Rounds, Round{
-			{Kind: OpRecv, Peer: toWorld(child), Buf: slice(stage, off*bs, cs*bs), Size: cs * bs},
+			{Kind: OpRecv, Peer: toWorld(child), Buf: stage.Slice(off*bs, cs*bs)},
 		})
 		off += cs
 	}
 	if vrank != 0 {
 		parent := vrank & (vrank - 1)
 		s.Rounds = append(s.Rounds, Round{
-			{Kind: OpSend, Peer: toWorld(parent), Buf: stage, Size: mySub * bs},
+			{Kind: OpSend, Peer: toWorld(parent), Buf: stage},
 		})
 	} else {
 		// Root: scatter the vrank-ordered staging into recv's rank order.
 		s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: n * bs, Fn: func() {
-			if virtual || recv == nil {
-				return
-			}
-			for v, i := 0, 0; v < n; v++ {
+			for v := 0; v < n; v++ {
 				r := (v + root) % n
-				copy(recv[r*bs:(r+1)*bs], stage[i*bs:(i+1)*bs])
-				i++
+				mpi.Copy(block(recv, r, bs), block(stage, v, bs))
 			}
 		}}})
 	}
@@ -175,36 +152,27 @@ func subtreeOf(v, n int) int {
 	return end - v
 }
 
-// Iscatter builds this rank's schedule distributing bs-byte blocks from
-// root (binomial tree, mirroring Igather).
-func Iscatter(n, me, root int, send, recv []byte, bs int) *Schedule {
-	if recv != nil {
-		bs = len(recv)
-	}
+// Iscatter builds this rank's schedule distributing recv.Len()-byte blocks
+// from root (binomial tree, mirroring Igather).
+func Iscatter(n, me, root int, send, recv mpi.Buf) *Schedule {
+	bs := recv.Len()
 	s := &Schedule{Name: "iscatter-binomial"}
-	virtual := recv == nil && send == nil
 	vrank := (me - root + n) % n
 	toWorld := func(v int) int { return (v + root) % n }
 	mySub := subtreeOf(vrank, n)
-	var stage []byte
-	if !virtual {
-		stage = make([]byte, mySub*bs)
-	}
+	stage := staging(recv, mySub*bs)
 	// Root packs send (rank order) into vrank order.
 	if vrank == 0 {
 		s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: n * bs, Fn: func() {
-			if virtual || send == nil {
-				return
-			}
 			for v := 0; v < n; v++ {
 				r := (v + root) % n
-				copy(stage[v*bs:(v+1)*bs], send[r*bs:(r+1)*bs])
+				mpi.Copy(block(stage, v, bs), block(send, r, bs))
 			}
 		}}})
 	} else {
 		parent := vrank & (vrank - 1)
 		s.Rounds = append(s.Rounds, Round{
-			{Kind: OpRecv, Peer: toWorld(parent), Buf: stage, Size: mySub * bs},
+			{Kind: OpRecv, Peer: toWorld(parent), Buf: stage},
 		})
 	}
 	// Forward children's chunks, far child first. Peers disambiguate the
@@ -221,13 +189,11 @@ func Iscatter(n, me, root int, send, recv []byte, bs int) *Schedule {
 		cs := subtreeOf(child, n)
 		coff := child - vrank
 		s.Rounds = append(s.Rounds, Round{
-			{Kind: OpSend, Peer: toWorld(child), Buf: slice(stage, coff*bs, cs*bs), Size: cs * bs},
+			{Kind: OpSend, Peer: toWorld(child), Buf: stage.Slice(coff*bs, cs*bs)},
 		})
 	}
 	s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: bs, Fn: func() {
-		if !virtual && recv != nil {
-			copy(recv, stage[:bs])
-		}
+		mpi.Copy(recv, stage.Slice(0, bs))
 	}}})
 	return s
 }

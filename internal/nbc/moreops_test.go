@@ -16,7 +16,7 @@ func TestIallreduceCorrectness(t *testing.T) {
 					me := c.Rank()
 					send := mpi.Float64sToBytes([]float64{float64(me + 1), float64(me * me)})
 					recv := make([]byte, len(send))
-					Run(c, Iallreduce(n, me, send, recv, 0, mpi.SumFloat64, algo))
+					Run(c, Iallreduce(n, me, mpi.Bytes(send), mpi.Bytes(recv), mpi.SumFloat64, algo))
 					results[me] = mpi.BytesToFloat64s(recv)
 				})
 				var ws, wq float64
@@ -36,7 +36,7 @@ func TestIallreduceCorrectness(t *testing.T) {
 
 func TestIallreduceVirtual(t *testing.T) {
 	end := runProg(t, 8, nil, func(c *mpi.Comm) {
-		Run(c, Iallreduce(8, c.Rank(), nil, nil, 64*1024, nil, AllreduceRecursiveDoubling))
+		Run(c, Iallreduce(8, c.Rank(), mpi.Virtual(64*1024), mpi.Virtual(64*1024), nil, AllreduceRecursiveDoubling))
 	})
 	if end <= 0 {
 		t.Fatal("virtual allreduce took no time")
@@ -59,7 +59,7 @@ func TestIgatherCorrectness(t *testing.T) {
 					if me == root {
 						recv = make([]byte, n*bs)
 					}
-					Run(c, Igather(n, me, root, mine, recv, 0))
+					Run(c, Igather(n, me, root, mpi.Bytes(mine), mpi.Bytes(recv)))
 					if me == root {
 						gathered = recv
 					}
@@ -94,7 +94,7 @@ func TestIscatterCorrectness(t *testing.T) {
 						}
 					}
 					recv := make([]byte, bs)
-					Run(c, Iscatter(n, me, root, send, recv, 0))
+					Run(c, Iscatter(n, me, root, mpi.Bytes(send), mpi.Bytes(recv)))
 					results[me] = recv
 				})
 				for r := 0; r < n; r++ {
@@ -123,9 +123,9 @@ func TestIgatherIscatterRoundTrip(t *testing.T) {
 		if me == 0 {
 			all = make([]byte, n*bs)
 		}
-		Run(c, Igather(n, me, 0, mine, all, 0))
+		Run(c, Igather(n, me, 0, mpi.Bytes(mine), mpi.Bytes(all)))
 		back := make([]byte, bs)
-		Run(c, Iscatter(n, me, 0, all, back, 0))
+		Run(c, Iscatter(n, me, 0, mpi.Bytes(all), mpi.Bytes(back)))
 		for i := range mine {
 			if back[i] != mine[i] {
 				ok = false
@@ -170,7 +170,7 @@ func TestIallreducePersistentReuse(t *testing.T) {
 		me := c.Rank()
 		send := mpi.Float64sToBytes([]float64{1})
 		recv := make([]byte, 8)
-		sched := Iallreduce(n, me, send, recv, 0, mpi.SumFloat64, AllreduceRecursiveDoubling)
+		sched := Iallreduce(n, me, mpi.Bytes(send), mpi.Bytes(recv), mpi.SumFloat64, AllreduceRecursiveDoubling)
 		for it := 0; it < 3; it++ {
 			Run(c, sched)
 			if mpi.BytesToFloat64s(recv)[0] != n {

@@ -69,7 +69,7 @@ func TestIbcastAllVariantsDeliver(t *testing.T) {
 					if c.Rank() == 0 {
 						copy(buf, payload)
 					}
-					Run(c, Ibcast(n, c.Rank(), 0, buf, 0, fanout, segSize))
+					Run(c, Ibcast(n, c.Rank(), 0, mpi.Bytes(buf), fanout, segSize))
 					got[c.Rank()] = buf
 				})
 				for r := 0; r < n; r++ {
@@ -94,7 +94,7 @@ func TestIbcastNonzeroRoot(t *testing.T) {
 		if c.Rank() == root {
 			copy(buf, payload)
 		}
-		Run(c, Ibcast(n, c.Rank(), root, buf, 0, 2, 32*1024))
+		Run(c, Ibcast(n, c.Rank(), root, mpi.Bytes(buf), 2, 32*1024))
 		got[c.Rank()] = buf
 	})
 	for r := 0; r < n; r++ {
@@ -116,7 +116,7 @@ func checkAlltoall(t *testing.T, n, bs int, algo AlltoallAlgo) {
 			}
 		}
 		recv := make([]byte, n*bs)
-		Run(c, Ialltoall(n, me, send, recv, 0, algo))
+		Run(c, Ialltoall(n, me, mpi.Bytes(send), mpi.Bytes(recv), algo))
 		results[me] = recv
 	})
 	for r := 0; r < n; r++ {
@@ -157,7 +157,7 @@ func TestIallgatherCorrectness(t *testing.T) {
 						mine[i] = byte(me*13 + i)
 					}
 					recv := make([]byte, n*bs)
-					Run(c, Iallgather(n, me, mine, recv, 0, algo))
+					Run(c, Iallgather(n, me, mpi.Bytes(mine), mpi.Bytes(recv), algo))
 					results[me] = recv
 				})
 				for r := 0; r < n; r++ {
@@ -184,7 +184,7 @@ func TestIreduceCorrectness(t *testing.T) {
 						me := c.Rank()
 						send := mpi.Float64sToBytes([]float64{float64(me), float64(me * me)})
 						recv := make([]byte, len(send))
-						Run(c, Ireduce(n, me, root, send, recv, 0, mpi.SumFloat64, algo))
+						Run(c, Ireduce(n, me, root, mpi.Bytes(send), mpi.Bytes(recv), mpi.SumFloat64, algo))
 						if me == root {
 							result = mpi.BytesToFloat64s(recv)
 						}
@@ -211,7 +211,7 @@ func TestIreducePersistentReexecution(t *testing.T) {
 		me := c.Rank()
 		send := mpi.Float64sToBytes([]float64{1})
 		recv := make([]byte, len(send))
-		sched := Ireduce(n, me, 0, send, recv, 0, mpi.SumFloat64, ReduceBinomial)
+		sched := Ireduce(n, me, 0, mpi.Bytes(send), mpi.Bytes(recv), mpi.SumFloat64, ReduceBinomial)
 		for it := 0; it < 3; it++ {
 			Run(c, sched)
 			if me == 0 {
@@ -253,7 +253,7 @@ func TestScheduleDoesNotAdvanceWithoutProgress(t *testing.T) {
 	const computeT = 0.1
 	var doneAt float64
 	runProg(t, n, nil, func(c *mpi.Comm) {
-		h := Start(c, Ialltoall(n, c.Rank(), nil, nil, 64*1024, AlgoPairwise))
+		h := Start(c, Ialltoall(n, c.Rank(), mpi.Virtual(n*64*1024), mpi.Virtual(n*64*1024), AlgoPairwise))
 		c.Compute(computeT)
 		h.Wait()
 		if c.Rank() == 0 {
@@ -274,7 +274,7 @@ func TestProgressAdvancesRounds(t *testing.T) {
 	run := func(progressCalls int) float64 {
 		var doneAt float64
 		runProg(t, n, nil, func(c *mpi.Comm) {
-			h := Start(c, Ialltoall(n, c.Rank(), nil, nil, 256*1024, AlgoPairwise))
+			h := Start(c, Ialltoall(n, c.Rank(), mpi.Virtual(n*256*1024), mpi.Virtual(n*256*1024), AlgoPairwise))
 			for i := 0; i < progressCalls; i++ {
 				c.Compute(computeT / float64(progressCalls))
 				h.Progress()
@@ -326,8 +326,8 @@ func TestConcurrentHandlesIsolated(t *testing.T) {
 		}
 		sa, sb := mk(0), mk(128)
 		ra, rb := make([]byte, n*bs), make([]byte, n*bs)
-		ha := Start(c, Ialltoall(n, me, sa, ra, 0, AlgoLinear))
-		hb := Start(c, Ialltoall(n, me, sb, rb, 0, AlgoPairwise))
+		ha := Start(c, Ialltoall(n, me, mpi.Bytes(sa), mpi.Bytes(ra), AlgoLinear))
+		hb := Start(c, Ialltoall(n, me, mpi.Bytes(sb), mpi.Bytes(rb), AlgoPairwise))
 		hb.Wait()
 		ha.Wait()
 		resA[me], resB[me] = ra, rb
@@ -360,7 +360,7 @@ func TestAlltoallAlgosEquivalentProperty(t *testing.T) {
 					send[i] = byte(me ^ i)
 				}
 				recv := make([]byte, n*bs)
-				Run(c, Ialltoall(n, me, send, recv, 0, algo))
+				Run(c, Ialltoall(n, me, mpi.Bytes(send), mpi.Bytes(recv), algo))
 				results[me] = recv
 			})
 			if want[0] == nil {
@@ -400,7 +400,7 @@ func TestIbcastProperty(t *testing.T) {
 			if c.Rank() == root {
 				copy(buf, payload)
 			}
-			Run(c, Ibcast(n, c.Rank(), root, buf, 0, fanout, segSize))
+			Run(c, Ibcast(n, c.Rank(), root, mpi.Bytes(buf), fanout, segSize))
 			for i := range buf {
 				if buf[i] != payload[i] {
 					ok = false
@@ -422,11 +422,11 @@ func TestRoundCounts(t *testing.T) {
 		sched *Schedule
 		want  int
 	}{
-		{Ialltoall(8, 0, nil, nil, 1024, AlgoLinear), 1},
-		{Ialltoall(8, 0, nil, nil, 1024, AlgoPairwise), 8},        // self-copy + 7 exchanges
-		{Ialltoall(8, 3, nil, nil, 1024, AlgoBruck), 1 + 3*2 + 1}, // rot + 3*(exchange+unpack) + final
+		{Ialltoall(8, 0, mpi.Virtual(8*1024), mpi.Virtual(8*1024), AlgoLinear), 1},
+		{Ialltoall(8, 0, mpi.Virtual(8*1024), mpi.Virtual(8*1024), AlgoPairwise), 8},        // self-copy + 7 exchanges
+		{Ialltoall(8, 3, mpi.Virtual(8*1024), mpi.Virtual(8*1024), AlgoBruck), 1 + 3*2 + 1}, // rot + 3*(exchange+unpack) + final
 		{Ibarrier(8, 0), 3},
-		{Ibcast(8, 0, 0, nil, 100*1024, 0, 32*1024), 4}, // root: 4 segments
+		{Ibcast(8, 0, 0, mpi.Virtual(100*1024), 0, 32*1024), 4}, // root: 4 segments
 	}
 	for i, tc := range cases {
 		if got := tc.sched.NumRounds(); got != tc.want {

@@ -19,8 +19,8 @@ func Ibarrier(n, me int) *Schedule {
 		to := (me + dist) % n
 		from := (me - dist + n) % n
 		s.Rounds = append(s.Rounds, Round{
-			{Kind: OpRecv, Peer: from, TagOff: phase, Size: 1},
-			{Kind: OpSend, Peer: to, TagOff: phase, Size: 1},
+			{Kind: OpRecv, Peer: from, TagOff: phase, Buf: mpi.Virtual(1)},
+			{Kind: OpSend, Peer: to, TagOff: phase, Buf: mpi.Virtual(1)},
 		})
 		phase++
 	}
@@ -42,17 +42,14 @@ func (a AllgatherAlgo) String() string {
 	return "linear"
 }
 
-// Iallgather builds this rank's schedule for gathering bs bytes from every
-// rank into recv (n*bs bytes). send may alias recv's own block.
-func Iallgather(n, me int, send, recv []byte, bs int, algo AllgatherAlgo) *Schedule {
-	if send != nil {
-		bs = len(send)
-	}
+// Iallgather builds this rank's schedule for gathering send.Len() bytes from
+// every rank into recv (n*send.Len() bytes). send may alias recv's own
+// block; virtual buffers simulate timing only.
+func Iallgather(n, me int, send, recv mpi.Buf, algo AllgatherAlgo) *Schedule {
+	bs := send.Len()
 	s := &Schedule{Name: "iallgather-" + algo.String()}
 	self := Op{Kind: OpLocal, Bytes: bs, Fn: func() {
-		if send != nil && recv != nil {
-			copy(block(recv, me, bs), send)
-		}
+		mpi.Copy(block(recv, me, bs), send)
 	}}
 	if n == 1 {
 		s.Rounds = append(s.Rounds, Round{self})
@@ -64,11 +61,11 @@ func Iallgather(n, me int, send, recv []byte, bs int, algo AllgatherAlgo) *Sched
 		r := Round{self}
 		for off := 1; off < n; off++ {
 			peer := (me + off) % n
-			r = append(r, Op{Kind: OpRecv, Peer: peer, Buf: block(recv, peer, bs), Size: bs})
+			r = append(r, Op{Kind: OpRecv, Peer: peer, Buf: block(recv, peer, bs)})
 		}
 		for off := 1; off < n; off++ {
 			peer := (me - off + n) % n
-			r = append(r, Op{Kind: OpSend, Peer: peer, Buf: block(recv, me, bs), Size: bs})
+			r = append(r, Op{Kind: OpSend, Peer: peer, Buf: block(recv, me, bs)})
 		}
 		s.Rounds = append(s.Rounds, r)
 		// Note: sends reference recv[me], written by the self copy in the
@@ -82,8 +79,8 @@ func Iallgather(n, me int, send, recv []byte, bs int, algo AllgatherAlgo) *Sched
 		for step := 0; step < n-1; step++ {
 			prev := (cur - 1 + n) % n
 			s.Rounds = append(s.Rounds, Round{
-				{Kind: OpRecv, Peer: left, TagOff: step, Buf: block(recv, prev, bs), Size: bs},
-				{Kind: OpSend, Peer: right, TagOff: step, Buf: block(recv, cur, bs), Size: bs},
+				{Kind: OpRecv, Peer: left, TagOff: step, Buf: block(recv, prev, bs)},
+				{Kind: OpSend, Peer: right, TagOff: step, Buf: block(recv, cur, bs)},
 			})
 			cur = prev
 		}
@@ -108,35 +105,26 @@ func (a ReduceAlgo) String() string {
 	return "chain"
 }
 
-// Ireduce builds this rank's schedule reducing size bytes onto root with op.
-// send must not be modified between executions; recv is only written at
-// root. Nil buffers give a timing-only schedule.
-func Ireduce(n, me, root int, send, recv []byte, vsize int, op mpi.ReduceOp, algo ReduceAlgo) *Schedule {
-	size := vsize
-	if send != nil {
-		size = len(send)
-	}
+// Ireduce builds this rank's schedule reducing send.Len() bytes onto root
+// with op. send must not be modified between executions; recv is only
+// written at root. Virtual buffers give a timing-only schedule.
+func Ireduce(n, me, root int, send, recv mpi.Buf, op mpi.ReduceOp, algo ReduceAlgo) *Schedule {
+	size := send.Len()
 	s := &Schedule{Name: "ireduce-" + algo.String()}
-	virtual := send == nil
-	var acc, tmp []byte
-	if !virtual {
-		acc = make([]byte, size)
-		tmp = make([]byte, size)
-	}
+	acc := staging(send, size)
+	tmp := staging(send, size)
 	// Round 0 (local): refresh the accumulator from the send buffer so a
 	// persistent request can re-execute the schedule.
 	s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: size, Fn: func() {
-		if !virtual {
-			copy(acc, send)
-		}
+		mpi.Copy(acc, send)
 	}}})
 	vrank := (me - root + n) % n
 	toWorld := func(v int) int { return (v + root) % n }
 
 	reduceOp := func(phase int) Op {
 		return Op{Kind: OpLocal, Bytes: size, Fn: func() {
-			if !virtual && op != nil {
-				op(acc, tmp)
+			if op != nil && acc.HasData() && tmp.HasData() {
+				op(acc.Data(), tmp.Data())
 			}
 		}, TagOff: phase}
 	}
@@ -147,13 +135,13 @@ func Ireduce(n, me, root int, send, recv []byte, vsize int, op mpi.ReduceOp, alg
 		for dist := 1; dist < n; dist *= 2 {
 			if vrank&dist != 0 {
 				s.Rounds = append(s.Rounds, Round{
-					{Kind: OpSend, Peer: toWorld(vrank - dist), TagOff: phase, Buf: acc, Size: size},
+					{Kind: OpSend, Peer: toWorld(vrank - dist), TagOff: phase, Buf: acc},
 				})
 				break
 			}
 			if vrank+dist < n {
 				s.Rounds = append(s.Rounds, Round{
-					{Kind: OpRecv, Peer: toWorld(vrank + dist), TagOff: phase, Buf: tmp, Size: size},
+					{Kind: OpRecv, Peer: toWorld(vrank + dist), TagOff: phase, Buf: tmp},
 				})
 				s.Rounds = append(s.Rounds, Round{reduceOp(phase)})
 			}
@@ -164,13 +152,13 @@ func Ireduce(n, me, root int, send, recv []byte, vsize int, op mpi.ReduceOp, alg
 		// vrank+1, reduces, and forwards to vrank-1.
 		if vrank+1 < n {
 			s.Rounds = append(s.Rounds, Round{
-				{Kind: OpRecv, Peer: toWorld(vrank + 1), Buf: tmp, Size: size},
+				{Kind: OpRecv, Peer: toWorld(vrank + 1), Buf: tmp},
 			})
 			s.Rounds = append(s.Rounds, Round{reduceOp(0)})
 		}
 		if vrank != 0 {
 			s.Rounds = append(s.Rounds, Round{
-				{Kind: OpSend, Peer: toWorld(vrank - 1), Buf: acc, Size: size},
+				{Kind: OpSend, Peer: toWorld(vrank - 1), Buf: acc},
 			})
 		}
 	default:
@@ -178,9 +166,7 @@ func Ireduce(n, me, root int, send, recv []byte, vsize int, op mpi.ReduceOp, alg
 	}
 	if vrank == 0 {
 		s.Rounds = append(s.Rounds, Round{{Kind: OpLocal, Bytes: size, Fn: func() {
-			if !virtual && recv != nil {
-				copy(recv, acc)
-			}
+			mpi.Copy(recv, acc)
 		}}})
 	}
 	return s

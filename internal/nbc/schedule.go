@@ -11,6 +11,11 @@
 // number of rounds in an algorithm therefore determines how many progress
 // calls it needs to overlap well — the effect Figs 6 and 7 of the paper
 // measure.
+//
+// Payloads are mpi.Buf descriptors: a schedule built over mpi.Virtual
+// buffers simulates timing only (the common case for sweeps), one built
+// over mpi.Bytes buffers moves real data for verification. Both compile to
+// the identical schedule shape and virtual-time behavior.
 package nbc
 
 import (
@@ -41,14 +46,13 @@ const (
 // Op is one entry of a schedule round.
 type Op struct {
 	Kind   OpKind
-	Peer   int    // comm rank (send destination / recv source)
-	TagOff int    // tag offset within the handle's tag range (0..1023)
-	Buf    []byte // payload or destination; nil means virtual
-	Size   int    // virtual size when Buf is nil, ignored otherwise
-	Bytes  int    // OpLocal: bytes of local work for cost accounting
-	Fn     func() // OpLocal: the work itself (may be nil for timing-only)
-	Off    int    // OpPut: byte offset in the target window
-	Count  int    // OpAwaitPuts: cumulative puts expected by this round
+	Peer   int     // comm rank (send destination / recv source)
+	TagOff int     // tag offset within the handle's tag range (0..1023)
+	Buf    mpi.Buf // payload or destination descriptor (virtual or real)
+	Bytes  int     // OpLocal: bytes of local work for cost accounting
+	Fn     func()  // OpLocal: the work itself (may be nil for timing-only)
+	Off    int     // OpPut: byte offset in the target window
+	Count  int     // OpAwaitPuts: cumulative puts expected by this round
 }
 
 // Round is a set of operations started together.
@@ -115,13 +119,13 @@ func (h *Handle) execRounds() {
 					op.Fn()
 				}
 			case OpSend:
-				rec.AlgoBytes(h.sched.Name, opBytes(op))
-				h.pending = append(h.pending, h.comm.Isend(op.Peer, h.tag+op.TagOff, op.Buf, op.Size))
+				rec.AlgoBytes(h.sched.Name, op.Buf.Len())
+				h.pending = append(h.pending, h.comm.Isend(op.Peer, h.tag+op.TagOff, op.Buf))
 			case OpRecv:
-				h.pending = append(h.pending, h.comm.Irecv(op.Peer, h.tag+op.TagOff, op.Buf, op.Size))
+				h.pending = append(h.pending, h.comm.Irecv(op.Peer, h.tag+op.TagOff, op.Buf))
 			case OpPut:
-				rec.AlgoBytes(h.sched.Name, opBytes(op))
-				h.pending = append(h.pending, h.sched.Win.PutInstanced(h.instance, op.Peer, op.Off, op.Buf, op.Size))
+				rec.AlgoBytes(h.sched.Name, op.Buf.Len())
+				h.pending = append(h.pending, h.sched.Win.PutInstanced(h.instance, op.Peer, op.Off, op.Buf))
 			case OpAwaitPuts:
 				h.await = op.Count
 			default:
@@ -138,14 +142,6 @@ func (h *Handle) execRounds() {
 	}
 	h.done = true
 	rec.OpEnd(rank.ID(), h.obsID, rank.Now())
-}
-
-// opBytes returns the payload size of a send/put schedule entry.
-func opBytes(op Op) int {
-	if op.Buf != nil {
-		return len(op.Buf)
-	}
-	return op.Size
 }
 
 // roundDone reports whether all of the current round's requests completed
@@ -226,12 +222,4 @@ func numSegs(size, segSize int) int {
 		n = 1
 	}
 	return n
-}
-
-// slice returns buf[off:off+l] or nil when buf is nil (virtual payloads).
-func slice(buf []byte, off, l int) []byte {
-	if buf == nil {
-		return nil
-	}
-	return buf[off : off+l]
 }

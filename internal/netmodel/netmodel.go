@@ -186,7 +186,41 @@ type Network struct {
 	BytesOnWire   int64
 	IncastSamples int64
 
+	freeDeliv []*delivery // recycled inter-node arrival records
+
 	rec *obs.Recorder
+}
+
+// delivery is the pooled arrival record of one inter-node transfer: it
+// releases the receiver's incast slot and then invokes the caller's
+// callback. Pooling it keeps Transfer allocation-free in steady state.
+type delivery struct {
+	n   *Network
+	rn  *nicState
+	fn  func(any)
+	arg any
+}
+
+// fireDelivery is the engine callback for inter-node arrivals.
+func fireDelivery(arg any) {
+	d := arg.(*delivery)
+	fn, a, n := d.fn, d.arg, d.n
+	d.rn.inRx--
+	d.n, d.rn, d.fn, d.arg = nil, nil, nil, nil
+	n.freeDeliv = append(n.freeDeliv, d)
+	fn(a)
+}
+
+func (n *Network) newDelivery(rn *nicState, fn func(any), arg any) *delivery {
+	var d *delivery
+	if k := len(n.freeDeliv); k > 0 {
+		d = n.freeDeliv[k-1]
+		n.freeDeliv = n.freeDeliv[:k-1]
+	} else {
+		d = &delivery{}
+	}
+	d.n, d.rn, d.fn, d.arg = n, rn, fn, arg
+	return d
 }
 
 // SetRecorder attaches an observability recorder; Transfer then reports the
@@ -239,17 +273,19 @@ func minIdx(xs []float64) int {
 }
 
 // Transfer schedules the movement of `bytes` payload bytes from the node of
-// rank src to the node of rank dst, and invokes deliver (in engine event
-// context) at the virtual time the last byte arrives. It returns the
-// predicted arrival time.
-func (n *Network) Transfer(src, dst, bytes int, deliver func()) float64 {
+// rank src to the node of rank dst, and invokes deliver(arg) (in engine
+// event context) at the virtual time the last byte arrives. It returns the
+// predicted arrival time. The (deliver, arg) pair replaces a closure so the
+// caller can pass a package-level function and an already-held pointer,
+// keeping the per-message hot path allocation-free.
+func (n *Network) Transfer(src, dst, bytes int, deliver func(any), arg any) float64 {
 	now := n.eng.Now()
 	n.Transfers++
 	n.BytesOnWire += int64(bytes)
 	a, b := n.nodeOf[src], n.nodeOf[dst]
 	if a == b {
 		arrival := now + n.p.ShmLatency + float64(bytes)/n.p.ShmBandwidth
-		n.eng.AtTime(arrival, deliver)
+		n.eng.AtTimeCall(arrival, deliver, arg)
 		return arrival
 	}
 	sn, rn := n.nodes[a], n.nodes[b]
@@ -280,18 +316,15 @@ func (n *Network) Transfer(src, dst, bytes int, deliver func()) float64 {
 	n.rec.NIC(a, ti, obs.TX, start, start+txDur, bytes)
 	n.rec.NIC(b, ri, obs.RX, rxStart, arrival, bytes)
 
-	n.eng.AtTime(arrival, func() {
-		rn.inRx--
-		deliver()
-	})
+	n.eng.AtTimeCall(arrival, fireDelivery, n.newDelivery(rn, deliver, arg))
 	return arrival
 }
 
-// Ctrl schedules a small control message (RTS/CTS/ack) from src to dst.
-// Control messages ride a separate lane: they see wire latency but do not
-// occupy NIC channels, so bulk transfers cannot head-of-line block the
-// protocol handshake.
-func (n *Network) Ctrl(src, dst int, deliver func()) float64 {
+// Ctrl schedules a small control message (RTS/CTS/ack) from src to dst,
+// invoking deliver(arg) on arrival. Control messages ride a separate lane:
+// they see wire latency but do not occupy NIC channels, so bulk transfers
+// cannot head-of-line block the protocol handshake.
+func (n *Network) Ctrl(src, dst int, deliver func(any), arg any) float64 {
 	now := n.eng.Now()
 	n.CtrlMessages++
 	var arrival float64
@@ -300,7 +333,7 @@ func (n *Network) Ctrl(src, dst int, deliver func()) float64 {
 	} else {
 		arrival = now + n.p.WireLatency(n.nodeOf[src], n.nodeOf[dst]) + float64(n.p.CtrlBytes)/n.p.Bandwidth
 	}
-	n.eng.AtTime(arrival, deliver)
+	n.eng.AtTimeCall(arrival, deliver, arg)
 	return arrival
 }
 

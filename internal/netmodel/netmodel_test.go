@@ -65,7 +65,7 @@ func TestSingleTransferTime(t *testing.T) {
 	p := testParams()
 	eng, n := mustNet(t, p, []int{0, 1})
 	var arrived float64
-	n.Transfer(0, 1, 1000, func() { arrived = eng.Now() })
+	n.Transfer(0, 1, 1000, func(any) { arrived = eng.Now() }, nil)
 	eng.Run()
 	// tx occupies [0, 1e-6]; rx starts at latency after tx start.
 	want := p.Latency + 1000/p.Bandwidth
@@ -78,7 +78,7 @@ func TestIntraNodeTransfer(t *testing.T) {
 	p := testParams()
 	eng, n := mustNet(t, p, []int{0, 0})
 	var arrived float64
-	n.Transfer(0, 1, 6000, func() { arrived = eng.Now() })
+	n.Transfer(0, 1, 6000, func(any) { arrived = eng.Now() }, nil)
 	eng.Run()
 	want := p.ShmLatency + 6000/p.ShmBandwidth
 	if math.Abs(arrived-want) > 1e-12 {
@@ -93,8 +93,8 @@ func TestTxSerialization(t *testing.T) {
 	p := testParams()
 	eng, n := mustNet(t, p, []int{0, 1, 2})
 	var a1, a2 float64
-	n.Transfer(0, 1, 1_000_000, func() { a1 = eng.Now() })
-	n.Transfer(0, 2, 1_000_000, func() { a2 = eng.Now() })
+	n.Transfer(0, 1, 1_000_000, func(any) { a1 = eng.Now() }, nil)
+	n.Transfer(0, 2, 1_000_000, func(any) { a2 = eng.Now() }, nil)
 	eng.Run()
 	wire := 1_000_000 / p.Bandwidth
 	// Second transfer must wait for the sender NIC: starts at wire, arrives
@@ -112,8 +112,8 @@ func TestMultiNICParallelism(t *testing.T) {
 	p.NICs = 2
 	eng, n := mustNet(t, p, []int{0, 1, 2})
 	var a1, a2 float64
-	n.Transfer(0, 1, 1_000_000, func() { a1 = eng.Now() })
-	n.Transfer(0, 2, 1_000_000, func() { a2 = eng.Now() })
+	n.Transfer(0, 1, 1_000_000, func(any) { a1 = eng.Now() }, nil)
+	n.Transfer(0, 2, 1_000_000, func(any) { a2 = eng.Now() }, nil)
 	eng.Run()
 	wire := 1_000_000 / p.Bandwidth
 	if math.Abs(a1-(p.Latency+wire)) > 1e-9 || math.Abs(a2-(p.Latency+wire)) > 1e-9 {
@@ -128,11 +128,11 @@ func TestRxSerializationManySenders(t *testing.T) {
 	eng, n := mustNet(t, p, nodeOf)
 	last := 0.0
 	for s := 1; s < 5; s++ {
-		n.Transfer(s, 0, 1_000_000, func() {
+		n.Transfer(s, 0, 1_000_000, func(any) {
 			if eng.Now() > last {
 				last = eng.Now()
 			}
-		})
+		}, nil)
 	}
 	eng.Run()
 	wire := 1_000_000 / p.Bandwidth
@@ -158,11 +158,11 @@ func TestIncastCongestionPenalty(t *testing.T) {
 		}
 		last := 0.0
 		for s := 1; s <= senders; s++ {
-			n.Transfer(s, 0, 100_000, func() {
+			n.Transfer(s, 0, 100_000, func(any) {
 				if eng.Now() > last {
 					last = eng.Now()
 				}
-			})
+			}, nil)
 		}
 		eng.Run()
 		return last
@@ -183,8 +183,8 @@ func TestCtrlBypassesBulk(t *testing.T) {
 	p := testParams()
 	eng, n := mustNet(t, p, []int{0, 1})
 	var ctrlAt, bulkAt float64
-	n.Transfer(0, 1, 10_000_000, func() { bulkAt = eng.Now() })
-	n.Ctrl(0, 1, func() { ctrlAt = eng.Now() })
+	n.Transfer(0, 1, 10_000_000, func(any) { bulkAt = eng.Now() }, nil)
+	n.Ctrl(0, 1, func(any) { ctrlAt = eng.Now() }, nil)
 	eng.Run()
 	if ctrlAt >= bulkAt {
 		t.Fatalf("ctrl message (%g) should not queue behind 10MB bulk (%g)", ctrlAt, bulkAt)
@@ -222,7 +222,7 @@ func TestTransferLowerBoundProperty(t *testing.T) {
 		for _, s := range sizes {
 			bytes := int(s%1_000_000) + 1
 			lower := eng.Now() + n.MinTransferTime(bytes)
-			at := n.Transfer(0, 1, bytes, func() {})
+			at := n.Transfer(0, 1, bytes, func(any) {}, nil)
 			if at < lower-1e-12 {
 				ok = false
 			}
@@ -250,11 +250,11 @@ func TestWorkConservationProperty(t *testing.T) {
 		n, _ := New(eng, p, nodeOf)
 		last := 0.0
 		for i := 1; i <= k; i++ {
-			n.Transfer(0, i, 500_000, func() {
+			n.Transfer(0, i, 500_000, func(any) {
 				if eng.Now() > last {
 					last = eng.Now()
 				}
-			})
+			}, nil)
 		}
 		eng.Run()
 		return last >= float64(k)*500_000/p.Bandwidth
@@ -267,8 +267,8 @@ func TestWorkConservationProperty(t *testing.T) {
 func TestCountersAdvance(t *testing.T) {
 	p := testParams()
 	eng, n := mustNet(t, p, []int{0, 1})
-	n.Transfer(0, 1, 1234, func() {})
-	n.Ctrl(1, 0, func() {})
+	n.Transfer(0, 1, 1234, func(any) {}, nil)
+	n.Ctrl(1, 0, func(any) {}, nil)
 	eng.Run()
 	if n.Transfers != 1 || n.CtrlMessages != 1 || n.BytesOnWire != 1234 {
 		t.Fatalf("counters: transfers=%d ctrl=%d bytes=%d", n.Transfers, n.CtrlMessages, n.BytesOnWire)
@@ -328,11 +328,11 @@ func TestTorusLatencyGrowsWithDistance(t *testing.T) {
 		t.Fatal(err)
 	}
 	var aNear, aFar float64
-	net.Transfer(0, 1, 1000, func() { aNear = eng.Now() })
+	net.Transfer(0, 1, 1000, func(any) { aNear = eng.Now() }, nil)
 	eng.Run()
 	eng2 := sim.NewEngine(1)
 	net2, _ := New(eng2, p, []int{0, 1, 2 + 8*2 + 64*2})
-	net2.Transfer(0, 2, 1000, func() { aFar = eng2.Now() })
+	net2.Transfer(0, 2, 1000, func(any) { aFar = eng2.Now() }, nil)
 	eng2.Run()
 	if aFar <= aNear {
 		t.Fatalf("distant transfer (%g) not slower than near (%g)", aFar, aNear)

@@ -4,77 +4,122 @@
 //
 // The engine owns a virtual clock and a priority queue of events. Simulated
 // processes run as goroutines, but the engine guarantees that at most one
-// goroutine (either the engine itself or a single process) executes at any
-// instant; control is transferred through unbuffered channel handoffs. Runs
-// are therefore fully deterministic for a fixed seed, which is what makes the
+// goroutine executes at any instant. Control moves as a single "scheduler
+// token": whichever goroutine holds the token runs the event loop inline,
+// and parking a process hands the token to whoever the next event wakes.
+// A process whose own wake event is next therefore parks and resumes with
+// zero channel operations, and any cross-process switch costs exactly one
+// channel rendezvous (the old design paid two per park/wake cycle). Runs
+// are fully deterministic for a fixed seed, which is what makes the
 // reproduction of the paper's measurements repeatable.
+//
+// Events live in a pool of records indexed by an inlined 4-ary heap, so the
+// steady-state hot path (schedule, fire, free-list) performs no allocation.
+// Callback state that would otherwise force a closure allocation can be
+// passed through AtCall's (fn, arg) pair.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 )
 
 // Time is virtual time in seconds.
 type Time = float64
 
-// Event is a scheduled callback. Events fire in (time, sequence) order;
-// the sequence number makes simultaneous events deterministic (FIFO).
+// Event kinds stored in pooled event records.
+const (
+	evFunc uint8 = iota // fn()
+	evCall              // fn2(arg)
+	evWake              // wake proc if still parked on generation wgen
+)
+
+// eventRec is one pooled event. Records are recycled through a free list;
+// gen distinguishes a live record from a recycled one so that stale Event
+// handles become no-ops instead of acting on the wrong event.
+type eventRec struct {
+	t    Time
+	seq  int64
+	wgen uint64    // evWake: park generation the ticket targets
+	fn   func()    // evFunc
+	fn2  func(any) // evCall
+	arg  any       // evCall
+	proc *Proc     // evWake
+	pos  int32     // heap position; -1 when not queued
+	gen  uint32    // handle generation, bumped on free
+	kind uint8
+}
+
+// Event is a cancelable handle to a scheduled callback. Events fire in
+// (time, sequence) order; the sequence number makes simultaneous events
+// deterministic (FIFO). The zero Event is a valid no-op handle.
 type Event struct {
-	t        Time
-	seq      int64
-	fn       func()
-	canceled bool
-	index    int // heap index, -1 when not queued
+	e   *Engine
+	idx int32
+	gen uint32
+	t   Time
 }
 
-// Time returns the virtual time at which the event fires.
-func (ev *Event) Time() Time { return ev.t }
+// Time returns the virtual time at which the event fires (or fired).
+func (ev Event) Time() Time { return ev.t }
 
-// Cancel prevents a queued event from firing. Canceling an already fired
-// or already canceled event is a no-op.
-func (ev *Event) Cancel() { ev.canceled = true }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// Cancel prevents a queued event from firing, removing it from the queue
+// immediately so long sweeps with many canceled timers do not grow the heap.
+// Canceling an already fired or already canceled event is a no-op.
+func (ev Event) Cancel() {
+	if ev.e == nil {
+		return
 	}
-	return h[i].seq < h[j].seq
+	r := &ev.e.recs[ev.idx]
+	if r.gen != ev.gen || r.pos < 0 {
+		return // already fired, freed, or mid-dispatch
+	}
+	ev.e.heapRemove(r.pos)
+	ev.e.freeRec(ev.idx)
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// ProcPanic wraps a panic that escaped a simulated process body. It is
+// re-raised on the goroutine that called Run/RunUntil, so harness code (the
+// experiment runner, tests) can recover from faults in simulated rank code
+// exactly like it recovers from engine-level panics.
+type ProcPanic struct {
+	Proc  string // name of the process whose body panicked
+	Value any    // the original panic value
+	Stack []byte // stack captured at the panic site
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+func (pp *ProcPanic) Error() string {
+	return fmt.Sprintf("sim: panic in process %q: %v", pp.Proc, pp.Value)
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+func (pp *ProcPanic) String() string { return pp.Error() }
+
+// Unwrap exposes the original panic value when it was an error.
+func (pp *ProcPanic) Unwrap() error {
+	if err, ok := pp.Value.(error); ok {
+		return err
+	}
+	return nil
 }
 
 // Engine is a discrete-event simulator.
 type Engine struct {
-	now    Time
-	events eventHeap
-	seq    int64
-	yield  chan struct{}
-	procs  []*Proc
-	live   int
-	rng    *rand.Rand
+	now  Time
+	recs []eventRec // event pool; heap and free list hold indices into it
+	free []int32    // recycled record indexes
+	heap []int32    // 4-ary min-heap of queued records, keyed by (t, seq)
+	seq  int64
+
+	deadline  Time          // horizon of the current Run/RunUntil
+	toMain    chan struct{} // token handoff back to the Run caller
+	procPanic *ProcPanic    // pending fault captured from a process body
+
+	procs []*Proc
+	live  int
+	rng   *rand.Rand
 
 	// Stats counters, useful in tests and for harness reporting.
 	EventsFired int64
@@ -85,8 +130,8 @@ type Engine struct {
 // NewEngine returns an engine whose random source is seeded with seed.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
-		yield: make(chan struct{}),
-		rng:   rand.New(rand.NewSource(seed)),
+		toMain: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -96,36 +141,281 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn to run after delay d (d >= 0) and returns the event so it
-// can be canceled. Scheduling with d < 0 panics: the past is immutable.
-func (e *Engine) At(d Time, fn func()) *Event {
+// allocRec returns a free record index, growing the pool only when the free
+// list is empty.
+func (e *Engine) allocRec() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	e.recs = append(e.recs, eventRec{})
+	return int32(len(e.recs) - 1)
+}
+
+// freeRec recycles a record, bumping its generation so outstanding Event
+// handles go stale, and dropping references so fired callbacks can be
+// collected.
+func (e *Engine) freeRec(idx int32) {
+	r := &e.recs[idx]
+	r.gen++
+	r.pos = -1
+	r.fn = nil
+	r.fn2 = nil
+	r.arg = nil
+	r.proc = nil
+	e.free = append(e.free, idx)
+}
+
+// less orders records by (time, sequence); seq uniqueness makes this a
+// strict total order, so the heap's pop sequence is fully deterministic.
+func (e *Engine) less(a, b int32) bool {
+	ra, rb := &e.recs[a], &e.recs[b]
+	if ra.t != rb.t {
+		return ra.t < rb.t
+	}
+	return ra.seq < rb.seq
+}
+
+func (e *Engine) heapPush(idx int32) {
+	i := len(e.heap)
+	e.heap = append(e.heap, idx)
+	e.recs[idx].pos = int32(i)
+	e.siftUp(i)
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	idx := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(idx, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		e.recs[h[i]].pos = int32(i)
+		i = parent
+	}
+	h[i] = idx
+	e.recs[idx].pos = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	idx := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if e.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !e.less(h[best], idx) {
+			break
+		}
+		h[i] = h[best]
+		e.recs[h[i]].pos = int32(i)
+		i = best
+	}
+	h[i] = idx
+	e.recs[idx].pos = int32(i)
+}
+
+// heapPop removes and returns the minimum record index.
+func (e *Engine) heapPop() int32 {
+	top := e.heap[0]
+	n := len(e.heap) - 1
+	if n > 0 {
+		e.heap[0] = e.heap[n]
+		e.recs[e.heap[0]].pos = 0
+	}
+	e.heap = e.heap[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	e.recs[top].pos = -1
+	return top
+}
+
+// heapRemove deletes the record at heap position i (Cancel's path).
+func (e *Engine) heapRemove(i int32) {
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap = e.heap[:n]
+	if int(i) == n {
+		return
+	}
+	e.heap[i] = last
+	e.recs[last].pos = i
+	e.siftDown(int(i))
+	if e.recs[last].pos == i {
+		e.siftUp(int(i))
+	}
+}
+
+// schedule allocates and enqueues a record firing after delay d.
+func (e *Engine) schedule(d Time, kind uint8) int32 {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: scheduling event in the past (d=%g)", d))
 	}
 	e.seq++
-	ev := &Event{t: e.now + d, seq: e.seq, fn: fn, index: -1}
-	heap.Push(&e.events, ev)
-	return ev
+	idx := e.allocRec()
+	r := &e.recs[idx]
+	r.t = e.now + d
+	r.seq = e.seq
+	r.kind = kind
+	e.heapPush(idx)
+	return idx
+}
+
+// At schedules fn to run after delay d (d >= 0) and returns the event so it
+// can be canceled. Scheduling with d < 0 panics: the past is immutable.
+func (e *Engine) At(d Time, fn func()) Event {
+	idx := e.schedule(d, evFunc)
+	r := &e.recs[idx]
+	r.fn = fn
+	return Event{e: e, idx: idx, gen: r.gen, t: r.t}
+}
+
+// AtCall schedules fn(arg) after delay d. It is the allocation-free variant
+// of At for hot paths: passing state through arg instead of a closure lets
+// callers schedule with a package-level function and an already-held pointer.
+func (e *Engine) AtCall(d Time, fn func(any), arg any) Event {
+	idx := e.schedule(d, evCall)
+	r := &e.recs[idx]
+	r.fn2, r.arg = fn, arg
+	return Event{e: e, idx: idx, gen: r.gen, t: r.t}
 }
 
 // AtTime schedules fn at absolute virtual time t (t >= Now()).
-func (e *Engine) AtTime(t Time, fn func()) *Event {
+func (e *Engine) AtTime(t Time, fn func()) Event {
 	return e.At(t-e.now, fn)
+}
+
+// AtTimeCall schedules fn(arg) at absolute virtual time t (t >= Now()).
+func (e *Engine) AtTimeCall(t Time, fn func(any), arg any) Event {
+	return e.AtCall(t-e.now, fn, arg)
+}
+
+// atWake schedules a wake ticket for p's park generation g. Wake tickets are
+// plain pooled records — no closure, no handle — and stale tickets (the
+// process was already woken, re-parked, or finished) are dropped in the
+// dispatch loop, which is how same-instant wakeups coalesce into one resume.
+func (e *Engine) atWake(d Time, p *Proc, g uint64) {
+	idx := e.schedule(d, evWake)
+	r := &e.recs[idx]
+	r.proc, r.wgen = p, g
+}
+
+// dispatch runs the event loop on the calling goroutine, which must hold the
+// scheduler token. self is the process the caller just parked (nil when the
+// caller is the exit wrapper of a finished process). dispatch returns when
+// the token has left the calling goroutine:
+//
+//   - an evWake for self pops: self resumes inline, zero channel operations;
+//   - an evWake for another parked process pops: one channel send hands the
+//     token over, and (self != nil) the caller blocks until its own wake is
+//     eventually popped by a later token holder;
+//   - the queue drains past e.deadline: the token returns to the Run caller.
+func (e *Engine) dispatch(self *Proc) {
+	for {
+		if len(e.heap) == 0 || e.recs[e.heap[0]].t > e.deadline {
+			e.toMain <- struct{}{}
+			if self != nil {
+				<-self.resume
+			}
+			return
+		}
+		idx := e.heapPop()
+		r := &e.recs[idx]
+		e.now = r.t
+		e.EventsFired++
+		switch r.kind {
+		case evFunc:
+			fn := r.fn
+			e.freeRec(idx)
+			fn()
+		case evCall:
+			fn, arg := r.fn2, r.arg
+			e.freeRec(idx)
+			fn(arg)
+		default: // evWake
+			q, g := r.proc, r.wgen
+			e.freeRec(idx)
+			if q.done || !q.parked || q.gen != g {
+				continue // stale ticket: this wakeup was coalesced away
+			}
+			if q == self {
+				return // own wake: resume without touching a channel
+			}
+			q.resume <- struct{}{}
+			if self != nil {
+				<-self.resume
+			}
+			return
+		}
+	}
+}
+
+// runLoop is dispatch's twin for the Run caller: it fires events until the
+// horizon, handing the token to woken processes and reclaiming it (via
+// toMain) when no runnable work remains before the deadline.
+func (e *Engine) runLoop(deadline Time) {
+	e.deadline = deadline
+	for {
+		if len(e.heap) == 0 || e.recs[e.heap[0]].t > deadline {
+			return
+		}
+		idx := e.heapPop()
+		r := &e.recs[idx]
+		e.now = r.t
+		e.EventsFired++
+		switch r.kind {
+		case evFunc:
+			fn := r.fn
+			e.freeRec(idx)
+			fn()
+		case evCall:
+			fn, arg := r.fn2, r.arg
+			e.freeRec(idx)
+			fn(arg)
+		default: // evWake
+			q, g := r.proc, r.wgen
+			e.freeRec(idx)
+			if q.done || !q.parked || q.gen != g {
+				continue
+			}
+			q.resume <- struct{}{}
+			e.waitToken()
+		}
+	}
+}
+
+// waitToken blocks until the scheduler token returns to the Run caller,
+// re-raising any panic captured from a process body.
+func (e *Engine) waitToken() {
+	<-e.toMain
+	if pp := e.procPanic; pp != nil {
+		e.procPanic = nil
+		panic(pp)
+	}
 }
 
 // Run executes events until the queue drains. It returns the final virtual
 // time. If processes remain parked when the queue drains, the simulation is
-// deadlocked; Run panics with a diagnostic naming the parked processes.
+// deadlocked; Run panics with a diagnostic naming the parked processes. A
+// panic escaping a process body is re-raised here as a *ProcPanic.
 func (e *Engine) Run() Time {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.t
-		e.EventsFired++
-		ev.fn()
-	}
+	e.runLoop(math.Inf(1))
 	if e.live > 0 {
 		var stuck []string
 		for _, p := range e.procs {
@@ -142,15 +432,7 @@ func (e *Engine) Run() Time {
 // RunUntil executes events with time <= deadline and returns the virtual time
 // reached. Unlike Run it does not treat parked processes as a deadlock.
 func (e *Engine) RunUntil(deadline Time) Time {
-	for len(e.events) > 0 && e.events[0].t <= deadline {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.t
-		e.EventsFired++
-		ev.fn()
-	}
+	e.runLoop(deadline)
 	if e.now < deadline {
 		e.now = deadline
 	}
@@ -158,7 +440,8 @@ func (e *Engine) RunUntil(deadline Time) Time {
 }
 
 // Spawn starts a new process executing fn. The process begins running at the
-// current virtual time (via a zero-delay event).
+// current virtual time (via a zero-delay wake event). If fn panics, the
+// panic is captured with its stack and re-raised from Run as a *ProcPanic.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
 		eng:    e,
@@ -173,13 +456,36 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	go func() {
 		<-p.resume
 		p.parked = false
-		fn(p)
+		fail := p.runBody(fn)
 		p.done = true
 		e.live--
-		e.yield <- struct{}{}
+		if fail != nil {
+			e.procPanic = fail
+			e.toMain <- struct{}{}
+			return
+		}
+		// The body returned while holding the token: keep dispatching on
+		// this goroutine until the token moves on, then exit.
+		e.dispatch(nil)
 	}()
-	e.At(0, func() { p.wakeTicket(1) })
+	e.atWake(0, p, 1)
 	return p
+}
+
+// runBody executes the process body, converting an escaped panic into a
+// *ProcPanic so it can be re-raised on the Run caller's goroutine.
+func (p *Proc) runBody(fn func(*Proc)) (fail *ProcPanic) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pp, ok := r.(*ProcPanic); ok {
+				fail = pp // already wrapped by a nested dispatch
+				return
+			}
+			fail = &ProcPanic{Proc: p.name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn(p)
+	return nil
 }
 
 // Procs returns all processes ever spawned.

@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// BenchmarkEngineThroughput is the repository's committed engine baseline
+// (BENCH_sim.json): a mixed hot-path workload of pure timer events plus
+// sleeping processes, the two event shapes every simulated MPI rank drives.
+// It reports events/sec and allocs/event; CI runs it with -benchtime=1x as a
+// smoke test, and the numbers in BENCH_sim.json are regenerated with
+//
+//	go test -bench=EngineThroughput -benchtime=2s ./internal/sim
+func BenchmarkEngineThroughput(b *testing.B) {
+	const procs = 8
+	e := NewEngine(1)
+	for pi := 0; pi < procs; pi++ {
+		e.Spawn("p", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Sleep(1e-6)
+			}
+		})
+	}
+	// Interleaved pure-callback events: two timer events per proc wake.
+	for i := 0; i < 2*procs*b.N; i++ {
+		e.At(float64(i)*0.5e-6, func() {})
+	}
+	b.ReportAllocs()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	e.Run()
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	if events := float64(e.EventsFired); events > 0 {
+		b.ReportMetric(events/b.Elapsed().Seconds(), "events/sec")
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/events, "allocs/event")
+	}
+}

@@ -4,14 +4,16 @@ import "fmt"
 
 // Proc is a simulated process. A Proc's body function runs in its own
 // goroutine, but the engine guarantees that at most one goroutine executes
-// at a time: a Proc runs until it parks (Sleep, Park via Cond.Wait) and the
-// engine resumes it when the corresponding wake event fires.
+// at a time via the scheduler token (see the package comment): a parking
+// process runs the event dispatch loop itself, resuming inline when its own
+// wake event is next and handing the token over with a single channel send
+// otherwise.
 //
-// Wakeups are only ever performed from engine event callbacks; any API that
-// logically wakes a process from process context (Cond.Broadcast, Cond.Signal)
-// schedules a zero-delay event instead. This keeps the engine the sole
-// receiver of the scheduler handoff channel, which is what makes execution
-// strictly single-file and deterministic.
+// Wakeups are pooled evWake records addressed by (process, park generation).
+// Any API that logically wakes a process (Sleep timers, Cond.Broadcast,
+// Cond.Signal) pushes such a record; the dispatch loop drops tickets whose
+// generation is stale, which coalesces multiple same-instant wakeups of one
+// process into a single resume.
 type Proc struct {
 	eng    *Engine
 	name   string
@@ -46,23 +48,13 @@ func (p *Proc) prepark() uint64 {
 	return p.gen
 }
 
-// parkPrepared suspends the process until a wake event with a matching
-// ticket fires.
+// parkPrepared suspends the process until a wake record with a matching
+// ticket fires. The process keeps the scheduler token and dispatches events
+// itself, so a park whose wake is the next runnable event costs no channel
+// operations at all.
 func (p *Proc) parkPrepared() {
-	p.eng.yield <- struct{}{}
-	<-p.resume
+	p.eng.dispatch(p)
 	p.parked = false
-}
-
-// wakeTicket resumes the process if it is still parked on generation g.
-// Stale tickets (the process was already woken, re-parked, or finished)
-// are dropped. Must only be called from an engine event callback.
-func (p *Proc) wakeTicket(g uint64) {
-	if p.done || !p.parked || p.gen != g {
-		return
-	}
-	p.resume <- struct{}{}
-	<-p.eng.yield
 }
 
 // Sleep advances the process's local activity by duration d of virtual time.
@@ -75,7 +67,7 @@ func (p *Proc) Sleep(d Time) {
 		return
 	}
 	g := p.prepark()
-	p.eng.At(d, func() { p.wakeTicket(g) })
+	p.eng.atWake(d, p, g)
 	p.parkPrepared()
 }
 
@@ -83,7 +75,7 @@ func (p *Proc) Sleep(d Time) {
 // events at the current virtual time run first.
 func (p *Proc) Yield() {
 	g := p.prepark()
-	p.eng.At(0, func() { p.wakeTicket(g) })
+	p.eng.atWake(0, p, g)
 	p.parkPrepared()
 }
 
@@ -112,19 +104,16 @@ func (c *Cond) Wait(p *Proc) {
 }
 
 // Broadcast wakes all current waiters in FIFO order. It is safe to call from
-// process context or event context; the wakeups happen through a zero-delay
-// event.
+// process context or event context: each waiter gets a zero-delay wake
+// record, so the wakeups happen strictly after the caller's current step,
+// in consecutive event order. A waiter that was meanwhile woken through
+// another path holds a newer park generation and its record is dropped as
+// stale by the dispatch loop.
 func (c *Cond) Broadcast() {
-	if len(c.waiters) == 0 {
-		return
+	for _, w := range c.waiters {
+		c.eng.atWake(0, w.p, w.g)
 	}
-	ws := c.waiters
-	c.waiters = nil
-	c.eng.At(0, func() {
-		for _, w := range ws {
-			w.p.wakeTicket(w.g)
-		}
-	})
+	c.waiters = c.waiters[:0]
 }
 
 // Signal wakes the longest-waiting process, if any.
@@ -133,8 +122,9 @@ func (c *Cond) Signal() {
 		return
 	}
 	w := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	c.eng.At(0, func() { w.p.wakeTicket(w.g) })
+	n := copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:n]
+	c.eng.atWake(0, w.p, w.g)
 }
 
 // Waiters reports the number of parked processes on the condition.

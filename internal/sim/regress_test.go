@@ -1,0 +1,276 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Regression tests for the pooled-event execution core: heap-backed Cancel,
+// generation-checked wake tickets, panic propagation, and the allocation-free
+// steady state. These are deliberately white-box — they pin the internal
+// invariants (free-list recycling, ticket coalescing) that the public-API
+// tests in engine_test.go cannot reach.
+
+func TestCancelRemovesFromQueue(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.At(0.5, func() {})
+	ev := e.At(1.0, func() { fired = true })
+	ev.Cancel()
+	if n := len(e.heap); n != 1 {
+		t.Fatalf("cancel must remove the record from the heap: %d queued", n)
+	}
+	if end := e.Run(); end != 0.5 {
+		t.Fatalf("run ended at %g, want 0.5: canceled event still advanced the clock", end)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelMidRun(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(2, func() { fired = true })
+	e.At(1, func() { ev.Cancel() })
+	if end := e.Run(); end != 1 {
+		t.Fatalf("run ended at %g, want 1", end)
+	}
+	if fired {
+		t.Fatal("event canceled at t=1 fired anyway")
+	}
+	// Double cancel and zero-handle cancel are no-ops.
+	ev.Cancel()
+	(Event{}).Cancel()
+}
+
+// TestCancelSubsetHeapIntegrity cancels a pseudo-random subset of queued
+// events at scattered heap positions and checks that the survivors still pop
+// in strict time order — i.e. heapRemove's sift-down/sift-up repair keeps the
+// 4-ary heap invariant intact.
+func TestCancelSubsetHeapIntegrity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		e := NewEngine(1)
+		const n = 500
+		events := make([]Event, n)
+		times := make([]Time, n)
+		var fired []Time
+		for i := 0; i < n; i++ {
+			d := rng.Float64() * 100
+			times[i] = d
+			i := i
+			events[i] = e.At(d, func() { fired = append(fired, times[i]) })
+		}
+		canceled := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				events[i].Cancel()
+				canceled[i] = true
+			}
+		}
+		e.Run()
+		want := make([]Time, 0, n)
+		for i := 0; i < n; i++ {
+			if !canceled[i] {
+				want = append(want, times[i])
+			}
+		}
+		sort.Float64s(want)
+		if len(fired) != len(want) {
+			t.Fatalf("trial %d: %d events fired, want %d", trial, len(fired), len(want))
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("trial %d: fire order broken at %d: got %g, want %g", trial, i, fired[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStaleHandleAfterRecycle: once an event fires, its pooled record goes to
+// the free list and a later event reuses the slot. Canceling through the old
+// handle must not kill the new tenant — the generation check makes the stale
+// handle a no-op.
+func TestStaleHandleAfterRecycle(t *testing.T) {
+	e := NewEngine(1)
+	ev1 := e.At(0, func() {})
+	e.Run() // ev1 fires; its record is free-listed
+
+	fired := false
+	ev2 := e.At(1, func() { fired = true })
+	if ev2.idx != ev1.idx {
+		t.Fatalf("expected slot reuse: ev1 idx %d, ev2 idx %d", ev1.idx, ev2.idx)
+	}
+	ev1.Cancel() // stale generation: must not touch ev2
+	e.Run()
+	if !fired {
+		t.Fatal("stale Cancel removed a recycled record's new event")
+	}
+}
+
+// TestStaleWakeTicketDropped injects a wake ticket carrying an outdated park
+// generation while the process is parked on a newer one. The dispatch loop
+// must drop it, so the process sleeps its full duration instead of waking
+// early. This is the mechanism behind wake coalescing and behind Cond's
+// "stale broadcast" safety.
+func TestStaleWakeTicketDropped(t *testing.T) {
+	e := NewEngine(1)
+	var wokeAt Time = -1
+	p := e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(1)  // parks on gen 2
+		p.Sleep(10) // parks on gen 3
+		wokeAt = p.Now()
+	})
+	// At t=2 the proc is parked on its second sleep (gen 3). A ticket for
+	// gen 2 must be dropped, not resume it.
+	e.At(2, func() { e.atWake(0, p, 2) })
+	end := e.Run()
+	if wokeAt != 11 {
+		t.Fatalf("stale ticket woke the process early: woke at %g, want 11", wokeAt)
+	}
+	if end != 11 {
+		t.Fatalf("run ended at %g, want 11", end)
+	}
+	// A ticket for a finished process is likewise dropped without incident.
+	e.atWake(0, p, 99)
+	e.Run()
+}
+
+// TestWakeTicketCoalescing pushes two same-instant tickets for the same park
+// generation. The first resumes the waiter; by the time the second pops, the
+// waiter has re-parked on a new generation, so the duplicate is dropped — the
+// waiter observes exactly one (spurious) wakeup, not two.
+func TestWakeTicketCoalescing(t *testing.T) {
+	e := NewEngine(1)
+	cond := NewCond(e)
+	ready := false
+	spurious := 0
+	p := e.Spawn("waiter", func(p *Proc) {
+		for !ready {
+			cond.Wait(p)
+			if !ready {
+				spurious++
+			}
+		}
+	})
+	e.At(1, func() {
+		g := p.gen // the generation of the current park
+		e.atWake(0, p, g)
+		e.atWake(0, p, g)
+	})
+	e.At(2, func() {
+		ready = true
+		cond.Broadcast()
+	})
+	e.Run()
+	if spurious != 1 {
+		t.Fatalf("got %d spurious wakeups from two coalescible tickets, want 1", spurious)
+	}
+}
+
+// TestCondSpuriousWakeupRequiresPredicateLoop is the black-box companion: a
+// Broadcast that races ahead of the predicate flip is a legal spurious wakeup,
+// and a waiter that re-checks in a loop (the documented contract) survives it.
+func TestCondSpuriousWakeupRequiresPredicateLoop(t *testing.T) {
+	e := NewEngine(1)
+	cond := NewCond(e)
+	ready := false
+	spurious := 0
+	finished := false
+	e.Spawn("waiter", func(p *Proc) {
+		for !ready {
+			cond.Wait(p)
+			if !ready {
+				spurious++
+			}
+		}
+		finished = true
+	})
+	e.Spawn("signaler", func(p *Proc) {
+		p.Sleep(1)
+		cond.Broadcast() // predicate still false: spurious for the waiter
+		p.Sleep(1)
+		ready = true
+		cond.Broadcast()
+	})
+	e.Run()
+	if !finished {
+		t.Fatal("waiter never finished")
+	}
+	if spurious != 1 {
+		t.Fatalf("waiter saw %d spurious wakeups, want exactly 1", spurious)
+	}
+}
+
+func TestProcPanicRecoverable(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("victim", func(p *Proc) {
+		p.Sleep(3)
+		panic("boom")
+	})
+	var pp *ProcPanic
+	func() {
+		defer func() {
+			r := recover()
+			var ok bool
+			if pp, ok = r.(*ProcPanic); !ok {
+				t.Fatalf("recovered %T (%v), want *ProcPanic", r, r)
+			}
+		}()
+		e.Run()
+	}()
+	if pp.Proc != "victim" {
+		t.Fatalf("panic attributed to %q, want \"victim\"", pp.Proc)
+	}
+	if pp.Value != "boom" {
+		t.Fatalf("panic value %v, want \"boom\"", pp.Value)
+	}
+	if len(pp.Stack) == 0 {
+		t.Fatal("panic stack not captured")
+	}
+	if pp.Unwrap() != nil {
+		t.Fatalf("string panic must not unwrap to an error: %v", pp.Unwrap())
+	}
+}
+
+func TestProcPanicUnwrapsError(t *testing.T) {
+	e := NewEngine(1)
+	sentinel := errors.New("kernel fault")
+	e.Spawn("victim", func(p *Proc) { panic(sentinel) })
+	defer func() {
+		pp, ok := recover().(*ProcPanic)
+		if !ok {
+			t.Fatal("expected *ProcPanic")
+		}
+		if !errors.Is(pp, sentinel) {
+			t.Fatalf("errors.Is must see through ProcPanic to the original error")
+		}
+	}()
+	e.Run()
+}
+
+// nopCall is package-level so AtCall sites in the alloc test do not close
+// over anything.
+func nopCall(any) {}
+
+// TestSteadyStateAllocFree pins the tentpole's core performance claim: once
+// the record pool and heap have grown to working size, scheduling and firing
+// events allocates nothing.
+func TestSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine(1)
+	run := func(n int) {
+		for i := 0; i < n; i++ {
+			e.AtCall(float64(i)*1e-6, nopCall, nil)
+		}
+		e.Run()
+	}
+	run(4096) // warm the pool, heap, and free list
+	const batch = 1024
+	allocs := testing.AllocsPerRun(10, func() { run(batch) })
+	if per := allocs / batch; per > 0.01 {
+		t.Fatalf("steady state allocates %.4f allocs/event, want ~0", per)
+	}
+}
