@@ -2,7 +2,7 @@
 # command: `make ci`.
 GO ?= go
 
-.PHONY: all build test vet race bench benchsmoke ci
+.PHONY: all build test vet race bench benchsmoke benchguard chaos-smoke ci
 
 all: ci
 
@@ -20,7 +20,7 @@ vet:
 # execution core it schedules plus the mpi/nbc layers built on the token
 # handoff — under the race detector.
 race:
-	$(GO) test -race ./internal/runner ./internal/sim/... ./internal/mpi/... ./internal/nbc/...
+	$(GO) test -race ./internal/runner ./internal/sim/... ./internal/mpi/... ./internal/nbc/... ./internal/chaos/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run XXX ./...
@@ -30,4 +30,25 @@ bench:
 benchsmoke:
 	$(GO) test -bench EngineThroughput -benchtime 1x -run XXX ./internal/sim
 
-ci: build vet test race benchsmoke
+# Short noisy sweep under the race detector: the bench chaos tests run the
+# verification sweep with the "congested" profile attached (twice, checking
+# byte-identity), and the chaos package's own determinism suite rides along.
+# -short skips the full committed-summary reproduction, keeping this a smoke.
+chaos-smoke:
+	$(GO) test -race -short -count 1 -run 'TestChaos' ./internal/bench
+	$(GO) test -race -count 1 ./internal/chaos/...
+
+# Fail if engine throughput regresses >15% versus the committed baseline in
+# BENCH_sim.json (1s measurement for stability; regenerate the baseline with
+# -benchtime=2s on a quiet machine).
+benchguard:
+	@base=$$(sed -n 's/.*"ns_per_op": \([0-9]*\).*/\1/p' BENCH_sim.json | head -1); \
+	out=$$($(GO) test -bench EngineThroughput -benchtime 1s -run XXX ./internal/sim); \
+	echo "$$out"; \
+	now=$$(echo "$$out" | awk '/^BenchmarkEngineThroughput/ {print int($$3)}'); \
+	if [ -z "$$base" ] || [ -z "$$now" ]; then echo "benchguard: could not parse baseline or benchmark output"; exit 1; fi; \
+	limit=$$((base * 115 / 100)); \
+	if [ "$$now" -gt "$$limit" ]; then echo "benchguard: $$now ns/op exceeds 115% of committed baseline $$base ns/op"; exit 1; fi; \
+	echo "benchguard: $$now ns/op within 15% of committed baseline $$base ns/op"
+
+ci: build vet test race chaos-smoke benchguard

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"nbctune/internal/bench"
+	"nbctune/internal/chaos/profiles"
 	"nbctune/internal/fft"
 	"nbctune/internal/obs"
 	"nbctune/internal/platform"
@@ -56,11 +57,20 @@ func main() {
 		trace    = flag.String("trace", "", "directory for per-run Chrome trace-event JSON (bypasses the runner; sequential)")
 		metrics  = flag.String("metrics", "", "file for per-run overlap/progress metrics JSON")
 		data     = flag.Bool("data", false, "run the FFT on real field data (virtual times unchanged; slower)")
+		chaosStr = flag.String("chaos", "off", "fault/noise injection profile: off, "+strings.Join(profiles.Names(), ", "))
+		chaosSd  = flag.Int64("chaos-seed", 1, "seed for the chaos injector's deterministic streams")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	dataMode = *data
+	if _, err := profiles.ByName(*chaosStr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *chaosStr != "off" {
+		chaosMode, chaosSeed = *chaosStr, *chaosSd
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -161,6 +171,13 @@ var oc *collector
 // dataMode mirrors -data: figure drivers then run on real field data.
 var dataMode bool
 
+// chaosMode/chaosSeed mirror -chaos/-chaos-seed: when set, every cell of
+// every figure runs under the named fault/noise injection profile.
+var (
+	chaosMode string
+	chaosSeed int64
+)
+
 type collector struct {
 	traceDir string
 	rows     []metricsRow
@@ -237,6 +254,12 @@ func runFFTMatrix(specs []bench.FFTSpec, flavors []fft.Flavor, opt bench.RunOpti
 	if dataMode {
 		for i := range specs {
 			specs[i].Data = true
+		}
+	}
+	if chaosMode != "" {
+		for i := range specs {
+			specs[i].Chaos = chaosMode
+			specs[i].ChaosSeed = chaosSeed
 		}
 	}
 	if oc == nil {

@@ -27,8 +27,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"nbctune/internal/bench"
+	"nbctune/internal/chaos/profiles"
 	"nbctune/internal/runner"
 )
 
@@ -44,10 +46,21 @@ func main() {
 		out      = flag.String("out", "results/sweep_summary.json", "machine-readable summary path (empty disables)")
 		observe  = flag.Bool("observe", false, "attach obs recorders so summary rows carry overlap ratios (timing-neutral)")
 		data     = flag.Bool("data", false, "real payloads with per-iteration data verification (virtual times unchanged; slower)")
+		chaosStr = flag.String("chaos", "off", "fault/noise injection profile: off, "+strings.Join(profiles.Names(), ", "))
+		chaosSd  = flag.Int64("chaos-seed", 1, "seed for the chaos injector's deterministic streams")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if _, err := profiles.ByName(*chaosStr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	chaosName := *chaosStr
+	if chaosName == "off" {
+		chaosName = "" // canonical clean spelling: specs fingerprint identically to pre-chaos runs
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -97,6 +110,10 @@ func main() {
 		for i := range specs {
 			specs[i].Observe = specs[i].Observe || *observe
 			specs[i].Data = specs[i].Data || *data
+			if chaosName != "" {
+				specs[i].Chaos = chaosName
+				specs[i].ChaosSeed = *chaosSd
+			}
 		}
 		selectors := []string{"brute-force", "attr-heuristic", "factorial-2k"}
 		st, err := bench.VerificationSweepOpts(specs, selectors, opt)
@@ -117,6 +134,10 @@ func main() {
 		for i := range specs {
 			specs[i].Observe = specs[i].Observe || *observe
 			specs[i].Data = specs[i].Data || *data
+			if chaosName != "" {
+				specs[i].Chaos = chaosName
+				specs[i].ChaosSeed = *chaosSd
+			}
 		}
 		st, err := bench.FFTSweepOpts(specs, opt)
 		if err != nil {

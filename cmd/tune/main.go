@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"nbctune/internal/chaos/profiles"
 	"nbctune/internal/core"
 	"nbctune/internal/mpi"
 	"nbctune/internal/obs"
@@ -34,12 +35,14 @@ func main() {
 		compute  = flag.Float64("compute", 0.02, "compute seconds per iteration")
 		progress = flag.Int("progress", 5, "progress calls per iteration")
 		iters    = flag.Int("iters", 0, "loop iterations (0 = enough for learning + 10)")
-		selName  = flag.String("selector", "brute-force", "selection logic: brute-force, attr-heuristic, factorial-2k")
+		selName  = flag.String("selector", "brute-force", "selection logic: brute-force, attr-heuristic, factorial-2k, adaptive[+inner], brute-force-mean")
 		evals    = flag.Int("evals", 3, "measurements per implementation")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		histPath = flag.String("history", "", "history file for persistent learning (optional)")
 		tracOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run (open in Perfetto)")
 		metrOut  = flag.String("metrics", "", "write overlap metrics + the rank-0 selection audit as JSON")
+		chaosStr = flag.String("chaos", "off", "fault/noise injection profile: off or a profile name")
+		chaosSd  = flag.Int64("chaos-seed", 1, "seed for the chaos injector's deterministic streams")
 	)
 	flag.Parse()
 
@@ -47,10 +50,27 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	eng, world, err := plat.NewWorld(*np, *seed)
+	prof, err := profiles.ByName(*chaosStr)
 	if err != nil {
 		fail(err)
 	}
+	chaosName := ""
+	if prof != nil {
+		chaosName = prof.Name
+	}
+	eng, world, err := plat.NewWorldChaos(*np, *seed, platform.Cyclic, prof, *chaosSd)
+	if err != nil {
+		fail(err)
+	}
+	// The environment fingerprint gates history hits: a winner tuned on a
+	// clean flat fabric must not be replayed under a chaos profile (or vice
+	// versa). Flat topology maps to the empty tag so clean runs keep
+	// matching history files written before fingerprints existed.
+	topo := plat.Net.Topology.String()
+	if topo == "flat" {
+		topo = ""
+	}
+	env := core.EnvFingerprint(topo, chaosName, *chaosSd)
 	var hist *core.History
 	var histKey string
 	if *histPath != "" {
@@ -82,7 +102,7 @@ func main() {
 		}
 		hit := false
 		if hist != nil {
-			sel, hit = core.SelectorWithHistory(hist, histKey, fs, sel)
+			sel, hit = core.SelectorWithHistoryEnv(hist, histKey, env, fs, sel)
 		}
 		if c.Rank() == 0 && rec != nil {
 			audit = core.AttachAudit(sel, fs)
@@ -122,7 +142,7 @@ func main() {
 	fmt.Print(report)
 
 	if hist != nil && winnerName != "" {
-		hist.Record(histKey, core.HistoryEntry{Winner: winnerName, Evals: evalsUsed})
+		hist.Record(histKey, core.HistoryEntry{Winner: winnerName, Evals: evalsUsed, Env: env})
 		if err := hist.Save(*histPath); err != nil {
 			fail(err)
 		}
@@ -148,7 +168,11 @@ func main() {
 			Platform: plat.Name, Op: *op, Procs: *np, MsgSize: *msg,
 			Compute: *compute, ProgressCalls: *progress, Selector: *selName,
 			Seed: *seed, Winner: winnerName, Evals: evalsUsed,
+			Chaos: chaosName, ChaosSeed: *chaosSd,
 			Metrics: rec.Metrics(), Audit: audit,
+		}
+		if chaosName == "" {
+			out.ChaosSeed = 0
 		}
 		f, err := os.Create(*metrOut)
 		if err != nil {
@@ -180,6 +204,8 @@ type tuneMetrics struct {
 	Seed          int64        `json:"seed"`
 	Winner        string       `json:"winner"`
 	Evals         int          `json:"evals"`
+	Chaos         string       `json:"chaos,omitempty"`
+	ChaosSeed     int64        `json:"chaos_seed,omitempty"`
 	Metrics       *obs.Metrics `json:"metrics"`
 	Audit         *obs.Audit   `json:"audit,omitempty"`
 }

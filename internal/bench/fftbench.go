@@ -32,6 +32,10 @@ type FFTSpec struct {
 	// actually executes. Virtual times are identical; only host memory and
 	// wall-clock cost change.
 	Data bool `json:",omitempty"`
+	// Chaos/ChaosSeed select a fault/noise injection profile, as in
+	// MicroSpec; omitempty keeps clean-spec fingerprints stable.
+	Chaos     string `json:",omitempty"`
+	ChaosSeed int64  `json:",omitempty"`
 }
 
 func (s FFTSpec) String() string {
@@ -82,7 +86,7 @@ func RunFFTObserved(spec FFTSpec) (FFTResult, *obs.Recorder, error) {
 	if spec.Flavor == fft.FlavorADCL || spec.Flavor == fft.FlavorADCLExt {
 		label += ":" + sel
 	}
-	eng, w, err := spec.Platform.NewWorldPlaced(spec.Procs, spec.Seed, spec.Placement)
+	eng, w, err := chaosWorld(spec.Platform, spec.Procs, spec.Seed, spec.Placement, spec.Chaos, spec.ChaosSeed)
 	if err != nil {
 		return FFTResult{}, nil, err
 	}

@@ -15,11 +15,13 @@ package bench
 import (
 	"fmt"
 
+	"nbctune/internal/chaos/profiles"
 	"nbctune/internal/core"
 	"nbctune/internal/mpi"
 	"nbctune/internal/obs"
 	"nbctune/internal/platform"
 	"nbctune/internal/runner"
+	"nbctune/internal/sim"
 )
 
 // MicroSpec describes one micro-benchmark configuration.
@@ -48,6 +50,12 @@ type MicroSpec struct {
 	// from sizes, never from contents, so timing results are identical to
 	// the default length-only (virtual) runs.
 	Data bool `json:",omitempty"`
+	// Chaos names a fault/noise injection profile (internal/chaos/profiles)
+	// applied to the run; "" or "off" is the clean machine. ChaosSeed seeds
+	// the injector's streams. Both are omitempty so clean specs fingerprint
+	// (and cache) identically to specs that predate the chaos layer.
+	Chaos     string `json:",omitempty"`
+	ChaosSeed int64  `json:",omitempty"`
 }
 
 // Ops supported by the micro-benchmark.
@@ -79,6 +87,16 @@ func (s MicroSpec) evals() int {
 		return s.EvalsPerFn
 	}
 	return 3
+}
+
+// chaosWorld builds a simulated machine through the single platform assembly
+// point, with the named chaos profile attached (none for ""/"off").
+func chaosWorld(pl platform.Platform, procs int, seed int64, place platform.Placement, chaosName string, chaosSeed int64) (*sim.Engine, *mpi.World, error) {
+	prof, err := profiles.ByName(chaosName)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pl.NewWorldChaos(procs, seed, place, prof, chaosSeed)
 }
 
 // payload allocates an n-byte buffer descriptor in the spec's data mode:
@@ -214,7 +232,7 @@ func runLoopObserved(spec MicroSpec, label string, mkSel func(fs *core.FunctionS
 	if err := spec.validate(); err != nil {
 		return MicroResult{}, nil, err
 	}
-	eng, w, err := spec.Platform.NewWorldPlaced(spec.Procs, spec.Seed, spec.Placement)
+	eng, w, err := chaosWorld(spec.Platform, spec.Procs, spec.Seed, spec.Placement, spec.Chaos, spec.ChaosSeed)
 	if err != nil {
 		return MicroResult{}, nil, err
 	}
@@ -395,7 +413,7 @@ func TuningReportFor(spec MicroSpec, selector string) (string, error) {
 	if err := spec.validate(); err != nil {
 		return "", err
 	}
-	eng, w, err := spec.Platform.NewWorldPlaced(spec.Procs, spec.Seed, spec.Placement)
+	eng, w, err := chaosWorld(spec.Platform, spec.Procs, spec.Seed, spec.Placement, spec.Chaos, spec.ChaosSeed)
 	if err != nil {
 		return "", err
 	}

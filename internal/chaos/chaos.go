@@ -1,0 +1,279 @@
+// Package chaos is the deterministic fault & noise injection layer: a
+// seeded source of environmental adversity threaded through the simulator
+// stack (sim engine time base, netmodel links, mpi compute phases). It
+// exists because the paper's runtime selection only matters on noisy
+// machines — ADCL's outlier-filtered scores (§III) are designed to pick
+// winners despite OS jitter, congestion and skew, and a perfectly clean
+// simulation never exercises them against adversity.
+//
+// Everything here is driven by PCG-seeded streams (math/rand/v2), so one
+// (profile, seed) pair reproduces a byte-identical virtual timeline: the
+// same transfers see the same degradations, the same compute phases absorb
+// the same detours, and sweeps/traces are regression-testable artifacts.
+//
+// The injector is composable from independent concerns:
+//
+//   - per-rank OS noise: relative jitter plus "detour" events (an OS daemon
+//     stealing a fixed slice of CPU with some probability per compute call);
+//   - link degradation: static latency/bandwidth factors on inter-node
+//     transfers, plus exponential per-message delivery jitter;
+//   - congestion bursts: randomly timed windows during which effective
+//     bandwidth collapses (a neighbor job hammering the shared switch);
+//   - slow-NIC nodes: a deterministic subset of nodes whose transfers run at
+//     a fraction of nominal bandwidth (failing transceiver, misnegotiated
+//     link);
+//   - regime shifts: piecewise overrides applied from an absolute virtual
+//     time onward (the job landing on a busier switch at t=T), the drift
+//     the adaptive re-tuner in internal/core chases.
+//
+// Invariant: chaos perturbs *timing only*. It never drops, reorders within
+// a flow, or corrupts a message, so any collective run under chaos must
+// produce bit-identical payloads to a clean run (the nbc conformance suite
+// pins this).
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Profile declares one named adversity configuration. The zero value of any
+// field disables that concern; factor fields interpret 0 as "1.0" so partial
+// literals stay readable. Profiles are plain data — JSON-serializable, and
+// identified by Name in result fingerprints and history tags.
+type Profile struct {
+	Name string `json:"name"`
+
+	// Per-rank OS noise, applied to application compute phases.
+	NoiseRel   float64 `json:"noise_rel,omitempty"`   // relative jitter: d *= 1 + |N(0,1)|*NoiseRel
+	DetourProb float64 `json:"detour_prob,omitempty"` // probability per compute call of an OS detour
+	DetourTime float64 `json:"detour_time,omitempty"` // CPU seconds one detour steals
+
+	// Static link degradation for inter-node transfers.
+	LatencyFactor   float64 `json:"latency_factor,omitempty"`   // multiplies wire latency (>= 1 degrades)
+	BandwidthFactor float64 `json:"bandwidth_factor,omitempty"` // multiplies bandwidth (<= 1 degrades)
+	JitterMean      float64 `json:"jitter_mean,omitempty"`      // mean of exponential per-message delivery jitter
+
+	// Congestion bursts: windows of collapsed bandwidth with random onset
+	// and length (both uniform in [0.5,1.5] of their nominal value).
+	BurstEvery    float64 `json:"burst_every,omitempty"`     // nominal gap between burst onsets (0 = no bursts)
+	BurstLen      float64 `json:"burst_len,omitempty"`       // nominal burst duration
+	BurstBWFactor float64 `json:"burst_bw_factor,omitempty"` // bandwidth multiplier inside a burst
+
+	// Slow-NIC nodes: a seeded subset of nodes whose transfers degrade.
+	SlowNodeFrac     float64 `json:"slow_node_frac,omitempty"`      // fraction of nodes affected
+	SlowNodeBWFactor float64 `json:"slow_node_bw_factor,omitempty"` // bandwidth multiplier for their flows
+
+	// Regime shifts, in ascending At order: from each shift's virtual time
+	// onward its non-zero factors replace the profile's static ones.
+	Shifts []Shift `json:"shifts,omitempty"`
+}
+
+// Shift is one piecewise regime change: from virtual time At onward, the
+// non-zero factors override the profile's static link factors.
+type Shift struct {
+	At              float64 `json:"at"`
+	LatencyFactor   float64 `json:"latency_factor,omitempty"`
+	BandwidthFactor float64 `json:"bandwidth_factor,omitempty"`
+}
+
+// Zero reports whether the profile perturbs nothing (the clean baseline).
+func (p *Profile) Zero() bool {
+	return p.NoiseRel == 0 && p.DetourProb == 0 &&
+		factor(p.LatencyFactor) == 1 && factor(p.BandwidthFactor) == 1 &&
+		p.JitterMean == 0 && p.BurstEvery == 0 && p.SlowNodeFrac == 0 &&
+		len(p.Shifts) == 0
+}
+
+// Validate reports a descriptive error for nonsensical profiles.
+func (p *Profile) Validate() error {
+	switch {
+	case p.NoiseRel < 0 || p.DetourTime < 0 || p.JitterMean < 0:
+		return fmt.Errorf("chaos %q: noise magnitudes must be non-negative", p.Name)
+	case p.DetourProb < 0 || p.DetourProb > 1:
+		return fmt.Errorf("chaos %q: DetourProb must be in [0,1]", p.Name)
+	case p.LatencyFactor < 0 || p.BandwidthFactor < 0 || p.BurstBWFactor < 0 || p.SlowNodeBWFactor < 0:
+		return fmt.Errorf("chaos %q: factors must be non-negative (0 means 1.0)", p.Name)
+	case p.BurstEvery < 0 || p.BurstLen < 0:
+		return fmt.Errorf("chaos %q: burst timing must be non-negative", p.Name)
+	case p.BurstEvery > 0 && p.BurstLen <= 0:
+		return fmt.Errorf("chaos %q: bursts need a positive BurstLen", p.Name)
+	case p.SlowNodeFrac < 0 || p.SlowNodeFrac > 1:
+		return fmt.Errorf("chaos %q: SlowNodeFrac must be in [0,1]", p.Name)
+	}
+	if !sort.SliceIsSorted(p.Shifts, func(i, j int) bool { return p.Shifts[i].At < p.Shifts[j].At }) {
+		return fmt.Errorf("chaos %q: shifts must be in ascending At order", p.Name)
+	}
+	for _, s := range p.Shifts {
+		if s.At < 0 || s.LatencyFactor < 0 || s.BandwidthFactor < 0 {
+			return fmt.Errorf("chaos %q: shift fields must be non-negative", p.Name)
+		}
+	}
+	return nil
+}
+
+// factor maps the "0 means 1.0" convention.
+func factor(f float64) float64 {
+	if f == 0 {
+		return 1
+	}
+	return f
+}
+
+// Injector is the per-run instantiation of a profile: seeded streams plus
+// the burst/shift state machines. One injector serves exactly one simulated
+// world; its state advances with the engine's (monotonic) virtual time.
+//
+// All methods are called from engine context (the netmodel and mpi layers),
+// which serializes them — the injector needs no locking.
+type Injector struct {
+	prof  Profile
+	seed  int64
+	ranks int
+	nodes int
+
+	compute []*rand.Rand // one OS-noise stream per rank
+	link    *rand.Rand   // delivery-jitter stream
+	burst   *rand.Rand   // burst-schedule stream
+
+	slow []bool // per node: degraded NIC
+
+	shiftIdx   int // last shift whose At has passed (-1: none yet)
+	burstStart float64
+	burstEnd   float64
+	nextBurst  float64
+
+	// Counters for tests and reporting.
+	Detours     int64
+	BurstWindows int64
+	JitterDraws int64
+}
+
+// pcg derives an independent deterministic stream from (seed, lane).
+func pcg(seed int64, lane uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(seed)*0x9E3779B97F4A7C15+lane, lane*0xDA942042E4DD58B5+0x6368616F73))
+}
+
+// NewInjector instantiates a profile for a world of `ranks` ranks on
+// `nodes` nodes, fully determined by seed.
+func NewInjector(p Profile, seed int64, ranks, nodes int) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if ranks < 1 || nodes < 1 {
+		return nil, fmt.Errorf("chaos: need at least one rank and one node")
+	}
+	in := &Injector{prof: p, seed: seed, ranks: ranks, nodes: nodes, shiftIdx: -1}
+	in.compute = make([]*rand.Rand, ranks)
+	for r := 0; r < ranks; r++ {
+		in.compute[r] = pcg(seed, 1000+uint64(r))
+	}
+	in.link = pcg(seed, 1)
+	in.burst = pcg(seed, 2)
+	if p.BurstEvery > 0 {
+		in.nextBurst = p.BurstEvery * (0.5 + in.burst.Float64())
+		in.burstStart = math.Inf(1)
+		in.burstEnd = math.Inf(1)
+	}
+	in.slow = make([]bool, nodes)
+	if p.SlowNodeFrac > 0 {
+		k := int(math.Round(p.SlowNodeFrac * float64(nodes)))
+		if k < 1 {
+			k = 1
+		}
+		if k > nodes {
+			k = nodes
+		}
+		perm := pcg(seed, 3).Perm(nodes)
+		for _, nd := range perm[:k] {
+			in.slow[nd] = true
+		}
+	}
+	return in, nil
+}
+
+// Profile returns the injector's profile.
+func (in *Injector) Profile() Profile { return in.prof }
+
+// Seed returns the injector's seed.
+func (in *Injector) Seed() int64 { return in.seed }
+
+// SlowNode reports whether node nd has a degraded NIC under this injector.
+func (in *Injector) SlowNode(nd int) bool { return nd >= 0 && nd < len(in.slow) && in.slow[nd] }
+
+// ComputeNoise perturbs a compute phase of rank `rank`: relative jitter plus
+// a possible OS detour stealing DetourTime seconds. The result is >= d.
+func (in *Injector) ComputeNoise(rank int, d float64) float64 {
+	r := in.compute[rank]
+	out := d
+	if in.prof.NoiseRel > 0 {
+		out *= 1 + math.Abs(r.NormFloat64())*in.prof.NoiseRel
+	}
+	if in.prof.DetourProb > 0 && r.Float64() < in.prof.DetourProb {
+		out += in.prof.DetourTime
+		in.Detours++
+	}
+	return out
+}
+
+// advanceBursts rolls the burst state machine forward to virtual time now.
+// Onsets and lengths are drawn lazily in time order, so the schedule is a
+// pure function of (profile, seed) regardless of how often it is queried.
+func (in *Injector) advanceBursts(now float64) {
+	for now >= in.nextBurst {
+		in.burstStart = in.nextBurst
+		in.burstEnd = in.burstStart + in.prof.BurstLen*(0.5+in.burst.Float64())
+		in.nextBurst = in.burstEnd + in.prof.BurstEvery*(0.5+in.burst.Float64())
+		in.BurstWindows++
+	}
+}
+
+// activeShift returns the shift in force at time now, or nil.
+func (in *Injector) activeShift(now float64) *Shift {
+	for in.shiftIdx+1 < len(in.prof.Shifts) && now >= in.prof.Shifts[in.shiftIdx+1].At {
+		in.shiftIdx++
+	}
+	if in.shiftIdx < 0 {
+		return nil
+	}
+	return &in.prof.Shifts[in.shiftIdx]
+}
+
+// Wire returns the (latencyFactor, bandwidthFactor) pair in force for an
+// inter-node transfer between nodes a and b at virtual time now. Both are
+// 1.0 under a zero profile. now must be non-decreasing across calls, which
+// engine-event context guarantees.
+func (in *Injector) Wire(now float64, a, b int) (latF, bwF float64) {
+	latF = factor(in.prof.LatencyFactor)
+	bwF = factor(in.prof.BandwidthFactor)
+	if s := in.activeShift(now); s != nil {
+		if s.LatencyFactor > 0 {
+			latF = s.LatencyFactor
+		}
+		if s.BandwidthFactor > 0 {
+			bwF = s.BandwidthFactor
+		}
+	}
+	if in.prof.BurstEvery > 0 {
+		in.advanceBursts(now)
+		if now >= in.burstStart && now < in.burstEnd {
+			bwF *= factor(in.prof.BurstBWFactor)
+		}
+	}
+	if in.SlowNode(a) || in.SlowNode(b) {
+		bwF *= factor(in.prof.SlowNodeBWFactor)
+	}
+	return latF, bwF
+}
+
+// DeliveryJitter draws the extra delivery delay of one inter-node message
+// (exponential with mean JitterMean; 0 when the profile has no jitter).
+func (in *Injector) DeliveryJitter(now float64) float64 {
+	if in.prof.JitterMean <= 0 {
+		return 0
+	}
+	in.JitterDraws++
+	return in.link.ExpFloat64() * in.prof.JitterMean
+}

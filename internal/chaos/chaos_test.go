@@ -1,0 +1,248 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+)
+
+func noisy() Profile {
+	return Profile{
+		Name:       "t",
+		NoiseRel:   0.02,
+		DetourProb: 0.2,
+		DetourTime: 1e-3,
+		JitterMean: 5e-6,
+	}
+}
+
+// Same (profile, seed) must reproduce identical draw sequences; a different
+// seed must diverge. This is the root determinism contract everything above
+// (sweep summaries, traces) inherits.
+func TestInjectorDeterminism(t *testing.T) {
+	mk := func(seed int64) *Injector {
+		in, err := NewInjector(noisy(), seed, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	a, b, c := mk(7), mk(7), mk(8)
+	sameAll, diffAny := true, false
+	for i := 0; i < 200; i++ {
+		rank := i % 4
+		now := float64(i) * 1e-4
+		av := a.ComputeNoise(rank, 1e-3)
+		if av != b.ComputeNoise(rank, 1e-3) {
+			sameAll = false
+		}
+		if av != c.ComputeNoise(rank, 1e-3) {
+			diffAny = true
+		}
+		aj := a.DeliveryJitter(now)
+		if aj != b.DeliveryJitter(now) {
+			sameAll = false
+		}
+		if aj != c.DeliveryJitter(now) {
+			diffAny = true
+		}
+	}
+	if !sameAll {
+		t.Fatal("same seed produced diverging draws")
+	}
+	if !diffAny {
+		t.Fatal("different seeds produced identical draws")
+	}
+}
+
+// Per-rank streams must be independent: draws on rank 0 may not perturb the
+// sequence rank 1 sees (otherwise rank-local call ordering would leak
+// nondeterminism across ranks).
+func TestPerRankStreamsIndependent(t *testing.T) {
+	p := noisy()
+	a, _ := NewInjector(p, 1, 2, 1)
+	b, _ := NewInjector(p, 1, 2, 1)
+	// Interleave extra rank-0 draws on a only.
+	for i := 0; i < 50; i++ {
+		a.ComputeNoise(0, 1e-3)
+	}
+	for i := 0; i < 50; i++ {
+		if a.ComputeNoise(1, 1e-3) != b.ComputeNoise(1, 1e-3) {
+			t.Fatal("rank-1 stream perturbed by rank-0 draws")
+		}
+	}
+}
+
+func TestComputeNoiseNeverShrinks(t *testing.T) {
+	in, _ := NewInjector(noisy(), 3, 2, 1)
+	for i := 0; i < 1000; i++ {
+		d := in.ComputeNoise(i%2, 1e-3)
+		if d < 1e-3 {
+			t.Fatalf("compute noise shrank the phase: %g < 1e-3", d)
+		}
+	}
+	if in.Detours == 0 {
+		t.Fatal("DetourProb=0.2 over 1000 draws produced no detours")
+	}
+}
+
+func TestZeroProfileIsIdentity(t *testing.T) {
+	var p Profile
+	if !p.Zero() {
+		t.Fatal("zero value not Zero()")
+	}
+	in, err := NewInjector(p, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := in.ComputeNoise(0, 2e-3); d != 2e-3 {
+		t.Fatalf("zero profile perturbed compute: %g", d)
+	}
+	lf, bf := in.Wire(0.5, 0, 1)
+	if lf != 1 || bf != 1 {
+		t.Fatalf("zero profile perturbed wire: %g %g", lf, bf)
+	}
+	if j := in.DeliveryJitter(0.5); j != 0 {
+		t.Fatalf("zero profile jittered: %g", j)
+	}
+}
+
+// A shift's factors must apply exactly from At onward, and override the
+// profile's static factors rather than compose with them.
+func TestRegimeShiftPiecewise(t *testing.T) {
+	p := Profile{
+		Name:            "shifty",
+		LatencyFactor:   2,
+		BandwidthFactor: 0.5,
+		Shifts: []Shift{
+			{At: 1.0, BandwidthFactor: 0.1},
+			{At: 2.0, LatencyFactor: 8, BandwidthFactor: 0.05},
+		},
+	}
+	in, err := NewInjector(p, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(now, wantL, wantB float64) {
+		t.Helper()
+		lf, bf := in.Wire(now, 0, 1)
+		if lf != wantL || bf != wantB {
+			t.Fatalf("Wire(%g) = (%g, %g), want (%g, %g)", now, lf, bf, wantL, wantB)
+		}
+	}
+	check(0.0, 2, 0.5)
+	check(0.999, 2, 0.5)
+	check(1.0, 2, 0.1) // latency inherits static factor: shift's 0 means "keep"
+	check(1.5, 2, 0.1)
+	check(2.0, 8, 0.05)
+	check(99, 8, 0.05)
+}
+
+// Burst windows: a profile with bursts must spend roughly BurstLen /
+// (BurstEvery + BurstLen) of the time degraded, and the same seed must
+// reproduce the identical window schedule.
+func TestBurstSchedule(t *testing.T) {
+	p := Profile{Name: "bursty", BurstEvery: 10e-3, BurstLen: 5e-3, BurstBWFactor: 0.25}
+	degradedAt := func(seed int64) []bool {
+		in, err := NewInjector(p, seed, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 0, 4000)
+		for i := 0; i < 4000; i++ {
+			_, bf := in.Wire(float64(i)*1e-4, 0, 1) // 0.4 s scan
+			out = append(out, bf != 1)
+		}
+		return out
+	}
+	a, b := degradedAt(5), degradedAt(5)
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different burst schedule")
+		}
+		if a[i] {
+			n++
+		}
+	}
+	frac := float64(n) / float64(len(a))
+	if frac < 0.15 || frac > 0.55 {
+		t.Fatalf("burst duty cycle %.2f outside [0.15, 0.55] (expect ~1/3)", frac)
+	}
+}
+
+func TestSlowNodeSelection(t *testing.T) {
+	p := Profile{Name: "slow", SlowNodeFrac: 0.25, SlowNodeBWFactor: 0.4}
+	in, err := NewInjector(p, 11, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for nd := 0; nd < 8; nd++ {
+		if in.SlowNode(nd) {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("SlowNodeFrac 0.25 of 8 nodes marked %d slow, want 2", n)
+	}
+	// Flows touching a slow node degrade; clean-to-clean flows do not.
+	slow, clean := -1, -1
+	for nd := 0; nd < 8; nd++ {
+		if in.SlowNode(nd) && slow < 0 {
+			slow = nd
+		}
+		if !in.SlowNode(nd) && clean < 0 {
+			clean = nd
+		}
+	}
+	if _, bf := in.Wire(0, slow, clean); bf != 0.4 {
+		t.Fatalf("slow-node flow bw factor %g, want 0.4", bf)
+	}
+	clean2 := -1
+	for nd := clean + 1; nd < 8; nd++ {
+		if !in.SlowNode(nd) {
+			clean2 = nd
+			break
+		}
+	}
+	if _, bf := in.Wire(0, clean, clean2); bf != 1 {
+		t.Fatalf("clean flow bw factor %g, want 1", bf)
+	}
+}
+
+func TestDeliveryJitterPositiveWithFiniteMean(t *testing.T) {
+	p := Profile{Name: "j", JitterMean: 10e-6}
+	in, _ := NewInjector(p, 2, 1, 1)
+	sum := 0.0
+	for i := 0; i < 5000; i++ {
+		j := in.DeliveryJitter(float64(i) * 1e-5)
+		if j < 0 || math.IsInf(j, 0) || math.IsNaN(j) {
+			t.Fatalf("bad jitter draw %g", j)
+		}
+		sum += j
+	}
+	mean := sum / 5000
+	if mean < 5e-6 || mean > 20e-6 {
+		t.Fatalf("jitter sample mean %g far from configured 10e-6", mean)
+	}
+}
+
+func TestValidateRejectsNonsense(t *testing.T) {
+	bad := []Profile{
+		{Name: "neg-noise", NoiseRel: -1},
+		{Name: "prob", DetourProb: 1.5},
+		{Name: "neg-factor", BandwidthFactor: -2},
+		{Name: "burst-no-len", BurstEvery: 1},
+		{Name: "frac", SlowNodeFrac: 2},
+		{Name: "unsorted", Shifts: []Shift{{At: 2}, {At: 1}}},
+		{Name: "neg-shift", Shifts: []Shift{{At: -1}}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %q validated but should not", p.Name)
+		}
+		if _, err := NewInjector(p, 1, 1, 1); err == nil {
+			t.Errorf("NewInjector accepted invalid profile %q", p.Name)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"testing"
+
+	"nbctune/internal/obs"
+)
+
+// driftHarness runs a Request+Timer loop over two implementations whose
+// region costs can be changed mid-run — the minimal model of environmental
+// drift. Costs are read per iteration from the costs slice.
+type driftHarness struct {
+	clock   float64
+	costs   []float64
+	req     *Request
+	timer   *Timer
+	runIter func()
+}
+
+func newDriftHarness(t *testing.T, sel Selector, costs ...float64) *driftHarness {
+	t.Helper()
+	h := &driftHarness{costs: costs}
+	now := func() float64 { return h.clock }
+	fs := &FunctionSet{Name: "driftset"}
+	var pending float64
+	for i := range costs {
+		i := i
+		fs.Fns = append(fs.Fns, &Function{
+			Name:  "impl" + itoa(i),
+			Start: func() Started { pending = h.costs[i]; return nil },
+		})
+	}
+	h.req = MustRequest(fs, sel, now)
+	h.timer = MustTimer(now, h.req)
+	h.runIter = func() {
+		h.timer.Start()
+		h.req.Init()
+		h.clock += pending // the region cost depends on the implementation
+		h.req.Wait()
+		h.timer.Stop()
+	}
+	return h
+}
+
+func (h *driftHarness) run(n int) {
+	for i := 0; i < n; i++ {
+		h.runIter()
+	}
+}
+
+func TestAdaptiveRetunesWhenWinnerDegrades(t *testing.T) {
+	sel := NewAdaptive(func() Selector { return NewBruteForce(2, 3) }, 4, 1.5)
+	h := newDriftHarness(t, sel, 1.0, 2.0)
+	au := AttachAudit(sel, h.req.FunctionSet())
+
+	h.run(7) // learning (2 impls x 3 evals) + the Init that latches the decision
+	if !h.req.Decided() || sel.Winner() != 0 {
+		t.Fatalf("initial tuning picked %d (decided=%v), want 0", sel.Winner(), h.req.Decided())
+	}
+
+	h.run(8) // stable monitoring: two full windows, no drift
+	if sel.Retunes() != 0 {
+		t.Fatalf("retuned %d times in a stable environment", sel.Retunes())
+	}
+
+	// The environment shifts: the committed winner becomes 3x slower while
+	// the loser improves. The next full window departs the baseline.
+	h.costs[0], h.costs[1] = 3.0, 0.5
+	h.run(4 + 6 + 1) // one drift window + relearn + first monitored lap
+	if sel.Retunes() != 1 {
+		t.Fatalf("retunes = %d, want 1", sel.Retunes())
+	}
+	if sel.Winner() != 1 {
+		t.Fatalf("post-drift winner = %d, want 1", sel.Winner())
+	}
+	if au.Count(obs.AuditDrift) != 1 || au.Count(obs.AuditRetune) != 1 {
+		t.Fatalf("audit drift/retune counts = %d/%d, want 1/1",
+			au.Count(obs.AuditDrift), au.Count(obs.AuditRetune))
+	}
+	// The audit's last decision (inner selector's Decide) names the new winner.
+	if au.Winner() != 1 {
+		t.Fatalf("audit winner = %d, want 1", au.Winner())
+	}
+}
+
+func TestAdaptiveRetunesWhenEnvironmentImproves(t *testing.T) {
+	// Drift in the *good* direction must also re-open measurement: when the
+	// whole machine speeds up, a different implementation may now be best.
+	sel := NewAdaptive(func() Selector { return NewBruteForce(2, 3) }, 4, 1.5)
+	h := newDriftHarness(t, sel, 2.0, 3.0)
+	h.run(6)
+	if sel.Winner() != 0 {
+		t.Fatalf("initial winner = %d, want 0", sel.Winner())
+	}
+	h.costs[0], h.costs[1] = 0.9, 0.2 // everything faster, and impl1 now best
+	h.run(4 + 6)
+	if sel.Retunes() != 1 || sel.Winner() != 1 {
+		t.Fatalf("retunes=%d winner=%d, want 1/1", sel.Retunes(), sel.Winner())
+	}
+}
+
+func TestAdaptiveStableWithoutDrift(t *testing.T) {
+	sel := NewAdaptive(func() Selector { return NewBruteForce(3, 2) }, 4, 1.5)
+	h := newDriftHarness(t, sel, 2.0, 1.0, 3.0)
+	h.run(100)
+	if sel.Retunes() != 0 {
+		t.Fatalf("spurious retunes: %d", sel.Retunes())
+	}
+	if sel.Winner() != 1 {
+		t.Fatalf("winner = %d, want 1", sel.Winner())
+	}
+	if got, want := sel.Evals(), 6; got != want {
+		t.Fatalf("evals = %d, want %d (one tuning round only)", got, want)
+	}
+}
+
+func TestAdaptiveSmallFluctuationsTolerated(t *testing.T) {
+	// A drift below the departure factor must not trigger a re-tune.
+	sel := NewAdaptive(func() Selector { return NewBruteForce(2, 3) }, 4, 1.5)
+	h := newDriftHarness(t, sel, 1.0, 2.0)
+	h.run(6)
+	h.costs[0] = 1.3 // 1.3x baseline < 1.5x factor
+	h.run(40)
+	if sel.Retunes() != 0 {
+		t.Fatalf("retuned on sub-threshold fluctuation (%d times)", sel.Retunes())
+	}
+}
+
+func TestAdaptiveEvalsAccumulateAcrossRounds(t *testing.T) {
+	sel := NewAdaptive(func() Selector { return NewBruteForce(2, 3) }, 4, 1.5)
+	h := newDriftHarness(t, sel, 1.0, 2.0)
+	h.run(6)
+	h.costs[0] = 5.0
+	h.run(4 + 6)
+	if got, want := sel.Evals(), 12; got != want {
+		t.Fatalf("evals = %d, want %d (two rounds of 6)", got, want)
+	}
+}
+
+func TestSelectorByNameAdaptiveVariants(t *testing.T) {
+	fs := fakeSet([]int{0, 1}, []int{0, 1})
+	for _, name := range []string{"adaptive", "adaptive+brute-force", "adaptive+attr-heuristic", "adaptive+factorial-2k"} {
+		s, err := SelectorByName(name, fs, 2)
+		if err != nil {
+			t.Fatalf("SelectorByName(%q): %v", name, err)
+		}
+		if _, ok := s.(*Adaptive); !ok {
+			t.Fatalf("SelectorByName(%q) = %T, want *Adaptive", name, s)
+		}
+	}
+	if _, err := SelectorByName("adaptive+nope", fs, 2); err == nil {
+		t.Fatal("bad inner selector name did not error")
+	}
+	s, err := SelectorByName("brute-force-mean", fs, 2)
+	if err != nil {
+		t.Fatalf("brute-force-mean: %v", err)
+	}
+	if b, ok := s.(*BruteForce); !ok || b.store.score0 == nil {
+		t.Fatalf("brute-force-mean did not install a custom score (got %T)", s)
+	}
+}
+
+func TestHistoryEnvInvalidation(t *testing.T) {
+	h := NewHistory()
+	key := HistoryKey("ibcast", "crill", 16, 1<<21)
+	cleanEnv := EnvFingerprint("flat", "", 0)
+	chaosEnv := EnvFingerprint("flat", "regime-shift", 42)
+	if cleanEnv == chaosEnv {
+		t.Fatal("clean and chaos fingerprints collide")
+	}
+	h.Record(key, HistoryEntry{Winner: "impl0", Env: chaosEnv})
+
+	if _, ok := h.LookupEnv(key, cleanEnv); ok {
+		t.Fatal("stale entry (tuned under chaos) hit a clean-environment lookup")
+	}
+	if e, ok := h.LookupEnv(key, chaosEnv); !ok || e.Winner != "impl0" {
+		t.Fatalf("matching env lookup failed: %v %v", e, ok)
+	}
+	// A different seed of the same profile is a different environment.
+	if _, ok := h.LookupEnv(key, EnvFingerprint("flat", "regime-shift", 43)); ok {
+		t.Fatal("same profile, different seed must not match")
+	}
+
+	// Legacy entries (no Env field) only match the clean fingerprint of an
+	// un-topologized platform.
+	h.Record("legacy", HistoryEntry{Winner: "impl1"})
+	if _, ok := h.LookupEnv("legacy", ""); !ok {
+		t.Fatal("legacy entry must match the empty fingerprint")
+	}
+	if _, ok := h.LookupEnv("legacy", chaosEnv); ok {
+		t.Fatal("legacy entry must not match a chaos fingerprint")
+	}
+
+	// SelectorWithHistoryEnv falls back to the learning selector on staleness.
+	fs := &FunctionSet{Name: "f", Fns: []*Function{
+		{Name: "impl0", Start: func() Started { return nil }},
+	}}
+	fb := NewBruteForce(1, 1)
+	sel, hit := SelectorWithHistoryEnv(h, key, cleanEnv, fs, fb)
+	if hit || sel != Selector(fb) {
+		t.Fatal("stale entry did not fall back to learning")
+	}
+	sel, hit = SelectorWithHistoryEnv(h, key, chaosEnv, fs, fb)
+	if !hit {
+		t.Fatal("matching entry did not hit")
+	}
+	if f, ok := sel.(*FixedSelector); !ok || f.Fn != 0 {
+		t.Fatalf("hit returned %T", sel)
+	}
+}

@@ -21,6 +21,13 @@ type HistoryEntry struct {
 	Winner string  `json:"winner"`          // function name
 	Score  float64 `json:"score,omitempty"` // robust score of the winner, if known
 	Evals  int     `json:"evals,omitempty"` // learning cost that produced it
+	// Env fingerprints the environment the winner was measured in (see
+	// EnvFingerprint). A winner tuned under one environment is stale under
+	// another — a degraded fabric or an active chaos profile changes which
+	// implementation is best — so lookups only hit when fingerprints match.
+	// Empty means "clean environment" (entries written before this field
+	// existed are clean by construction: chaos did not exist then).
+	Env string `json:"env,omitempty"`
 }
 
 // HistoryKey builds the canonical scenario key: operation, platform,
@@ -29,6 +36,23 @@ type HistoryEntry struct {
 // property of the code region, not the scenario).
 func HistoryKey(fnset, platform string, nprocs, msgSize int) string {
 	return fmt.Sprintf("%s|%s|np%d|%dB", fnset, platform, nprocs, msgSize)
+}
+
+// EnvFingerprint builds the environment tag stored in HistoryEntry.Env:
+// the interconnect topology plus the active chaos profile name (with its
+// seed — the same profile seeded differently degrades different nodes).
+// The clean environment is the empty string, matching pre-existing entries.
+func EnvFingerprint(topology string, chaosProfile string, chaosSeed int64) string {
+	if chaosProfile == "" || chaosProfile == "off" {
+		if topology == "" {
+			return ""
+		}
+		return topology
+	}
+	if topology == "" {
+		return fmt.Sprintf("chaos=%s#%d", chaosProfile, chaosSeed)
+	}
+	return fmt.Sprintf("%s|chaos=%s#%d", topology, chaosProfile, chaosSeed)
 }
 
 // NewHistory returns an empty history.
@@ -79,6 +103,18 @@ func (h *History) Lookup(key string) (HistoryEntry, bool) {
 	return e, ok
 }
 
+// LookupEnv returns the recorded winner for a scenario key, but only when
+// the entry's environment fingerprint matches env: an entry tuned under a
+// different environment is stale and reported as a miss, so the caller
+// falls back to live learning instead of committing an invalidated winner.
+func (h *History) LookupEnv(key, env string) (HistoryEntry, bool) {
+	e, ok := h.Entries[key]
+	if !ok || e.Env != env {
+		return HistoryEntry{}, false
+	}
+	return e, true
+}
+
 // Keys returns all scenario keys, sorted.
 func (h *History) Keys() []string {
 	ks := make([]string, 0, len(h.Entries))
@@ -91,10 +127,19 @@ func (h *History) Keys() []string {
 
 // SelectorWithHistory returns a FixedSelector when the history already knows
 // the winner for key (and the function still exists in fs); otherwise it
-// returns fallback. The returned bool reports a history hit.
+// returns fallback. The returned bool reports a history hit. Equivalent to
+// SelectorWithHistoryEnv with the clean-environment fingerprint.
 func SelectorWithHistory(h *History, key string, fset *FunctionSet, fallback Selector) (Selector, bool) {
+	return SelectorWithHistoryEnv(h, key, "", fset, fallback)
+}
+
+// SelectorWithHistoryEnv is SelectorWithHistory restricted to entries whose
+// environment fingerprint matches env: stale entries (tuned under a
+// different topology or chaos profile) are skipped and the fallback
+// selector re-learns.
+func SelectorWithHistoryEnv(h *History, key, env string, fset *FunctionSet, fallback Selector) (Selector, bool) {
 	if h != nil {
-		if e, ok := h.Lookup(key); ok {
+		if e, ok := h.LookupEnv(key, env); ok {
 			if idx := fset.IndexOf(e.Winner); idx >= 0 {
 				return &FixedSelector{Fn: idx}, true
 			}

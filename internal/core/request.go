@@ -219,6 +219,10 @@ func (t *Timer) Elapsed() float64 {
 // the locally measured one. This is the hook for decision synchronization:
 // feeding every rank the same (e.g. max-reduced) measurement keeps the
 // per-rank selectors in lockstep.
+//
+// Decided selectors that implement a post-decision Monitor (the adaptive
+// drift detectors) still observe the interval: a decision ends learning,
+// not measurement.
 func (t *Timer) StopWith(elapsed float64) {
 	if !t.running {
 		panic("adcl: timer stopped without start")
@@ -226,14 +230,24 @@ func (t *Timer) StopWith(elapsed float64) {
 	t.running = false
 	t.laps++
 	seen := map[Selector]bool{}
+	recorded := false
 	for _, r := range t.reqs {
 		if r.curFn < 0 || seen[r.sel] {
 			continue
 		}
 		seen[r.sel] = true
 		if _, decided := r.sel.Next(); !decided {
-			r.sel.Record(r.curFn, elapsed)
-			return
+			// Only the first still-undecided selector learns from the
+			// interval, so one operation's exploration never confounds
+			// another's.
+			if !recorded {
+				r.sel.Record(r.curFn, elapsed)
+				recorded = true
+			}
+			continue
+		}
+		if m, ok := r.sel.(monitorSink); ok {
+			m.Monitor(r.curFn, elapsed)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"nbctune/internal/obs"
 	"nbctune/internal/stats"
@@ -137,6 +138,10 @@ func (b *BruteForce) Record(fn int, t float64) {
 
 func (b *BruteForce) Winner() int { return b.winner }
 func (b *BruteForce) Evals() int  { return b.store.n }
+
+// Score returns the current robust estimate for fn (NaN with no samples);
+// the adaptive drift monitor seeds its baseline with the winner's score.
+func (b *BruteForce) Score(fn int) float64 { return b.store.score(fn) }
 
 // AttrHeuristic is ADCL's attribute-based search heuristic [13]: it assumes
 // the best implementation has the optimal value in every attribute
@@ -282,6 +287,16 @@ func (h *AttrHeuristic) Record(fn int, t float64) {
 }
 
 func (h *AttrHeuristic) Winner() int { return h.winner }
+
+// Score returns the current robust estimate for fn (NaN with no samples).
+// A winner decided by the final brute-force pass is scored there; one
+// decided purely by pruning is scored from the slice measurements.
+func (h *AttrHeuristic) Score(fn int) float64 {
+	if h.final != nil {
+		return h.final.Score(fn)
+	}
+	return h.store.score(fn)
+}
 
 func (h *AttrHeuristic) Evals() int {
 	n := h.store.n
@@ -459,6 +474,14 @@ func (f *Factorial2K) Record(fn int, t float64) {
 
 func (f *Factorial2K) Winner() int { return f.winner }
 
+// Score returns the current robust estimate for fn (NaN with no samples).
+func (f *Factorial2K) Score(fn int) float64 {
+	if f.final != nil {
+		return f.final.Score(fn)
+	}
+	return f.store.score(fn)
+}
+
 func (f *Factorial2K) Evals() int {
 	n := f.store.n
 	if f.final != nil {
@@ -468,11 +491,34 @@ func (f *Factorial2K) Evals() int {
 }
 
 // SelectorByName builds a selector from its registry name; used by the
-// benchmark drivers' command lines.
+// benchmark drivers' command lines. "adaptive" (or "adaptive+<inner>")
+// wraps the inner learning selector with the drift monitor of adaptive.go;
+// "brute-force-mean" is the outlier-filter ablation (plain mean scoring).
 func SelectorByName(name string, fs *FunctionSet, evalsPerFn int) (Selector, error) {
+	if rest, ok := strings.CutPrefix(name, "adaptive"); ok && (rest == "" || rest[0] == '+') {
+		innerName := strings.TrimPrefix(rest, "+")
+		if innerName == "" {
+			innerName = "brute-force"
+		}
+		// Resolve once up front so a bad inner name fails loudly here
+		// rather than inside the first re-tune.
+		if _, err := SelectorByName(innerName, fs, evalsPerFn); err != nil {
+			return nil, fmt.Errorf("adcl: adaptive selector: %w", err)
+		}
+		mk := func() Selector {
+			s, err := SelectorByName(innerName, fs, evalsPerFn)
+			if err != nil {
+				panic(err) // unreachable: validated above
+			}
+			return s
+		}
+		return NewAdaptive(mk, 0, 0), nil
+	}
 	switch name {
 	case "brute-force", "bruteforce", "bf":
 		return NewBruteForce(len(fs.Fns), evalsPerFn), nil
+	case "brute-force-mean", "mean":
+		return NewBruteForceWithScore(len(fs.Fns), evalsPerFn, stats.Mean), nil
 	case "attr-heuristic", "heuristic":
 		return NewAttrHeuristic(fs, evalsPerFn), nil
 	case "factorial-2k", "factorial":

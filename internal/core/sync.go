@@ -20,11 +20,18 @@ func SyncedStop(c *mpi.Comm, t *Timer) {
 
 // StopMaybeSynced stops the timer with decision synchronization while any
 // attached request is still learning, and with a plain local stop once all
-// decisions are locked in.
+// decisions are locked in. Selectors that keep monitoring after deciding
+// (Adaptive drift detectors) force synchronization permanently: their
+// re-tune trigger must fire at the same iteration on every rank, which
+// only holds when every rank sees identical (max-reduced) measurements.
 func StopMaybeSynced(c *mpi.Comm, t *Timer, reqs ...*Request) {
 	learning := false
 	for _, r := range reqs {
 		if !r.Decided() {
+			learning = true
+			break
+		}
+		if m, ok := r.Selector().(monitoring); ok && m.Monitoring() {
 			learning = true
 			break
 		}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"nbctune/internal/chaos"
 	"nbctune/internal/netmodel"
 	"nbctune/internal/obs"
 	"nbctune/internal/sim"
@@ -31,6 +32,10 @@ type Options struct {
 	Noise NoiseFunc
 	// Seed feeds the per-rank RNGs.
 	Seed int64
+	// Chaos, when non-nil, layers the fault-injection profile's per-rank OS
+	// noise on top of Noise. (The same injector degrades the network when
+	// attached there via netmodel.SetChaos; this field covers the host side.)
+	Chaos *chaos.Injector
 }
 
 // World is a set of simulated MPI ranks sharing one interconnect.
@@ -152,6 +157,9 @@ func (r *Rank) Compute(d float64) {
 	}
 	if n := r.w.opts.Noise; n != nil {
 		d = n(r.rng, d)
+	}
+	if in := r.w.opts.Chaos; in != nil {
+		d = in.ComputeNoise(r.id, d)
 	}
 	r.ComputeTime += d
 	t0 := r.proc.Now()

@@ -22,6 +22,7 @@ package netmodel
 import (
 	"fmt"
 
+	"nbctune/internal/chaos"
 	"nbctune/internal/obs"
 	"nbctune/internal/sim"
 )
@@ -188,7 +189,16 @@ type Network struct {
 
 	freeDeliv []*delivery // recycled inter-node arrival records
 
-	rec *obs.Recorder
+	rec   *obs.Recorder
+	chaos *chaos.Injector
+	// chaosFloor / chaosCtrlFloor enforce per-directed-rank-pair FIFO
+	// delivery under chaos: jitter and time-varying link factors may delay
+	// a message but must never let it overtake an earlier one on the same
+	// channel — MPI's non-overtaking guarantee, which real transports
+	// restore with per-peer sequence numbers. Allocated by SetChaos; the
+	// clean path never consults them.
+	chaosFloor     map[uint64]float64
+	chaosCtrlFloor map[uint64]float64
 }
 
 // delivery is the pooled arrival record of one inter-node transfer: it
@@ -227,6 +237,39 @@ func (n *Network) newDelivery(rn *nicState, fn func(any), arg any) *delivery {
 // tx/rx occupancy span of every inter-node bulk transfer. Recording is
 // passive — it never changes transfer timing — and nil detaches.
 func (n *Network) SetRecorder(rec *obs.Recorder) { n.rec = rec }
+
+// SetChaos attaches a fault/noise injector: inter-node transfers and control
+// messages then see the injector's link factors and delivery jitter. nil
+// detaches; with nil attached the arithmetic below is bit-identical to a
+// build without chaos (the factors are never even drawn).
+func (n *Network) SetChaos(in *chaos.Injector) {
+	n.chaos = in
+	n.chaosFloor, n.chaosCtrlFloor = nil, nil
+	if in != nil {
+		n.chaosFloor = make(map[uint64]float64)
+		n.chaosCtrlFloor = make(map[uint64]float64)
+	}
+}
+
+func pairKey(src, dst int) uint64 { return uint64(src)<<32 | uint64(uint32(dst)) }
+
+// fifoSkew separates clamped arrivals on the same channel. It is far above
+// the ulp-level rounding the event queue's relative-time round trip can
+// introduce (which would otherwise break the tie toward an arbitrary
+// message), and far below every physical timescale in the model.
+const fifoSkew = 1e-12
+
+// fifoClamp raises arrival strictly above the latest arrival already
+// scheduled on the directed (src,dst) channel and records the new
+// high-water mark.
+func fifoClamp(floor map[uint64]float64, src, dst int, arrival float64) float64 {
+	k := pairKey(src, dst)
+	if f, ok := floor[k]; ok && arrival < f+fifoSkew {
+		arrival = f + fifoSkew
+	}
+	floor[k] = arrival
+	return arrival
+}
 
 // New builds a network for the given rank->node placement.
 func New(eng *sim.Engine, p Params, nodeOf []int) (*Network, error) {
@@ -290,10 +333,24 @@ func (n *Network) Transfer(src, dst, bytes int, deliver func(any), arg any) floa
 	}
 	sn, rn := n.nodes[a], n.nodes[b]
 
+	// Link parameters in force for this message. With no injector attached
+	// these are exactly the static params (same values, same arithmetic);
+	// under chaos the injector's factors degrade them and jitter delays
+	// delivery — timing only, never payload.
+	lat := n.p.WireLatency(a, b)
+	bw := n.p.Bandwidth
+	var jit float64
+	if n.chaos != nil {
+		lf, bf := n.chaos.Wire(now, a, b)
+		lat *= lf
+		bw *= bf
+		jit = n.chaos.DeliveryJitter(now)
+	}
+
 	// Sender-side serialization.
 	ti := minIdx(sn.txFree)
 	start := max(now, sn.txFree[ti])
-	txDur := n.p.MsgGap + float64(bytes)/n.p.Bandwidth
+	txDur := n.p.MsgGap + float64(bytes)/bw
 	sn.txFree[ti] = start + txDur
 
 	// Receiver-side serialization with incast pressure.
@@ -308,13 +365,19 @@ func (n *Network) Transfer(src, dst, bytes int, deliver func(any), arg any) floa
 		n.IncastSamples++
 	}
 	ri := minIdx(rn.rxFree)
-	rxStart := max(start+n.p.WireLatency(a, b), rn.rxFree[ri])
-	rxDur := n.p.MsgGap + float64(bytes)/n.p.Bandwidth*factor
+	rxStart := max(start+lat, rn.rxFree[ri])
+	rxDur := n.p.MsgGap + float64(bytes)/bw*factor
 	rn.rxFree[ri] = rxStart + rxDur
 	arrival := rxStart + rxDur
+	if jit > 0 {
+		arrival += jit
+	}
+	if n.chaos != nil {
+		arrival = fifoClamp(n.chaosFloor, src, dst, arrival)
+	}
 
 	n.rec.NIC(a, ti, obs.TX, start, start+txDur, bytes)
-	n.rec.NIC(b, ri, obs.RX, rxStart, arrival, bytes)
+	n.rec.NIC(b, ri, obs.RX, rxStart, rxStart+rxDur, bytes)
 
 	n.eng.AtTimeCall(arrival, fireDelivery, n.newDelivery(rn, deliver, arg))
 	return arrival
@@ -331,7 +394,23 @@ func (n *Network) Ctrl(src, dst int, deliver func(any), arg any) float64 {
 	if n.nodeOf[src] == n.nodeOf[dst] {
 		arrival = now + n.p.ShmLatency
 	} else {
-		arrival = now + n.p.WireLatency(n.nodeOf[src], n.nodeOf[dst]) + float64(n.p.CtrlBytes)/n.p.Bandwidth
+		a, b := n.nodeOf[src], n.nodeOf[dst]
+		lat := n.p.WireLatency(a, b)
+		bw := n.p.Bandwidth
+		var jit float64
+		if n.chaos != nil {
+			lf, bf := n.chaos.Wire(now, a, b)
+			lat *= lf
+			bw *= bf
+			jit = n.chaos.DeliveryJitter(now)
+		}
+		arrival = now + lat + float64(n.p.CtrlBytes)/bw
+		if jit > 0 {
+			arrival += jit
+		}
+		if n.chaos != nil {
+			arrival = fifoClamp(n.chaosCtrlFloor, src, dst, arrival)
+		}
 	}
 	n.eng.AtTimeCall(arrival, deliver, arg)
 	return arrival

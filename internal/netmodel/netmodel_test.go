@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"nbctune/internal/chaos"
 	"nbctune/internal/sim"
 )
 
@@ -349,5 +350,52 @@ func TestTorusValidation(t *testing.T) {
 	p.HopLatency = -1
 	if err := p.Validate(); err == nil {
 		t.Fatal("negative hop latency accepted")
+	}
+}
+
+func TestChaosDeliveryPreservesChannelOrder(t *testing.T) {
+	// Jitter and time-varying link factors may delay messages but must not
+	// let one overtake an earlier send on the same directed rank pair: the
+	// mpi matcher relies on MPI's non-overtaking guarantee.
+	prof := chaos.Profile{
+		Name:       "fifo-test",
+		JitterMean: 5e-4, // huge vs per-message wire time: reorders without the clamp
+		Shifts: []chaos.Shift{
+			{At: 1e-4, LatencyFactor: 20, BandwidthFactor: 0.05},
+			{At: 2e-4, LatencyFactor: 1, BandwidthFactor: 1},
+		},
+	}
+	in, err := chaos.NewInjector(prof, 99, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lane := range []string{"bulk", "ctrl"} {
+		t.Run(lane, func(t *testing.T) {
+			eng, n := mustNet(t, testParams(), []int{0, 1})
+			n.SetChaos(in)
+			const msgs = 64
+			var order []int
+			for i := 0; i < msgs; i++ {
+				i := i
+				send := func() {
+					deliver := func(any) { order = append(order, i) }
+					if lane == "bulk" {
+						n.Transfer(0, 1, 256, deliver, nil)
+					} else {
+						n.Ctrl(0, 1, deliver, nil)
+					}
+				}
+				eng.AtTime(float64(i)*1e-5, send)
+			}
+			eng.Run()
+			if len(order) != msgs {
+				t.Fatalf("delivered %d of %d messages", len(order), msgs)
+			}
+			for i, got := range order {
+				if got != i {
+					t.Fatalf("%s lane reordered under chaos: position %d delivered message %d", lane, i, got)
+				}
+			}
+		})
 	}
 }

@@ -26,6 +26,12 @@ const (
 	AuditPhase = "phase"
 	// AuditDecide: the final winner.
 	AuditDecide = "decide"
+	// AuditDrift: a drift monitor found the committed winner's windowed
+	// score departing from its tuning-time baseline; measurement re-opens.
+	AuditDrift = "drift"
+	// AuditRetune: a re-opened tuning round committed a (possibly new)
+	// winner.
+	AuditRetune = "retune"
 )
 
 // AuditEvent is one entry of the selection log. Fn is a function index into
@@ -98,6 +104,38 @@ func (a *Audit) Decide(winner int, evals int) {
 		return
 	}
 	a.add(AuditEvent{Kind: AuditDecide, Fn: winner, Value: float64(evals), Detail: "evals"})
+}
+
+// Drift logs a drift detection on the committed winner: its windowed score
+// departed from the tuning-time baseline and measurement re-opens.
+func (a *Audit) Drift(fn int, score float64, detail string) {
+	if a == nil {
+		return
+	}
+	a.add(AuditEvent{Kind: AuditDrift, Fn: fn, Value: score, Detail: detail})
+}
+
+// Retune logs the decision closing a re-opened tuning round, with the
+// number of measurements that round consumed.
+func (a *Audit) Retune(winner int, evals int) {
+	if a == nil {
+		return
+	}
+	a.add(AuditEvent{Kind: AuditRetune, Fn: winner, Value: float64(evals), Detail: "evals"})
+}
+
+// Count returns the number of logged events of the given kind.
+func (a *Audit) Count(kind string) int {
+	if a == nil {
+		return 0
+	}
+	n := 0
+	for _, ev := range a.Events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
 }
 
 // Samples returns the raw measurements logged for function fn, in order.

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"nbctune/internal/chaos"
 	"nbctune/internal/mpi"
 	"nbctune/internal/netmodel"
 	"nbctune/internal/sim"
@@ -252,6 +253,17 @@ func (p Platform) NewWorld(nprocs int, seed int64) (*sim.Engine, *mpi.World, err
 
 // NewWorldPlaced is NewWorld with an explicit placement policy.
 func (p Platform) NewWorldPlaced(nprocs int, seed int64, pl Placement) (*sim.Engine, *mpi.World, error) {
+	return p.NewWorldChaos(nprocs, seed, pl, nil, 0)
+}
+
+// NewWorldChaos is NewWorldPlaced with a fault/noise injection profile. A
+// nil profile is exactly the clean build (no injector is constructed, no
+// stream is seeded, the arithmetic on every hot path is bit-identical).
+// Otherwise one chaos.Injector, seeded with chaosSeed, is attached to both
+// the network (link degradation, bursts, jitter, slow NICs, regime shifts)
+// and the MPI world (per-rank OS detours) — keeping this the single
+// assembly point for the whole simulated machine, adversity included.
+func (p Platform) NewWorldChaos(nprocs int, seed int64, pl Placement, prof *chaos.Profile, chaosSeed int64) (*sim.Engine, *mpi.World, error) {
 	nodeOf, err := p.NodeOf(nprocs, pl)
 	if err != nil {
 		return nil, nil, err
@@ -261,7 +273,16 @@ func (p Platform) NewWorldPlaced(nprocs int, seed int64, pl Placement) (*sim.Eng
 	if err != nil {
 		return nil, nil, err
 	}
-	w := mpi.NewWorld(eng, net, nprocs, mpi.Options{Seed: seed, Noise: p.Noise})
+	opts := mpi.Options{Seed: seed, Noise: p.Noise}
+	if prof != nil {
+		inj, err := chaos.NewInjector(*prof, chaosSeed, nprocs, p.Nodes)
+		if err != nil {
+			return nil, nil, err
+		}
+		net.SetChaos(inj)
+		opts.Chaos = inj
+	}
+	w := mpi.NewWorld(eng, net, nprocs, opts)
 	return eng, w, nil
 }
 
