@@ -2,7 +2,7 @@
 # command: `make ci`.
 GO ?= go
 
-.PHONY: all build test vet race bench benchsmoke benchguard chaos-smoke ci
+.PHONY: all build test vet race bench benchsmoke benchguard allocguard chaos-smoke ci
 
 all: ci
 
@@ -22,8 +22,12 @@ vet:
 race:
 	$(GO) test -race ./internal/runner ./internal/sim/... ./internal/mpi/... ./internal/nbc/... ./internal/chaos/...
 
+# All Go benchmarks (one iteration as a smoke), then regenerate the committed
+# MPI hot-path baseline from full measurements. Run on a quiet machine before
+# committing BENCH_mpi.json.
 bench:
 	$(GO) test -bench . -benchtime 1x -run XXX ./...
+	$(GO) run ./cmd/benchmpi -out BENCH_mpi.json
 
 # One-iteration smoke of the committed engine baseline (BENCH_sim.json);
 # regenerate the committed numbers with -benchtime=2s.
@@ -50,5 +54,11 @@ benchguard:
 	limit=$$((base * 115 / 100)); \
 	if [ "$$now" -gt "$$limit" ]; then echo "benchguard: $$now ns/op exceeds 115% of committed baseline $$base ns/op"; exit 1; fi; \
 	echo "benchguard: $$now ns/op within 15% of committed baseline $$base ns/op"
+	$(GO) run ./cmd/benchmpi -check BENCH_mpi.json -benchtime 500ms
 
-ci: build vet test race chaos-smoke benchguard
+# Zero-allocation pins for the mpi/nbc steady state (matching cycles and a
+# full persistent-Ibcast iteration must stay at 0 allocs once pools are warm).
+allocguard:
+	$(GO) test -count 1 -run 'SteadyStateAllocs' ./internal/mpi ./internal/nbc
+
+ci: build vet test race chaos-smoke benchguard allocguard

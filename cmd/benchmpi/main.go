@@ -1,0 +1,246 @@
+// Command benchmpi measures the MPI/NBC host-side hot path and maintains the
+// committed baseline BENCH_mpi.json: message-matching throughput at several
+// posted-receive depths (indexed engine vs the pre-rewrite linear scans) and
+// allocations per steady-state persistent-Ibcast iteration.
+//
+//	benchmpi                      # measure and print
+//	benchmpi -out BENCH_mpi.json  # regenerate the committed baseline
+//	benchmpi -check BENCH_mpi.json# fail on >15% regression or any allocation
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"nbctune/internal/mpi"
+	"nbctune/internal/nbc"
+	"nbctune/internal/netmodel"
+	"nbctune/internal/sim"
+)
+
+var matchDepths = []int{1, 64, 1024}
+
+type matchResult struct {
+	IndexedNsPerOp float64 `json:"indexed_ns_per_op"`
+	LinearNsPerOp  float64 `json:"linear_ns_per_op"`
+	Speedup        float64 `json:"speedup"`
+}
+
+type baseline struct {
+	Benchmark  string `json:"benchmark"`
+	Regenerate string `json:"regenerate"`
+	Workload   string `json:"workload"`
+	CPU        string `json:"cpu"`
+	Date       string `json:"date"`
+	// Keys are posted-receive depths ("1", "64", "1024"); one op is a full
+	// match-and-repost cycle (irecv-side take + arrival-side match).
+	Matching         map[string]matchResult `json:"matching_by_posted_depth"`
+	PersistentIbcast struct {
+		Workload      string  `json:"workload"`
+		AllocsPerIter float64 `json:"allocs_per_iteration"`
+	} `json:"persistent_ibcast"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the measured baseline to this file")
+	check := flag.String("check", "", "compare against the committed baseline in this file")
+	benchtime := flag.Duration("benchtime", time.Second, "minimum measurement time per matching configuration")
+	flag.Parse()
+
+	b := measureAll(*benchtime)
+
+	if *check != "" {
+		committed, err := readBaseline(*check)
+		if err != nil {
+			fatal(err)
+		}
+		if err := compare(committed, b); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchmpi: within 15%% of %s (1024-deep indexed %.0f ns/op, %.1fx over linear, %.0f allocs/iter)\n",
+			*check, b.Matching["1024"].IndexedNsPerOp, b.Matching["1024"].Speedup, b.PersistentIbcast.AllocsPerIter)
+		return
+	}
+
+	enc, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchmpi: wrote %s\n", *out)
+		return
+	}
+	os.Stdout.Write(enc)
+}
+
+func measureAll(benchtime time.Duration) baseline {
+	b := baseline{
+		Benchmark:  "mpi matching + persistent nbc steady state",
+		Regenerate: "make bench  (or: go run ./cmd/benchmpi -out BENCH_mpi.json)",
+		Workload: "one op = one match-and-repost cycle against k posted receives " +
+			"(rotating src/tag so every cycle hits a different bucket)",
+		CPU:      cpuModel(),
+		Date:     time.Now().Format("2006-01-02"),
+		Matching: make(map[string]matchResult, len(matchDepths)),
+	}
+	for _, k := range matchDepths {
+		idx := measureMatch(k, true, benchtime)
+		lin := measureMatch(k, false, benchtime)
+		b.Matching[fmt.Sprint(k)] = matchResult{
+			IndexedNsPerOp: idx,
+			LinearNsPerOp:  lin,
+			Speedup:        lin / idx,
+		}
+	}
+	b.PersistentIbcast.Workload = "Ibcast n=4 virtual 32KiB seg 8KiB, one full Start..Wait iteration, warm pools"
+	b.PersistentIbcast.AllocsPerIter = persistentAllocs()
+	return b
+}
+
+// measureMatch returns ns per match-and-repost cycle with k receives posted.
+func measureMatch(k int, indexed bool, benchtime time.Duration) float64 {
+	mb := mpi.NewMatchBench(k, indexed)
+	mb.RunCycles(4 * k) // warm buckets and free lists
+	n := 256
+	for {
+		start := time.Now()
+		mb.RunCycles(n)
+		el := time.Since(start)
+		if el >= benchtime {
+			return float64(el.Nanoseconds()) / float64(n)
+		}
+		// Scale toward the target with 20% headroom, at least doubling.
+		next := int(float64(n) * 1.2 * float64(benchtime) / float64(el+1))
+		if next < 2*n {
+			next = 2 * n
+		}
+		n = next
+	}
+}
+
+// persistentAllocs builds a 4-rank world whose rank programs park on a gate
+// between persistent-Ibcast iterations, warms every pool, then measures
+// allocations per released iteration (the steady state a tuning sweep lives
+// in). The parameters mirror the nbc conformance fabric.
+func persistentAllocs() float64 {
+	const n = 4
+	eng := sim.NewEngine(1)
+	nodeOf := make([]int, n)
+	for i := range nodeOf {
+		nodeOf[i] = i
+	}
+	p := netmodel.Params{
+		Name:          "bench-ib",
+		Latency:       2e-6,
+		Bandwidth:     1.5e9,
+		NICs:          1,
+		OSend:         1e-6,
+		ORecv:         1e-6,
+		OPost:         2e-7,
+		OProgress:     5e-7,
+		OTest:         5e-8,
+		EagerLimit:    12 * 1024,
+		RDMA:          true,
+		CtrlBytes:     64,
+		CopyBandwidth: 4e9,
+		ShmLatency:    4e-7,
+		ShmBandwidth:  5e9,
+		IncastK:       8,
+		IncastBeta:    0.02,
+	}
+	net, err := netmodel.New(eng, p, nodeOf)
+	if err != nil {
+		fatal(err)
+	}
+	w := mpi.NewWorld(eng, net, n, mpi.Options{Seed: 3})
+	gate := sim.NewCond(eng)
+	released := 0
+	w.Start(func(c *mpi.Comm) {
+		sched := nbc.Ibcast(n, c.Rank(), 0, mpi.Virtual(32*1024), 2, 8*1024)
+		it := 0
+		for {
+			for released <= it {
+				gate.Wait(c.RankState().Proc())
+			}
+			nbc.Run(c, sched)
+			it++
+		}
+	})
+	deadline := 0.0
+	step := func() {
+		released++
+		gate.Broadcast()
+		deadline += 1.0
+		eng.RunUntil(deadline)
+	}
+	for i := 0; i < 50; i++ {
+		step()
+	}
+	return testing.AllocsPerRun(200, step)
+}
+
+func compare(committed, now baseline) error {
+	for _, k := range matchDepths {
+		key := fmt.Sprint(k)
+		base, ok := committed.Matching[key]
+		if !ok {
+			return fmt.Errorf("baseline has no matching entry for depth %s", key)
+		}
+		got := now.Matching[key]
+		if limit := base.IndexedNsPerOp * 1.15; got.IndexedNsPerOp > limit {
+			return fmt.Errorf("depth %s: indexed matching %.0f ns/op exceeds 115%% of committed %.0f ns/op",
+				key, got.IndexedNsPerOp, base.IndexedNsPerOp)
+		}
+	}
+	// Acceptance pin: indexed matching must stay >=5x over the linear scans
+	// at 1024 posted receives. A same-machine ratio, so robust to noise.
+	if got := now.Matching["1024"].Speedup; got < 5 {
+		return fmt.Errorf("1024-deep matching speedup %.2fx over linear, want >= 5x", got)
+	}
+	if a := now.PersistentIbcast.AllocsPerIter; a != 0 {
+		return fmt.Errorf("steady-state persistent Ibcast iteration allocates (%v allocs/iter, want 0)", a)
+	}
+	return nil
+}
+
+func readBaseline(path string) (baseline, error) {
+	var b baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if name, ok := strings.CutPrefix(sc.Text(), "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return "unknown"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchmpi:", err)
+	os.Exit(1)
+}

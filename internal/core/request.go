@@ -156,6 +156,7 @@ type Timer struct {
 	t0      float64
 	running bool
 	laps    int
+	seen    []Selector // StopWith scratch, capacity-reused so Stop never allocates
 }
 
 // NewTimer creates a timer measuring for the given requests. The requests'
@@ -229,13 +230,15 @@ func (t *Timer) StopWith(elapsed float64) {
 	}
 	t.running = false
 	t.laps++
-	seen := map[Selector]bool{}
+	// Timers own a handful of requests, so the duplicate-selector check is a
+	// scan over a reused scratch list rather than a per-stop map.
+	t.seen = t.seen[:0]
 	recorded := false
 	for _, r := range t.reqs {
-		if r.curFn < 0 || seen[r.sel] {
+		if r.curFn < 0 || t.sawSelector(r.sel) {
 			continue
 		}
-		seen[r.sel] = true
+		t.seen = append(t.seen, r.sel)
 		if _, decided := r.sel.Next(); !decided {
 			// Only the first still-undecided selector learns from the
 			// interval, so one operation's exploration never confounds
@@ -250,4 +253,13 @@ func (t *Timer) StopWith(elapsed float64) {
 			m.Monitor(r.curFn, elapsed)
 		}
 	}
+}
+
+func (t *Timer) sawSelector(s Selector) bool {
+	for _, x := range t.seen {
+		if x == s {
+			return true
+		}
+	}
+	return false
 }

@@ -320,7 +320,12 @@ func (p *Plan) progressBusy() {
 		case sl.req != nil:
 			sl.req.Progress()
 		case sl.handle != nil:
-			sl.handle.Progress()
+			// A true return releases the handle to the rank's pool; drop
+			// the reference so a later Wait/Progress cannot touch a record
+			// that the next nbc.Start re-arms.
+			if sl.handle.Progress() {
+				sl.handle = nil
+			}
 		}
 	}
 }
@@ -387,8 +392,10 @@ func (p *Plan) finishTranspose(sl *slot) {
 	case FlavorMPI:
 		// already complete
 	case FlavorNBC:
-		sl.handle.Wait()
-		sl.handle = nil
+		if sl.handle != nil {
+			sl.handle.Wait()
+			sl.handle = nil
+		}
 	default:
 		sl.req.Wait()
 	}

@@ -43,15 +43,19 @@ func (c *Comm) Alltoallv(send Buf, sendCounts, sendDispls []int, recv Buf, recvC
 	for step := 1; step < n; step++ {
 		sendTo := (c.me + step) % n
 		recvFrom := (c.me - step + n) % n
-		var reqs []*Request
+		var reqs [2]*Request
+		k := 0
 		if recvCounts[recvFrom] > 0 {
-			reqs = append(reqs, c.Irecv(recvFrom, tag, recv.Slice(recvDispls[recvFrom], recvCounts[recvFrom])))
+			reqs[k] = c.Irecv(recvFrom, tag, recv.Slice(recvDispls[recvFrom], recvCounts[recvFrom]))
+			k++
 		}
 		if sendCounts[sendTo] > 0 {
-			reqs = append(reqs, c.Isend(sendTo, tag, send.Slice(sendDispls[sendTo], sendCounts[sendTo])))
+			reqs[k] = c.Isend(sendTo, tag, send.Slice(sendDispls[sendTo], sendCounts[sendTo]))
+			k++
 		}
-		if len(reqs) > 0 {
-			c.Wait(reqs...)
+		if k > 0 {
+			c.Wait(reqs[:k]...)
+			c.FreeRequests(reqs[:k]...)
 		}
 	}
 	return nil
@@ -63,16 +67,11 @@ func (c *Comm) Alltoallv(send Buf, sendCounts, sendDispls []int, recv Buf, recvC
 func (c *Comm) Iprobe(src, tag int) (found bool, size int) {
 	c.r.Progress()
 	wsrc := c.translate(src)
-	probe := &Request{r: c.r, kind: reqRecv, peer: wsrc, tag: tag, ctx: c.ctx}
-	for _, env := range c.r.unexpEager {
-		if matches(probe, env) {
-			return true, env.buf.Len()
-		}
+	if env := c.r.m.eager.find(c.ctx, wsrc, tag); env != nil {
+		return true, env.buf.Len()
 	}
-	for _, env := range c.r.unexpRTS {
-		if matches(probe, env) {
-			return true, env.buf.Len()
-		}
+	if env := c.r.m.rts.find(c.ctx, wsrc, tag); env != nil {
+		return true, env.buf.Len()
 	}
 	return false, 0
 }
@@ -81,20 +80,15 @@ func (c *Comm) Iprobe(src, tag int) (found bool, size int) {
 // its size, without receiving it.
 func (c *Comm) Probe(src, tag int) int {
 	wsrc := c.translate(src)
-	probe := &Request{r: c.r, kind: reqRecv, peer: wsrc, tag: tag, ctx: c.ctx}
 	size := -1
 	c.WaitFor(func() bool {
-		for _, env := range c.r.unexpEager {
-			if matches(probe, env) {
-				size = env.buf.Len()
-				return true
-			}
+		if env := c.r.m.eager.find(c.ctx, wsrc, tag); env != nil {
+			size = env.buf.Len()
+			return true
 		}
-		for _, env := range c.r.unexpRTS {
-			if matches(probe, env) {
-				size = env.buf.Len()
-				return true
-			}
+		if env := c.r.m.rts.find(c.ctx, wsrc, tag); env != nil {
+			size = env.buf.Len()
+			return true
 		}
 		return false
 	})

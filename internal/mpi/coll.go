@@ -60,7 +60,7 @@ func (c *Comm) Bcast(root int, b Buf) {
 	// Receive from parent.
 	if vrank != 0 {
 		parent := vrank & (vrank - 1) // clear lowest set bit
-		c.Recv((parent+root)%n, tag, b)
+		c.FreeRequests(c.Recv((parent+root)%n, tag, b))
 	}
 	// Forward to children, highest distance first (classic binomial order).
 	for dist := nextPow2(n); dist >= 1; dist /= 2 {
@@ -92,7 +92,7 @@ func (c *Comm) Reduce(root int, send, recv Buf, op ReduceOp) {
 				if acc.HasData() {
 					tmp = Bytes(make([]byte, size))
 				}
-				c.Recv((peer+root)%n, tag, tmp)
+				c.FreeRequests(c.Recv((peer+root)%n, tag, tmp))
 				c.chargeReduce(size)
 				if op != nil && acc.HasData() && tmp.HasData() {
 					op(acc.Data(), tmp.Data())
@@ -152,7 +152,7 @@ func (c *Comm) Alltoall(send, recv Buf) {
 	tag := c.nextCollTag()
 	if blockSize <= pairwiseThreshold {
 		// Basic linear: post everything, wait for all.
-		reqs := make([]*Request, 0, 2*(n-1))
+		reqs := c.r.scratch[:0]
 		for off := 1; off < n; off++ {
 			peer := (c.me + off) % n
 			reqs = append(reqs, c.Irecv(peer, tag, recv.Slice(peer*blockSize, blockSize)))
@@ -162,6 +162,8 @@ func (c *Comm) Alltoall(send, recv Buf) {
 			reqs = append(reqs, c.Isend(peer, tag, send.Slice(peer*blockSize, blockSize)))
 		}
 		c.Wait(reqs...)
+		c.FreeRequests(reqs...)
+		c.r.scratch = reqs[:0]
 		return
 	}
 	// Pairwise exchange: n-1 structured steps.
@@ -180,7 +182,7 @@ func (c *Comm) Gather(root int, send, recv Buf) {
 	ssize := send.Len()
 	tag := c.nextCollTag()
 	if c.me == root {
-		reqs := make([]*Request, 0, n-1)
+		reqs := c.r.scratch[:0]
 		for i := 0; i < n; i++ {
 			if i == root {
 				Copy(recv.Slice(i*ssize, ssize), send)
@@ -189,6 +191,8 @@ func (c *Comm) Gather(root int, send, recv Buf) {
 			reqs = append(reqs, c.Irecv(i, tag, recv.Slice(i*ssize, ssize)))
 		}
 		c.Wait(reqs...)
+		c.FreeRequests(reqs...)
+		c.r.scratch = reqs[:0]
 		return
 	}
 	c.Send(root, tag, send)
@@ -201,7 +205,7 @@ func (c *Comm) Scatter(root int, send, recv Buf) {
 	ssize := recv.Len()
 	tag := c.nextCollTag()
 	if c.me == root {
-		reqs := make([]*Request, 0, n-1)
+		reqs := c.r.scratch[:0]
 		for i := 0; i < n; i++ {
 			if i == root {
 				Copy(recv, send.Slice(i*ssize, ssize))
@@ -210,9 +214,11 @@ func (c *Comm) Scatter(root int, send, recv Buf) {
 			reqs = append(reqs, c.Isend(i, tag, send.Slice(i*ssize, ssize)))
 		}
 		c.Wait(reqs...)
+		c.FreeRequests(reqs...)
+		c.r.scratch = reqs[:0]
 		return
 	}
-	c.Recv(root, tag, recv)
+	c.FreeRequests(c.Recv(root, tag, recv))
 }
 
 func nextPow2(n int) int {

@@ -56,11 +56,14 @@ func (c *Comm) Irecv(src, tag int, b Buf) *Request {
 
 // Send performs a blocking send.
 func (c *Comm) Send(dst, tag int, b Buf) {
-	c.r.Wait(c.Isend(dst, tag, b))
+	req := c.Isend(dst, tag, b)
+	c.r.Wait(req)
+	c.r.w.freeReq(req)
 }
 
 // Recv performs a blocking receive and returns the matched request for its
-// source/tag metadata.
+// source/tag metadata. The caller owns the returned request; FreeRequests
+// recycles it once the metadata has been read.
 func (c *Comm) Recv(src, tag int, b Buf) *Request {
 	req := c.Irecv(src, tag, b)
 	c.r.Wait(req)
@@ -72,10 +75,28 @@ func (c *Comm) Sendrecv(dst, sendTag int, sbuf Buf, src, recvTag int, rbuf Buf) 
 	rq := c.Irecv(src, recvTag, rbuf)
 	sq := c.Isend(dst, sendTag, sbuf)
 	c.r.Wait(rq, sq)
+	c.r.w.freeReq(rq)
+	c.r.w.freeReq(sq)
 }
 
 // Wait blocks until all given requests complete.
 func (c *Comm) Wait(reqs ...*Request) { c.r.Wait(reqs...) }
+
+// WaitHandles blocks until all requests behind the handles complete; freed
+// requests read as done.
+func (c *Comm) WaitHandles(hs []ReqHandle) { c.r.WaitHandles(hs) }
+
+// TestHandles performs one progress pass and reports completion of all
+// requests behind the handles.
+func (c *Comm) TestHandles(hs []ReqHandle) bool { return c.r.TestHandles(hs) }
+
+// FreeRequests returns completed requests to the world's pool (see
+// Rank.FreeRequests).
+func (c *Comm) FreeRequests(reqs ...*Request) { c.r.FreeRequests(reqs...) }
+
+// FreeHandles returns the completed requests behind still-live handles to
+// the pool; already-freed handles are skipped.
+func (c *Comm) FreeHandles(hs []ReqHandle) { c.r.FreeHandles(hs) }
 
 // WaitFor blocks inside MPI until pred holds, processing protocol notices as
 // they arrive. Non-request completion conditions (put counters, window
@@ -88,21 +109,44 @@ func (c *Comm) WaitFor(pred func() bool) {
 // Test performs one progress pass and reports completion of all requests.
 func (c *Comm) Test(reqs ...*Request) bool { return c.r.Test(reqs...) }
 
+// Tag-space layout. Application point-to-point tags are expected below
+// collTagBase; internal blocking-collective tags and non-blocking base tags
+// each own a disjoint high range, and both ranges wrap around a finite
+// window so million-iteration sweeps cannot run the tag space into the
+// next range (or into integer overflow). A wraparound collision is only
+// possible against a collective still in flight after a full window of
+// later collectives on the same communicator — 2^22 blocking or 2^15
+// non-blocking operations — which the non-overtaking matching of a
+// single-threaded MPI makes unreachable in practice. TestFreshNBTagWindow
+// pins the layout.
+const (
+	collTagBase   = 1 << 24
+	collTagWindow = 1 << 22
+
+	nbTagBase   = 1 << 26
+	nbTagStride = 1024 // tag offsets 0..1023 per non-blocking base tag
+	nbTagWindow = 1 << 15
+)
+
 // nextCollTag returns a fresh tag for an internal collective operation.
 // Collective tags live in their own high range so they never collide with
-// application point-to-point tags.
+// application point-to-point tags, and recycle after collTagWindow
+// operations.
 func (c *Comm) nextCollTag() int {
 	c.collSeq++
-	return 1<<24 + c.collSeq
+	return collTagBase + 1 + (c.collSeq-1)%collTagWindow
 }
 
 // FreshNBTag returns a fresh base tag for a non-blocking collective
-// operation. Each base tag owns a stride of 1024 tag values so schedules can
-// disambiguate segments/phases with tag offsets. Like all collective state,
-// it relies on every member calling it in the same order.
+// operation. Each base tag owns a stride of nbTagStride tag values so
+// schedules can disambiguate segments/phases with tag offsets; base tags
+// recycle after nbTagWindow operations. (A schedule segmenting a message
+// into more than nbTagStride pieces would overrun its stride into the next
+// base tag — keep TagOff below nbTagStride.) Like all collective state, it
+// relies on every member calling it in the same order.
 func (c *Comm) FreshNBTag() int {
 	c.collSeq++
-	return 1<<26 + c.collSeq*1024
+	return nbTagBase + ((c.collSeq-1)%nbTagWindow+1)*nbTagStride
 }
 
 // Dup returns a handle to a duplicate communicator (fresh context id). Every

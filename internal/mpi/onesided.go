@@ -134,7 +134,8 @@ type osOp struct {
 	get      bool // distinguishes get-reply processing from put-visible
 }
 
-// process handles the ntOneSided notice at an MPI instant.
+// process handles the ntOneSided notice at an MPI instant. The osOp leaves
+// the protocol here, so it is recycled on both paths.
 func (op *osOp) process(r *Rank) {
 	p := r.net().Params()
 	if op.get {
@@ -147,6 +148,7 @@ func (op *osOp) process(r *Rank) {
 		Copy(op.dst, op.data)
 		op.req.done = true
 		r.outstanding--
+		r.w.freeOS(op)
 		return
 	}
 	// Host-attended put becomes visible.
@@ -156,6 +158,7 @@ func (op *osOp) process(r *Rank) {
 	}
 	op.tgt.inPuts--
 	op.tgt.countArrival(op.instance)
+	r.w.freeOS(op)
 }
 
 // deliverPut is the Transfer callback for Put: on RDMA the bytes land
@@ -163,6 +166,7 @@ func (op *osOp) process(r *Rank) {
 // visibility waits for the target's next MPI instant.
 func deliverPut(arg any) {
 	op := arg.(*osOp)
+	origin, req := op.origin, op.req
 	if op.rdma {
 		if op.data.HasData() && op.tgt.buf.HasData() {
 			copy(op.tgt.buf.Data()[op.off:], op.data.Data())
@@ -172,11 +176,14 @@ func deliverPut(arg any) {
 		// A target blocked in Fence or a put-counting schedule must
 		// observe the arrival.
 		op.tgtRank.enqueue(notice{kind: ntWake})
+		// The op leaves the protocol here; the origin notice below carries
+		// only the request.
+		origin.w.freeOS(op)
 	} else {
 		op.tgtRank.enqueue(notice{kind: ntOneSided, os: op})
 	}
 	// Local completion notice for the origin.
-	op.origin.enqueue(notice{kind: ntSendDone, sreq: op.req})
+	origin.enqueue(notice{kind: ntSendDone, sreq: req})
 }
 
 // Put transfers b into the target rank's window at byte offset off. It
@@ -197,7 +204,8 @@ func (w *Win) PutInstanced(instance int64, peer, off int, b Buf) *Request {
 	if off < 0 || off+size > w.buf.Len() {
 		panic(fmt.Sprintf("mpi: put of %d bytes at offset %d exceeds window size %d", size, off, w.buf.Len()))
 	}
-	req := &Request{r: r, kind: reqSend, peer: w.c.members[peer], ctx: w.ctx, buf: b}
+	req := r.w.allocReq()
+	req.r, req.kind, req.peer, req.ctx, req.buf = r, reqSend, w.c.members[peer], w.ctx, b
 	r.charge(p.OPost + p.OSend)
 	r.outstanding++
 	tgt := w.target(peer)
@@ -205,12 +213,34 @@ func (w *Win) PutInstanced(instance int64, peer, off int, b Buf) *Request {
 	if !p.RDMA {
 		r.charge(p.CopyTime(size))
 	}
-	w.local = append(w.local, req)
+	w.addLocal(req)
 	tgt.inPuts++
-	op := &osOp{tgt: tgt, tgtRank: tgtRank, origin: r, req: req,
-		data: b.Clone(), off: off, instance: instance, rdma: p.RDMA}
+	op := r.w.allocOS()
+	op.tgt, op.tgtRank, op.origin, op.req = tgt, tgtRank, r, req
+	op.data, op.off, op.instance, op.rdma = b.Clone(), off, instance, p.RDMA
 	r.net().Transfer(r.id, tgtRank.id, size, deliverPut, op)
 	return req
+}
+
+// addLocal records a locally-issued operation for the next Fence. Windows
+// driven by fence-less put-counting schedules never call Fence, so the list
+// is compacted opportunistically — completed requests are dropped (their
+// owner may still hold them; they are recycled by the GC, not the pool) to
+// keep the list from growing without bound.
+func (w *Win) addLocal(req *Request) {
+	if len(w.local) >= 64 {
+		live := w.local[:0]
+		for _, q := range w.local {
+			if !q.done {
+				live = append(live, q)
+			}
+		}
+		for i := len(live); i < len(w.local); i++ {
+			w.local[i] = nil
+		}
+		w.local = live
+	}
+	w.local = append(w.local, req)
 }
 
 // deliverGetRequest is the Ctrl callback for Get: the request arrived at the
@@ -238,16 +268,18 @@ func (w *Win) Get(peer, off int, dst Buf) *Request {
 	if off < 0 || off+size > w.buf.Len() {
 		panic(fmt.Sprintf("mpi: get of %d bytes at offset %d exceeds window size %d", size, off, w.buf.Len()))
 	}
-	req := &Request{r: r, kind: reqRecv, peer: w.c.members[peer], ctx: w.ctx, buf: dst}
+	req := r.w.allocReq()
+	req.r, req.kind, req.peer, req.ctx, req.buf = r, reqRecv, w.c.members[peer], w.ctx, dst
 	r.charge(p.OPost + p.OSend)
 	r.outstanding++
-	w.local = append(w.local, req)
+	w.addLocal(req)
 	tgt := w.target(peer)
 	tgtRank := r.w.ranks[w.c.members[peer]]
 	// The get request travels as a control message; on RDMA the data flows
 	// back without target CPU involvement.
-	op := &osOp{tgt: tgt, tgtRank: tgtRank, origin: r, req: req,
-		dst: dst, off: off, get: true}
+	op := r.w.allocOS()
+	op.tgt, op.tgtRank, op.origin, op.req = tgt, tgtRank, r, req
+	op.dst, op.off, op.get = dst, off, true
 	r.net().Ctrl(r.id, tgtRank.id, deliverGetRequest, op)
 	return req
 }
@@ -257,9 +289,14 @@ func (w *Win) Get(peer, off int, dst Buf) *Request {
 // window ranks.
 func (w *Win) Fence() {
 	r := w.c.r
-	// Complete local operations.
+	// Complete local operations. The requests stay owned by their issuers
+	// (Put/Get returned them), so they are dropped, not pooled; clearing the
+	// vacated slots lets completed requests be collected.
 	if len(w.local) > 0 {
 		r.Wait(w.local...)
+		for i := range w.local {
+			w.local[i] = nil
+		}
 		w.local = w.local[:0]
 	}
 	// Wait for incoming puts to land (they decrement inPuts from engine

@@ -3,7 +3,8 @@ package mpi
 import "fmt"
 
 // Point-to-point messaging: requests, matching, and the eager/rendezvous
-// protocol state machines.
+// protocol state machines. Matching itself is delegated to the indexed
+// engine in match.go; this file keeps the protocol and its modeled costs.
 
 const (
 	// AnySource matches a receive against any sender.
@@ -19,7 +20,12 @@ const (
 	reqRecv
 )
 
-// Request is a non-blocking communication request handle.
+// Request is a non-blocking communication request handle. Requests are
+// pooled per World: completed requests returned to the pool (FreeRequests,
+// FreeHandles, or the library's own internal frees) are recycled by later
+// operations, so steady-state iteration allocates none. A freed request must
+// not be touched through its *Request pointer again — hold a ReqHandle when
+// completion must be observable past an ownership transfer.
 type Request struct {
 	r    *Rank
 	kind reqKind
@@ -32,6 +38,14 @@ type Request struct {
 	rndvMatched bool     // recv: matched an RTS, bulk transfer pending
 	matched     *Request // send: the matched receive (rendezvous correlation)
 	rtsAt       float64  // send: virtual time the RTS was posted (stall metric)
+
+	// Pooling state: gen increments when the record is freed, invalidating
+	// outstanding ReqHandles; freed guards double-free; mnext/pseq thread the
+	// record through the matcher's posted buckets.
+	gen   uint32
+	freed bool
+	mnext *Request
+	pseq  uint64
 
 	// Actual match metadata, valid for completed receives.
 	SrcActual int
@@ -46,19 +60,37 @@ func (req *Request) Done() bool { return req.done }
 // Size returns the message size in bytes.
 func (req *Request) Size() int { return req.buf.Len() }
 
-// envelope describes a message in flight.
+// Handle returns a generation-checked reference to the request, valid across
+// a FreeRequests/FreeHandles of the underlying record: once freed (which
+// requires completion), the handle keeps reading as done instead of
+// observing the record's next life. Same discipline as the sim engine's
+// pooled event handles.
+func (req *Request) Handle() ReqHandle { return ReqHandle{q: req, gen: req.gen} }
+
+// ReqHandle is a generation-checked Request reference (see Request.Handle).
+// The zero ReqHandle reads as done.
+type ReqHandle struct {
+	q   *Request
+	gen uint32
+}
+
+// Done reports completion; a freed (necessarily completed) request reads as
+// done.
+func (h ReqHandle) Done() bool {
+	return h.q == nil || h.q.gen != h.gen || h.q.done
+}
+
+// envelope describes a message in flight. Envelopes are pooled per World;
+// bnext/gprev/gnext thread them through the matcher's unexpected queues.
 type envelope struct {
 	src, dst int // world ranks
 	tag, ctx int
 	buf      Buf
 	dstRank  *Rank    // receiver's library state (delivery target)
 	sreq     *Request // sending request (rendezvous correlation)
-}
 
-func matches(req *Request, env *envelope) bool {
-	return req.ctx == env.ctx &&
-		(req.peer == AnySource || req.peer == env.src) &&
-		(req.tag == AnyTag || req.tag == env.tag)
+	bnext        *envelope // unexpected-queue bucket FIFO link
+	gprev, gnext *envelope // unexpected-queue global arrival chain links
 }
 
 // Protocol notices are queued per rank and processed at its next MPI
@@ -79,9 +111,16 @@ const (
 type notice struct {
 	kind noticeKind
 	env  *envelope // ntEager, ntRTS
-	sreq *Request  // ntCTS, ntBulk, ntSendDone
+	sreq *Request  // ntCTS, ntSendDone
 	rreq *Request  // ntCTS, ntBulk
 	os   *osOp     // ntOneSided
+
+	// ntBulk payload, snapshotted at delivery: the sender observes its own
+	// completion notice independently and may free (recycle) its request
+	// before the receiver processes the bulk arrival, so the receiver-side
+	// notice must not reach through the send request.
+	src, tag int
+	buf      Buf
 }
 
 // process performs a notice's protocol action in the receiving rank's
@@ -95,7 +134,7 @@ func (n notice) process(r *Rank) {
 	case ntCTS:
 		r.processCTS(n.sreq, n.rreq)
 	case ntBulk:
-		r.processBulk(n.sreq, n.rreq)
+		r.processBulk(n.src, n.tag, n.buf, n.rreq)
 	case ntSendDone:
 		n.sreq.done = true
 		r.outstanding--
@@ -127,7 +166,12 @@ func deliverCTS(arg any) {
 func deliverBulk(arg any) {
 	sreq := arg.(*Request)
 	rreq := sreq.matched
-	rreq.r.enqueue(notice{kind: ntBulk, sreq: sreq, rreq: rreq})
+	// Snapshot the payload at transfer completion: the sender's request is
+	// still pending here (its completion notice is enqueued below), so the
+	// buffer is stable — but once the sender observes completion it may
+	// overwrite the buffer before the receiver processes the bulk notice at
+	// its next MPI instant. Cloning is free for virtual payloads.
+	rreq.r.enqueue(notice{kind: ntBulk, rreq: rreq, src: sreq.r.id, tag: sreq.tag, buf: sreq.buf.Clone()})
 	sreq.r.enqueue(notice{kind: ntSendDone, sreq: sreq})
 }
 
@@ -141,32 +185,28 @@ func (r *Rank) completeRecv(rreq *Request, src, tag int, data Buf) {
 
 func (r *Rank) processEager(env *envelope) {
 	p := r.net().Params()
-	cost := p.ORecv + p.OMatch*float64(len(r.postedRecvs))
+	cost := p.ORecv + p.OMatch*float64(r.m.postedCount)
 	if !p.RDMA {
 		cost += p.CopyTime(env.buf.Len())
 	}
 	r.charge(cost)
-	for i, rreq := range r.postedRecvs {
-		if matches(rreq, env) {
-			r.postedRecvs = append(r.postedRecvs[:i], r.postedRecvs[i+1:]...)
-			r.completeRecv(rreq, env.src, env.tag, env.buf)
-			return
-		}
+	if rreq := r.m.matchArrival(env.ctx, env.src, env.tag); rreq != nil {
+		r.completeRecv(rreq, env.src, env.tag, env.buf)
+		r.w.freeEnv(env)
+		return
 	}
-	r.unexpEager = append(r.unexpEager, env)
+	r.m.eager.push(env)
 }
 
 func (r *Rank) processRTS(env *envelope) {
 	p := r.net().Params()
-	r.charge(p.ORecv + p.OMatch*float64(len(r.postedRecvs)))
-	for i, rreq := range r.postedRecvs {
-		if matches(rreq, env) {
-			r.postedRecvs = append(r.postedRecvs[:i], r.postedRecvs[i+1:]...)
-			r.sendCTS(rreq, env)
-			return
-		}
+	r.charge(p.ORecv + p.OMatch*float64(r.m.postedCount))
+	if rreq := r.m.matchArrival(env.ctx, env.src, env.tag); rreq != nil {
+		r.sendCTS(rreq, env)
+		r.w.freeEnv(env)
+		return
 	}
-	r.unexpRTS = append(r.unexpRTS, env)
+	r.m.rts.push(env)
 }
 
 // sendCTS answers a rendezvous RTS: the receive is now matched and the
@@ -194,15 +234,17 @@ func (r *Rank) processCTS(sreq, rreq *Request) {
 	r.net().Transfer(r.id, rreq.r.id, sreq.buf.Len(), deliverBulk, sreq)
 }
 
-func (r *Rank) processBulk(sreq, rreq *Request) {
-	r.w.eng.Tracef("bulk-done", fmt.Sprintf("rank%d", r.id), "src=%d size=%d", sreq.r.id, sreq.buf.Len())
+func (r *Rank) processBulk(src, tag int, buf Buf, rreq *Request) {
+	if r.w.eng.TraceOf() != nil {
+		r.w.eng.Tracef("bulk-done", fmt.Sprintf("rank%d", r.id), "src=%d size=%d", src, buf.Len())
+	}
 	p := r.net().Params()
 	cost := p.ORecv
 	if !p.RDMA {
-		cost += p.CopyTime(sreq.buf.Len())
+		cost += p.CopyTime(buf.Len())
 	}
 	r.charge(cost)
-	r.completeRecv(rreq, sreq.r.id, sreq.tag, sreq.buf)
+	r.completeRecv(rreq, src, tag, buf)
 }
 
 // isend posts a non-blocking send of b on a context. Virtual payloads
@@ -212,9 +254,12 @@ func (r *Rank) isend(dst, tag, ctx int, b Buf) *Request {
 	if dst < 0 || dst >= len(r.w.ranks) {
 		panic("mpi: isend to invalid rank")
 	}
-	req := &Request{r: r, kind: reqSend, peer: dst, tag: tag, ctx: ctx, buf: b}
+	req := r.w.allocReq()
+	req.r, req.kind, req.peer, req.tag, req.ctx, req.buf = r, reqSend, dst, tag, ctx, b
 	p := r.net().Params()
-	r.w.eng.Tracef("isend", fmt.Sprintf("rank%d", r.id), "dst=%d tag=%d size=%d", dst, tag, size)
+	if r.w.eng.TraceOf() != nil {
+		r.w.eng.Tracef("isend", fmt.Sprintf("rank%d", r.id), "dst=%d tag=%d size=%d", dst, tag, size)
+	}
 	r.charge(p.OPost)
 	dstRank := r.w.ranks[dst]
 	if p.Eager(size) {
@@ -226,7 +271,9 @@ func (r *Rank) isend(dst, tag, ctx int, b Buf) *Request {
 			cost += p.CopyTime(size)
 		}
 		r.charge(cost)
-		env := &envelope{src: r.id, dst: dst, tag: tag, ctx: ctx, buf: b.Clone(), dstRank: dstRank}
+		env := r.w.allocEnv()
+		env.src, env.dst, env.tag, env.ctx = r.id, dst, tag, ctx
+		env.buf, env.dstRank = b.Clone(), dstRank
 		r.net().Transfer(r.id, dst, size, deliverEager, env)
 		req.done = true
 		return req
@@ -236,34 +283,33 @@ func (r *Rank) isend(dst, tag, ctx int, b Buf) *Request {
 	r.outstanding++
 	r.charge(p.OSend)
 	req.rtsAt = r.w.eng.Now()
-	env := &envelope{src: r.id, dst: dst, tag: tag, ctx: ctx, buf: b, dstRank: dstRank, sreq: req}
+	env := r.w.allocEnv()
+	env.src, env.dst, env.tag, env.ctx = r.id, dst, tag, ctx
+	env.buf, env.dstRank, env.sreq = b, dstRank, req
 	r.net().Ctrl(r.id, dst, deliverRTS, env)
 	return req
 }
 
 // irecv posts a non-blocking receive into b on a context.
 func (r *Rank) irecv(src, tag, ctx int, b Buf) *Request {
-	req := &Request{r: r, kind: reqRecv, peer: src, tag: tag, ctx: ctx, buf: b}
+	req := r.w.allocReq()
+	req.r, req.kind, req.peer, req.tag, req.ctx, req.buf = r, reqRecv, src, tag, ctx, b
 	p := r.net().Params()
-	r.charge(p.OPost + p.OMatch*float64(len(r.unexpEager)+len(r.unexpRTS)))
+	r.charge(p.OPost + p.OMatch*float64(r.m.eager.count+r.m.rts.count))
 	r.outstanding++
 	// An already-arrived eager message matches at post time.
-	for i, env := range r.unexpEager {
-		if matches(req, env) {
-			r.unexpEager = append(r.unexpEager[:i], r.unexpEager[i+1:]...)
-			r.completeRecv(req, env.src, env.tag, env.buf)
-			return req
-		}
+	if env := r.m.eager.take(ctx, src, tag); env != nil {
+		r.completeRecv(req, env.src, env.tag, env.buf)
+		r.w.freeEnv(env)
+		return req
 	}
 	// An already-arrived RTS is answered at post time (we are inside MPI).
-	for i, env := range r.unexpRTS {
-		if matches(req, env) {
-			r.unexpRTS = append(r.unexpRTS[:i], r.unexpRTS[i+1:]...)
-			r.sendCTS(req, env)
-			return req
-		}
+	if env := r.m.rts.take(ctx, src, tag); env != nil {
+		r.sendCTS(req, env)
+		r.w.freeEnv(env)
+		return req
 	}
-	r.postedRecvs = append(r.postedRecvs, req)
+	r.m.post(req)
 	return req
 }
 
@@ -281,6 +327,21 @@ func (r *Rank) Wait(reqs ...*Request) {
 	})
 }
 
+// WaitHandles is Wait over generation-checked handles: handles whose request
+// was freed read as done.
+func (r *Rank) WaitHandles(hs []ReqHandle) {
+	p := r.net().Params()
+	r.charge(p.OProgress + p.OTest*float64(r.outstanding))
+	r.waitUntil(func() bool {
+		for _, h := range hs {
+			if !h.Done() {
+				return false
+			}
+		}
+		return true
+	})
+}
+
 // Test performs one progress pass and reports whether all given requests
 // have completed.
 func (r *Rank) Test(reqs ...*Request) bool {
@@ -291,4 +352,36 @@ func (r *Rank) Test(reqs ...*Request) bool {
 		}
 	}
 	return true
+}
+
+// TestHandles is Test over generation-checked handles.
+func (r *Rank) TestHandles(hs []ReqHandle) bool {
+	r.Progress()
+	for _, h := range hs {
+		if !h.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// FreeRequests returns completed requests to the world's pool. Freeing is
+// optional — an unfreed request is garbage-collected normally — but pooled
+// steady-state loops free their requests so iteration allocates nothing.
+// Freeing an incomplete request panics; Wait first.
+func (r *Rank) FreeRequests(reqs ...*Request) {
+	for _, q := range reqs {
+		r.w.freeReq(q)
+	}
+}
+
+// FreeHandles returns the completed requests behind still-live handles to
+// the pool. Handles whose request was already freed are skipped, so the call
+// is idempotent per handle generation.
+func (r *Rank) FreeHandles(hs []ReqHandle) {
+	for _, h := range hs {
+		if h.q != nil && h.q.gen == h.gen {
+			r.w.freeReq(h.q)
+		}
+	}
 }

@@ -46,6 +46,13 @@ type World struct {
 	opts    Options
 	nextCtx int
 	winReg  *winRegistry
+
+	// Free lists for pooled protocol records. World-level (not per rank) so
+	// a record freed by its receiver can be reused by any sender; safe
+	// without locks because the engine serializes all ranks of one world.
+	reqFree []*Request
+	envFree []*envelope
+	osFree  []*osOp
 }
 
 // NewWorld creates n ranks on the given network. The network's rank->node
@@ -59,6 +66,7 @@ func NewWorld(eng *sim.Engine, net *netmodel.Network, n int, opts Options) *Worl
 			cond: sim.NewCond(eng),
 			rng:  rand.New(rand.NewSource(opts.Seed*7919 + int64(i))),
 		}
+		r.m.init()
 		w.ranks = append(w.ranks, r)
 	}
 	return w
@@ -113,18 +121,22 @@ type Rank struct {
 	rng  *rand.Rand
 	rec  *obs.Recorder // nil unless World.Observe attached one
 
-	// Message-progression state. All four queues are only mutated in
-	// engine-event context (enqueue) or in the rank's own proc context
-	// (processing); the engine serializes those.
-	notices      []notice    // arrived, not yet seen by the library
-	nhead        int         // first unprocessed notice (head cursor)
-	unexpEager   []*envelope // processed eager messages with no matching recv
-	unexpRTS     []*envelope // processed RTS with no matching recv
-	postedRecvs  []*Request  // posted receives not yet matched
+	// Message-progression state. The notice queue and the matcher are only
+	// mutated in engine-event context (enqueue) or in the rank's own proc
+	// context (processing); the engine serializes those.
+	notices      []notice // arrived, not yet seen by the library
+	nhead        int      // first unprocessed notice (head cursor)
+	m            matcher  // posted receives and unexpected envelopes (match.go)
 	blockedInMPI bool
 	cond         *sim.Cond
 
 	outstanding int // open non-blocking requests, for OTest charging
+
+	scratch []*Request // capacity-reused request list for blocking collectives
+
+	// layerState is an opaque per-rank slot for a higher layer's reusable
+	// execution state (the nbc handle pool lives here; see LayerState).
+	layerState any
 
 	// Accounting.
 	MPITime       float64
@@ -227,6 +239,75 @@ func (r *Rank) processNotices() {
 }
 
 func (r *Rank) net() *netmodel.Network { return r.w.net }
+
+// LayerState returns a mutable per-rank slot in which a higher layer caches
+// reusable execution state across operations (the nbc layer keeps its handle
+// pool here). The slot is owned by whichever layer claims it first; mpi never
+// reads it.
+func (r *Rank) LayerState() *any { return &r.layerState }
+
+// allocReq draws a Request from the world's pool. All fields except the
+// pooling generation are zero.
+func (w *World) allocReq() *Request {
+	if n := len(w.reqFree); n > 0 {
+		q := w.reqFree[n-1]
+		w.reqFree[n-1] = nil
+		w.reqFree = w.reqFree[:n-1]
+		q.freed = false
+		return q
+	}
+	return &Request{}
+}
+
+// freeReq returns a completed request to the pool, bumping its generation so
+// outstanding ReqHandles keep reading as done instead of observing the
+// record's next life.
+func (w *World) freeReq(q *Request) {
+	if q.freed {
+		panic("mpi: request freed twice")
+	}
+	if !q.done {
+		panic("mpi: freeing an incomplete request (Wait before freeing)")
+	}
+	gen := q.gen + 1
+	*q = Request{gen: gen, freed: true}
+	w.reqFree = append(w.reqFree, q)
+}
+
+func (w *World) allocEnv() *envelope {
+	if n := len(w.envFree); n > 0 {
+		env := w.envFree[n-1]
+		w.envFree[n-1] = nil
+		w.envFree = w.envFree[:n-1]
+		return env
+	}
+	return &envelope{}
+}
+
+// freeEnv recycles an envelope. Callers free exactly at the point the
+// envelope leaves the protocol: when an eager payload or RTS is matched
+// (immediately or out of the unexpected queue), and after an RTS has been
+// answered with a CTS (the sender correlation travels on the send request,
+// not the envelope).
+func (w *World) freeEnv(env *envelope) {
+	*env = envelope{}
+	w.envFree = append(w.envFree, env)
+}
+
+func (w *World) allocOS() *osOp {
+	if n := len(w.osFree); n > 0 {
+		op := w.osFree[n-1]
+		w.osFree[n-1] = nil
+		w.osFree = w.osFree[:n-1]
+		return op
+	}
+	return &osOp{}
+}
+
+func (w *World) freeOS(op *osOp) {
+	*op = osOp{}
+	w.osFree = append(w.osFree, op)
+}
 
 // waitUntil blocks the rank inside MPI until pred holds, processing notices
 // as they arrive. It is the core of Wait and the blocking collectives.

@@ -76,30 +76,97 @@ func (s *Schedule) NumRounds() int { return len(s.Rounds) }
 
 // Handle is the execution state of one started schedule (LibNBC's
 // NBC_Handle). It is bound to the communicator it was started on.
+//
+// Handles are pooled per rank: Start draws from the rank's pool, and the
+// handle releases itself back when its completion is observed — at the end
+// of Wait, or when Progress returns true. After that point the handle must
+// not be touched again (the next Start on the rank re-arms the same record);
+// callers drop their reference on the done transition, exactly what the
+// core persistent-request loop and the fft transpose do. The pending request
+// list holds generation-checked mpi.ReqHandles and is capacity-reused across
+// rounds and executions, so a steady-state re-Start allocates nothing.
 type Handle struct {
 	comm     *mpi.Comm
 	sched    *Schedule
+	pool     *handlePool
 	tag      int
 	round    int
-	pending  []*mpi.Request
+	pending  []mpi.ReqHandle
 	await    int   // cumulative put count the current round waits for (-1: none)
 	instance int64 // collective instance id on the schedule's window
 	done     bool
+	released bool
 	obsID    int // recorder span id for this execution (-1: not observed)
+}
+
+// handlePool is the per-rank free list of Handle records, kept in the rank's
+// opaque layer-state slot.
+type handlePool struct {
+	free []*Handle
+}
+
+func poolFor(rank *mpi.Rank) *handlePool {
+	slot := rank.LayerState()
+	if *slot == nil {
+		*slot = &handlePool{}
+	}
+	return (*slot).(*handlePool)
 }
 
 // Start begins non-blocking execution of sched on comm. It posts the first
 // round and returns immediately. All members must start the same collective
 // in the same order.
 func Start(comm *mpi.Comm, sched *Schedule) *Handle {
-	h := &Handle{comm: comm, sched: sched, tag: comm.FreshNBTag(), await: -1}
+	rank := comm.RankState()
+	pool := poolFor(rank)
+	var h *Handle
+	if n := len(pool.free); n > 0 {
+		h = pool.free[n-1]
+		pool.free[n-1] = nil
+		pool.free = pool.free[:n-1]
+	} else {
+		h = &Handle{pool: pool}
+	}
+	h.comm, h.sched, h.tag = comm, sched, comm.FreshNBTag()
+	h.round = 0
+	h.pending = h.pending[:0]
+	h.await = -1
+	h.instance = 0
+	h.done, h.released = false, false
 	if sched.Win != nil {
 		h.instance = sched.Win.NextInstance()
 	}
-	rank := comm.RankState()
 	h.obsID = rank.Recorder().OpBegin(rank.ID(), sched.Name, rank.Now())
 	h.execRounds()
 	return h
+}
+
+// release returns the handle to its rank's pool once completion has been
+// observed. Inline completion inside Start must NOT release (the caller
+// still holds the fresh handle), so Start leaves done handles live and the
+// observation points in Wait and Progress release them.
+func (h *Handle) release() {
+	if h.released {
+		return
+	}
+	h.released = true
+	h.freePending()
+	h.comm, h.sched = nil, nil
+	h.pool.free = append(h.pool.free, h)
+}
+
+// freePending recycles the completed requests of the round just finished.
+// Put-schedule requests are co-owned by the window's fence list, so they are
+// left to the GC; the generation check in mpi.ReqHandle is what makes this
+// split ownership safe.
+func (h *Handle) freePending() {
+	if len(h.pending) == 0 {
+		return
+	}
+	if h.sched.Win == nil {
+		h.comm.FreeHandles(h.pending)
+	}
+	h.pending = h.pending[:0]
 }
 
 // execRounds executes the current round's local ops, posts its p2p ops, and
@@ -109,7 +176,7 @@ func (h *Handle) execRounds() {
 	rec := rank.Recorder()
 	for h.round < len(h.sched.Rounds) {
 		r := h.sched.Rounds[h.round]
-		h.pending = h.pending[:0]
+		h.freePending()
 		h.await = -1
 		for _, op := range r {
 			switch op.Kind {
@@ -120,12 +187,12 @@ func (h *Handle) execRounds() {
 				}
 			case OpSend:
 				rec.AlgoBytes(h.sched.Name, op.Buf.Len())
-				h.pending = append(h.pending, h.comm.Isend(op.Peer, h.tag+op.TagOff, op.Buf))
+				h.pending = append(h.pending, h.comm.Isend(op.Peer, h.tag+op.TagOff, op.Buf).Handle())
 			case OpRecv:
-				h.pending = append(h.pending, h.comm.Irecv(op.Peer, h.tag+op.TagOff, op.Buf))
+				h.pending = append(h.pending, h.comm.Irecv(op.Peer, h.tag+op.TagOff, op.Buf).Handle())
 			case OpPut:
 				rec.AlgoBytes(h.sched.Name, op.Buf.Len())
-				h.pending = append(h.pending, h.sched.Win.PutInstanced(h.instance, op.Peer, op.Off, op.Buf))
+				h.pending = append(h.pending, h.sched.Win.PutInstanced(h.instance, op.Peer, op.Off, op.Buf).Handle())
 			case OpAwaitPuts:
 				h.await = op.Count
 			default:
@@ -141,6 +208,7 @@ func (h *Handle) execRounds() {
 		h.round++
 	}
 	h.done = true
+	h.freePending()
 	rec.OpEnd(rank.ID(), h.obsID, rank.Now())
 }
 
@@ -155,6 +223,10 @@ func (h *Handle) roundDone() bool {
 	return h.awaitSatisfied()
 }
 
+// Released reports whether the handle has been returned to its rank's pool
+// (its execution completed and was observed via Wait or Progress).
+func (h *Handle) Released() bool { return h.released }
+
 // awaitSatisfied checks the current round's put-count gate.
 func (h *Handle) awaitSatisfied() bool {
 	if h.await < 0 {
@@ -165,32 +237,41 @@ func (h *Handle) awaitSatisfied() bool {
 
 // Progress drives the schedule: it makes one library progress pass, and if
 // the current round has completed it starts the next one. Returns true when
-// the whole schedule has finished. This is the paper's ADCL_Progress hook.
+// the whole schedule has finished — at which point the handle is released
+// back to the pool and must not be touched again. This is the paper's
+// ADCL_Progress hook.
 func (h *Handle) Progress() bool {
 	if h.done {
+		h.release()
 		return true
 	}
-	if !h.comm.Test(h.pending...) || !h.awaitSatisfied() {
+	if !h.comm.TestHandles(h.pending) || !h.awaitSatisfied() {
 		return false
 	}
 	rank := h.comm.RankState()
 	rank.Recorder().ProgressAdvanced(rank.ID())
 	h.round++
 	h.execRounds()
-	return h.done
+	if h.done {
+		h.release()
+		return true
+	}
+	return false
 }
 
 // Wait blocks inside MPI until the schedule completes, driving all remaining
-// rounds.
+// rounds. On return the handle has been released back to the pool and must
+// not be touched again.
 func (h *Handle) Wait() {
 	for !h.done {
-		h.comm.Wait(h.pending...)
+		h.comm.WaitHandles(h.pending)
 		if h.await >= 0 {
 			h.comm.WaitFor(h.awaitSatisfied)
 		}
 		h.round++
 		h.execRounds()
 	}
+	h.release()
 }
 
 // Done reports whether the schedule has completed.
