@@ -2,7 +2,7 @@
 # command: `make ci`.
 GO ?= go
 
-.PHONY: all build test vet race bench benchsmoke benchguard allocguard chaos-smoke ci
+.PHONY: all build test vet race bench bench-kb benchsmoke benchguard allocguard chaos-smoke kb-smoke ci
 
 all: ci
 
@@ -20,7 +20,7 @@ vet:
 # execution core it schedules plus the mpi/nbc layers built on the token
 # handoff — under the race detector.
 race:
-	$(GO) test -race ./internal/runner ./internal/sim/... ./internal/mpi/... ./internal/nbc/... ./internal/chaos/...
+	$(GO) test -race ./internal/runner ./internal/sim/... ./internal/mpi/... ./internal/nbc/... ./internal/chaos/... ./internal/kb
 
 # All Go benchmarks (one iteration as a smoke), then regenerate the committed
 # MPI hot-path baseline from full measurements. Run on a quiet machine before
@@ -33,6 +33,18 @@ bench:
 # regenerate the committed numbers with -benchtime=2s.
 benchsmoke:
 	$(GO) test -bench EngineThroughput -benchtime 1x -run XXX ./internal/sim
+
+# End-to-end smoke of the knowledge-base service: builds the real cmd/tuned
+# binary, replays the committed golden transcript through kb.Client, stops
+# the daemon with SIGTERM, and checks the recovered snapshot.
+kb-smoke:
+	$(GO) test -count 1 -run TestKBSmoke ./internal/kb
+
+# Regenerate the committed knowledge-base service baseline (BENCH_kb.json):
+# self-hosted daemon, 10..200 concurrent clients, P50/P95/P99 + QPS. Run on
+# a quiet machine before committing.
+bench-kb:
+	$(GO) run ./cmd/kbbench -out BENCH_kb.json
 
 # Short noisy sweep under the race detector: the bench chaos tests run the
 # verification sweep with the "congested" profile attached (twice, checking
@@ -55,10 +67,11 @@ benchguard:
 	if [ "$$now" -gt "$$limit" ]; then echo "benchguard: $$now ns/op exceeds 115% of committed baseline $$base ns/op"; exit 1; fi; \
 	echo "benchguard: $$now ns/op within 15% of committed baseline $$base ns/op"
 	$(GO) run ./cmd/benchmpi -check BENCH_mpi.json -benchtime 500ms
+	$(GO) run ./cmd/kbbench -check BENCH_kb.json
 
 # Zero-allocation pins for the mpi/nbc steady state (matching cycles and a
 # full persistent-Ibcast iteration must stay at 0 allocs once pools are warm).
 allocguard:
 	$(GO) test -count 1 -run 'SteadyStateAllocs' ./internal/mpi ./internal/nbc
 
-ci: build vet test race chaos-smoke benchguard allocguard
+ci: build vet test race chaos-smoke kb-smoke benchguard allocguard

@@ -31,6 +31,9 @@ import (
 
 	"nbctune/internal/bench"
 	"nbctune/internal/chaos/profiles"
+	"nbctune/internal/core"
+	"nbctune/internal/kb"
+	"nbctune/internal/platform"
 	"nbctune/internal/runner"
 )
 
@@ -48,6 +51,7 @@ func main() {
 		data     = flag.Bool("data", false, "real payloads with per-iteration data verification (virtual times unchanged; slower)")
 		chaosStr = flag.String("chaos", "off", "fault/noise injection profile: off, "+strings.Join(profiles.Names(), ", "))
 		chaosSd  = flag.Int64("chaos-seed", 1, "seed for the chaos injector's deterministic streams")
+		kbAddr   = flag.String("kb", "", "share every scenario's tuned winner with a tuned knowledge-base daemon at this address")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -104,6 +108,7 @@ func main() {
 	}
 
 	var summary *bench.SweepSummary
+	var kbRecords []kb.Record
 	switch *suite {
 	case "verification":
 		specs := bench.VerificationScenarios(*fast)
@@ -128,6 +133,20 @@ func main() {
 		}
 		t.Render(os.Stdout)
 		summary = st.Summary()
+		if *kbAddr != "" {
+			// Each verification run measured every fixed implementation, so
+			// the per-scenario best is exactly what a tuner would commit:
+			// share it keyed by the same (HistoryKey, EnvFingerprint) pair
+			// tune -kb looks up.
+			for _, v := range st.Runs {
+				kbRecords = append(kbRecords, kb.Record{
+					Key:    core.HistoryKey(v.Spec.Op, v.Spec.Platform.Name, v.Spec.Procs, v.Spec.MsgSize),
+					Env:    envFingerprint(v.Spec.Platform, v.Spec.Chaos, v.Spec.ChaosSeed),
+					Winner: v.Fixed[v.Best].Impl,
+					Score:  v.Fixed[v.Best].Total,
+				})
+			}
+		}
 
 	case "fft":
 		specs := bench.FFTScenarios(*fast)
@@ -151,6 +170,25 @@ func main() {
 		t.AddRow("max improvement vs libnbc", fmt.Sprintf("%.1f%%", st.MaxImprovement*100))
 		t.Render(os.Stdout)
 		summary = st.Summary()
+		if *kbAddr != "" {
+			for _, pair := range st.Rows {
+				adclR := pair[1]
+				if adclR.Winner == "" {
+					continue
+				}
+				// FFT scenarios are keyed by kernel variant and grid size: N
+				// (with np) determines every transpose's message size, so it
+				// plays HistoryKey's msgsize role.
+				kbRecords = append(kbRecords, kb.Record{
+					Key: core.HistoryKey(fmt.Sprintf("fft3d-%s-%s", adclR.Spec.Pattern, adclR.Spec.Flavor),
+						adclR.Spec.Platform.Name, adclR.Spec.Procs, adclR.Spec.N),
+					Env:    envFingerprint(adclR.Spec.Platform, adclR.Spec.Chaos, adclR.Spec.ChaosSeed),
+					Winner: adclR.Winner,
+					Score:  adclR.PostLearnPerIter,
+					Evals:  adclR.Evals,
+				})
+			}
+		}
 
 	default:
 		fmt.Fprintf(os.Stderr, "unknown suite %q (verification, fft)\n", *suite)
@@ -164,4 +202,25 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "summary written to %s\n", *out)
 	}
+
+	if *kbAddr != "" {
+		c := kb.NewClient(*kbAddr, kb.ClientOptions{})
+		c.RecordBatch(kbRecords)
+		if err := c.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: kb daemon %s unreachable, winners not shared: %v\n", *kbAddr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%d tuned winners shared with kb %s\n", len(kbRecords), *kbAddr)
+	}
+}
+
+// envFingerprint mirrors cmd/tune's history gating: flat topology maps to
+// the clean empty tag so sweep-shared winners land under the same
+// fingerprints tune -kb looks up.
+func envFingerprint(pl platform.Platform, chaosName string, chaosSeed int64) string {
+	topo := pl.Net.Topology.String()
+	if topo == "flat" {
+		topo = ""
+	}
+	return core.EnvFingerprint(topo, chaosName, chaosSeed)
 }

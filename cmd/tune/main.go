@@ -10,7 +10,13 @@
 //	tune -op ibcast -selector attr-heuristic -np 16
 //	tune -op ialltoall-prim -np 16         # algorithm x primitive (put/get) set
 //	tune -op ialltoall -history /tmp/adcl.json   # run twice to see the hit
+//	tune -op ialltoall -kb 127.0.0.1:7070        # share winners via a tuned daemon
 //	tune -op ialltoall -metrics audit.json       # selection audit + overlap
+//
+// With -kb, winners learned by any process sharing the daemon are reused
+// (the learning phase is skipped exactly as with a warm -history file);
+// when the daemon is down, tuning silently falls back to the -history
+// file (or an in-memory history) and keeps working.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 
 	"nbctune/internal/chaos/profiles"
 	"nbctune/internal/core"
+	"nbctune/internal/kb"
 	"nbctune/internal/mpi"
 	"nbctune/internal/obs"
 	"nbctune/internal/platform"
@@ -39,6 +46,7 @@ func main() {
 		evals    = flag.Int("evals", 3, "measurements per implementation")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		histPath = flag.String("history", "", "history file for persistent learning (optional)")
+		kbAddr   = flag.String("kb", "", "tuned knowledge-base daemon address (host:port); shares winners across runs and falls back to -history when unreachable")
 		tracOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run (open in Perfetto)")
 		metrOut  = flag.String("metrics", "", "write overlap metrics + the rank-0 selection audit as JSON")
 		chaosStr = flag.String("chaos", "off", "fault/noise injection profile: off or a profile name")
@@ -72,13 +80,25 @@ func main() {
 	}
 	env := core.EnvFingerprint(topo, chaosName, *chaosSd)
 	var hist *core.History
-	var histKey string
+	histKey := core.HistoryKey(*op, plat.Name, *np, *msg)
 	if *histPath != "" {
 		hist, err = core.LoadHistory(*histPath)
 		if err != nil {
 			fail(err)
 		}
-		histKey = core.HistoryKey(*op, plat.Name, *np, *msg)
+	}
+	// The history source the tuning loop consults: the local file, or —
+	// with -kb — the shared daemon with that same local history as
+	// write-through fallback, so a daemon outage degrades to exactly the
+	// plain -history behaviour.
+	var src core.HistorySource
+	var kbh *core.KBHistory
+	switch {
+	case *kbAddr != "":
+		kbh = core.NewKBHistory(kb.NewClient(*kbAddr, kb.ClientOptions{}), hist, *histPath)
+		src = kbh
+	case hist != nil:
+		src = hist
 	}
 
 	var rec *obs.Recorder
@@ -101,8 +121,8 @@ func main() {
 			fail(err)
 		}
 		hit := false
-		if hist != nil {
-			sel, hit = core.SelectorWithHistoryEnv(hist, histKey, env, fs, sel)
+		if src != nil {
+			sel, hit = core.SelectorWithSourceEnv(src, histKey, env, fs, sel)
 		}
 		if c.Rank() == 0 && rec != nil {
 			audit = core.AttachAudit(sel, fs)
@@ -141,12 +161,30 @@ func main() {
 		plat.Name, *np, *msg, *compute, *progress)
 	fmt.Print(report)
 
-	if hist != nil && winnerName != "" {
-		hist.Record(histKey, core.HistoryEntry{Winner: winnerName, Evals: evalsUsed, Env: env})
-		if err := hist.Save(*histPath); err != nil {
-			fail(err)
+	if src != nil && winnerName != "" {
+		src.Record(histKey, core.HistoryEntry{Winner: winnerName, Evals: evalsUsed, Env: env})
+		switch {
+		case kbh != nil:
+			if err := kbh.Flush(); err != nil {
+				fail(err)
+			}
+			where := "kb " + *kbAddr
+			if kbh.FellBack() {
+				where = "local fallback"
+				if *histPath != "" {
+					where += " " + *histPath
+				}
+				fmt.Fprintf(os.Stderr, "tune: kb daemon %s unreachable, winner kept locally\n", *kbAddr)
+			} else if *histPath != "" {
+				where += " (and " + *histPath + ")"
+			}
+			fmt.Printf("\nwinner stored in %s under key %q\n", where, histKey)
+		default:
+			if err := hist.Save(*histPath); err != nil {
+				fail(err)
+			}
+			fmt.Printf("\nwinner stored in %s under key %q\n", *histPath, histKey)
 		}
-		fmt.Printf("\nwinner stored in %s under key %q\n", *histPath, histKey)
 	}
 
 	if *tracOut != "" {

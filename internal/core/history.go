@@ -7,6 +7,8 @@ import (
 	"io/fs"
 	"os"
 	"sort"
+
+	"nbctune/internal/kb"
 )
 
 // History implements ADCL's historic learning (paper §IV-B): winners found
@@ -79,17 +81,17 @@ func LoadHistory(path string) (*History, error) {
 	return h, nil
 }
 
-// Save writes the history file atomically.
+// Save writes the history file atomically through the knowledge base's
+// shared helper: unique temp file in the same directory, fsync, rename. A
+// crash mid-save therefore leaves the previous complete history in place —
+// the earlier fixed-name .tmp scheme could additionally corrupt itself
+// under two concurrent savers writing the same temp path.
 func (h *History) Save(path string) error {
 	data, err := json.MarshalIndent(h, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return kb.WriteFileAtomic(path, data, 0o644)
 }
 
 // Record stores a tuning outcome.
@@ -125,6 +127,32 @@ func (h *History) Keys() []string {
 	return ks
 }
 
+// HistorySource is the seam the selector-building path consumes: anything
+// that can answer "who won this scenario under this environment" and
+// accept new outcomes. *History is the local-file implementation; KBHistory
+// serves the same contract from the shared tuned daemon.
+type HistorySource interface {
+	LookupEnv(key, env string) (HistoryEntry, bool)
+	Record(key string, e HistoryEntry)
+}
+
+// SelectorWithSourceEnv returns a FixedSelector when src already knows the
+// winner for (key, env) and the function still exists in fset; otherwise
+// it returns fallback. The returned bool reports a hit. This is the single
+// lookup path both the local history file and the kb service flow through,
+// which is what makes a warm daemon's decisions byte-identical to a warm
+// local history's.
+func SelectorWithSourceEnv(src HistorySource, key, env string, fset *FunctionSet, fallback Selector) (Selector, bool) {
+	if src != nil {
+		if e, ok := src.LookupEnv(key, env); ok {
+			if idx := fset.IndexOf(e.Winner); idx >= 0 {
+				return &FixedSelector{Fn: idx}, true
+			}
+		}
+	}
+	return fallback, false
+}
+
 // SelectorWithHistory returns a FixedSelector when the history already knows
 // the winner for key (and the function still exists in fs); otherwise it
 // returns fallback. The returned bool reports a history hit. Equivalent to
@@ -138,12 +166,8 @@ func SelectorWithHistory(h *History, key string, fset *FunctionSet, fallback Sel
 // different topology or chaos profile) are skipped and the fallback
 // selector re-learns.
 func SelectorWithHistoryEnv(h *History, key, env string, fset *FunctionSet, fallback Selector) (Selector, bool) {
-	if h != nil {
-		if e, ok := h.LookupEnv(key, env); ok {
-			if idx := fset.IndexOf(e.Winner); idx >= 0 {
-				return &FixedSelector{Fn: idx}, true
-			}
-		}
+	if h == nil {
+		return fallback, false
 	}
-	return fallback, false
+	return SelectorWithSourceEnv(h, key, env, fset, fallback)
 }

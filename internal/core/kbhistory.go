@@ -1,0 +1,87 @@
+package core
+
+import "nbctune/internal/kb"
+
+// KBHistory is the HistorySource backed by the shared tuning knowledge
+// base (cmd/tuned via kb.Client), with a local *History as both fallback
+// and write-through copy: lookups read through the daemon (the client
+// caches positives and TTLs confirmed misses), records go to the local
+// history immediately and to the daemon in coalesced async batches, and
+// when the daemon is unreachable everything degrades to the local history
+// — tuning never fails because the service is down.
+type KBHistory struct {
+	Client *kb.Client
+	Local  *History // never nil; NewKBHistory substitutes an empty one
+	Path   string   // optional: Flush persists Local here
+}
+
+// NewKBHistory wires a client to a local history (nil means an in-memory
+// scratch history) and installs the local side as the client's fallback,
+// so daemon outages are absorbed inside the client instead of surfacing as
+// errors on the tuning path.
+func NewKBHistory(client *kb.Client, local *History, path string) *KBHistory {
+	if local == nil {
+		local = NewHistory()
+	}
+	client.SetFallback(historyFallback{local})
+	return &KBHistory{Client: client, Local: local, Path: path}
+}
+
+// LookupEnv implements HistorySource: a daemon (or fallback) hit converts
+// to the same HistoryEntry a local lookup would produce, so the selector
+// built from it — and therefore every subsequent decision — is
+// byte-identical to the warm-local-history path.
+func (k *KBHistory) LookupEnv(key, env string) (HistoryEntry, bool) {
+	rec, ok, err := k.Client.Lookup(key, env)
+	if err != nil || !ok {
+		// err is only possible with no fallback installed; degrade to the
+		// local copy in that case too rather than dropping the lookup.
+		if err != nil {
+			return k.Local.LookupEnv(key, env)
+		}
+		return HistoryEntry{}, false
+	}
+	return HistoryEntry{Winner: rec.Winner, Score: rec.Score, Evals: rec.Evals, Env: rec.Env}, true
+}
+
+// Record implements HistorySource: write-through to the local history (so
+// the fallback stays warm and -history files keep working unchanged) and
+// queue for the daemon.
+func (k *KBHistory) Record(key string, e HistoryEntry) {
+	k.Local.Record(key, e)
+	k.Client.Record(kb.Record{Key: key, Env: e.Env, Winner: e.Winner, Score: e.Score, Evals: e.Evals})
+}
+
+// FellBack reports whether any operation had to degrade to the local
+// history because the daemon was unreachable.
+func (k *KBHistory) FellBack() bool { return k.Client.FellBack() }
+
+// Flush drains pending daemon uploads and, when a path is configured,
+// saves the local history file (atomically).
+func (k *KBHistory) Flush() error {
+	err := k.Client.Flush()
+	if k.Path != "" {
+		if saveErr := k.Local.Save(k.Path); err == nil {
+			err = saveErr
+		}
+	}
+	return err
+}
+
+// historyFallback adapts *History to kb.Fallback. History entries carry
+// their env inside the entry rather than in the key, so the adapter maps
+// between the two shapes.
+type historyFallback struct{ h *History }
+
+func (f historyFallback) Lookup(key, env string) (kb.Record, bool) {
+	e, ok := f.h.LookupEnv(key, env)
+	if !ok {
+		return kb.Record{}, false
+	}
+	return kb.Record{Key: key, Env: e.Env, Winner: e.Winner, Score: e.Score, Evals: e.Evals}, true
+}
+
+func (f historyFallback) Put(r kb.Record) bool {
+	f.h.Record(r.Key, HistoryEntry{Winner: r.Winner, Score: r.Score, Evals: r.Evals, Env: r.Env})
+	return true
+}

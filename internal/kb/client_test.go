@@ -1,0 +1,162 @@
+package kb
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientReadThroughCache: the second lookup of the same scenario must
+// be served from the client cache, not the daemon.
+func TestClientReadThroughCache(t *testing.T) {
+	st := NewStore(StoreOptions{})
+	st.Put(Record{Key: "k", Env: "e", Winner: "w", Score: 1})
+	var hits atomic.Int64
+	inner := NewHandler(st, HandlerOptions{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, ClientOptions{})
+	for i := 0; i < 5; i++ {
+		r, ok, err := c.Lookup("k", "e")
+		if err != nil || !ok || r.Winner != "w" {
+			t.Fatalf("lookup %d: %+v %v %v", i, r, ok, err)
+		}
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("daemon saw %d requests for 5 identical lookups, want 1", got)
+	}
+}
+
+// TestClientNegativeTTL: a confirmed miss is cached for NegativeTTL, then
+// the daemon is asked again.
+func TestClientNegativeTTL(t *testing.T) {
+	st := NewStore(StoreOptions{})
+	var hits atomic.Int64
+	inner := NewHandler(st, HandlerOptions{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, ClientOptions{NegativeTTL: time.Minute})
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		if _, ok, err := c.Lookup("missing", ""); ok || err != nil {
+			t.Fatalf("lookup: ok=%v err=%v", ok, err)
+		}
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("daemon saw %d requests inside the negative TTL, want 1", got)
+	}
+	// Another tuner records the scenario; after the TTL expires the client
+	// must see it.
+	st.Put(Record{Key: "missing", Winner: "late", Score: 1})
+	now = now.Add(2 * time.Minute)
+	r, ok, err := c.Lookup("missing", "")
+	if err != nil || !ok || r.Winner != "late" {
+		t.Fatalf("post-TTL lookup: %+v %v %v", r, ok, err)
+	}
+}
+
+// TestClientRetryBackoff: transient 5xx failures are retried and succeed
+// within the bounded attempt budget.
+func TestClientRetryBackoff(t *testing.T) {
+	st := NewStore(StoreOptions{})
+	st.Put(Record{Key: "k", Winner: "w", Score: 1})
+	var calls atomic.Int64
+	inner := NewHandler(st, HandlerOptions{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, ClientOptions{Retries: 3, Backoff: time.Millisecond})
+	r, ok, err := c.Lookup("k", "")
+	if err != nil || !ok || r.Winner != "w" {
+		t.Fatalf("lookup after transient failures: %+v %v %v", r, ok, err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("daemon saw %d attempts, want 3", calls.Load())
+	}
+
+	// Exhausted retries surface an error when no fallback is configured.
+	calls.Store(-1000)
+	c2 := NewClient(srv.URL, ClientOptions{Retries: 2, Backoff: time.Millisecond})
+	if _, _, err := c2.Lookup("k2", ""); err == nil {
+		t.Fatal("exhausted retries did not surface an error")
+	}
+}
+
+// TestClientFallback: with the daemon down, lookups and records degrade to
+// the local fallback without surfacing errors — tuning keeps working.
+func TestClientFallback(t *testing.T) {
+	local := NewStore(StoreOptions{})
+	local.Put(Record{Key: "k", Env: "e", Winner: "local", Score: 1})
+
+	// 127.0.0.1:1 refuses connections immediately.
+	c := NewClient("127.0.0.1:1", ClientOptions{Retries: 2, Backoff: time.Millisecond, Fallback: local})
+	r, ok, err := c.Lookup("k", "e")
+	if err != nil || !ok || r.Winner != "local" {
+		t.Fatalf("fallback lookup: %+v %v %v", r, ok, err)
+	}
+	if !c.FellBack() {
+		t.Fatal("FellBack not reported")
+	}
+
+	c.Record(Record{Key: "new", Winner: "n", Score: 2})
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush with fallback: %v", err)
+	}
+	if got, ok := local.Lookup("new", ""); !ok || got.Winner != "n" {
+		t.Fatal("failed record did not land in the fallback store")
+	}
+}
+
+// TestClientBatchedRecords: BatchSize pending records trigger one async
+// batch upload; Flush drains the remainder.
+func TestClientBatchedRecords(t *testing.T) {
+	st := NewStore(StoreOptions{})
+	var batches atomic.Int64
+	inner := NewHandler(st, HandlerOptions{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/batch" {
+			batches.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, ClientOptions{BatchSize: 10})
+	for i := 0; i < 25; i++ {
+		c.Record(Record{Key: "k" + string(rune('a'+i)), Winner: "w", Score: float64(i + 1)})
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 25 {
+		t.Fatalf("daemon stored %d records, want 25", st.Len())
+	}
+	if got := batches.Load(); got != 3 { // 10 + 10 async, 5 via Flush
+		t.Fatalf("daemon saw %d batch requests for 25 records, want 3", got)
+	}
+
+	// Recorded winners are served from the write-through cache without a
+	// daemon round-trip.
+	r, ok, err := c.Lookup("ka", "")
+	if err != nil || !ok || r.Winner != "w" {
+		t.Fatalf("write-through lookup: %+v %v %v", r, ok, err)
+	}
+}

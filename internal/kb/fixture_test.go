@@ -1,0 +1,94 @@
+package kb
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the committed fixture testdata from the generators")
+
+// goldenLookups is the committed transcript length: long enough to cover
+// every fixture record plus a spread of misses.
+const goldenLookups = 200
+
+func fixturePath() string  { return filepath.Join("testdata", "fixture.json") }
+func goldenPath() string   { return filepath.Join("testdata", "golden_lookups.json") }
+func marshal(v any) []byte { b, _ := json.MarshalIndent(v, "", "  "); return append(b, '\n') }
+
+// TestFixtureMatchesCommitted pins the generated fixture population to the
+// committed copy: a drift in the generator (or in math/rand/v2's PCG)
+// breaks loudly instead of silently invalidating the golden transcript.
+func TestFixtureMatchesCommitted(t *testing.T) {
+	recs := FixtureRecords()
+	if len(recs) != 50 {
+		t.Fatalf("fixture has %d records, want 50", len(recs))
+	}
+	if *update {
+		if err := os.WriteFile(fixturePath(), marshal(recs), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(fixturePath())
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	var committed []Record
+	if err := json.Unmarshal(data, &committed); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, committed) {
+		t.Fatal("FixtureRecords() differs from committed testdata/fixture.json (run with -update after an intentional change)")
+	}
+}
+
+// TestTranscriptMatchesCommitted pins the golden lookup transcript.
+func TestTranscriptMatchesCommitted(t *testing.T) {
+	ts := FixtureTranscript(goldenLookups)
+	hits := 0
+	for _, e := range ts {
+		if e.Found {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(ts) {
+		t.Fatalf("degenerate transcript: %d/%d hits — workload must mix hits and misses", hits, len(ts))
+	}
+	if *update {
+		if err := os.WriteFile(goldenPath(), marshal(ts), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(ts, loadGoldenTranscript(t)) {
+		t.Fatal("FixtureTranscript differs from committed testdata/golden_lookups.json (run with -update after an intentional change)")
+	}
+}
+
+func loadGoldenTranscript(t *testing.T) []TranscriptEntry {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	var ts []TranscriptEntry
+	if err := json.Unmarshal(data, &ts); err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+// TestFixtureQueriesStreamsDiffer: concurrent benchmark clients must not
+// replay identical sequences.
+func TestFixtureQueriesStreamsDiffer(t *testing.T) {
+	a := FixtureQueries(1, 50)
+	b := FixtureQueries(2, 50)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("streams 1 and 2 produced identical workloads")
+	}
+	if !reflect.DeepEqual(a, FixtureQueries(1, 50)) {
+		t.Fatal("stream 1 is not deterministic")
+	}
+}

@@ -1,0 +1,76 @@
+package kb
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCombinedKeyInjective pins satellite requirement: distinct (key, env)
+// pairs can never collide, even though both components use '|' internally.
+func TestCombinedKeyInjective(t *testing.T) {
+	pairs := [][2]string{
+		{"a|b", "c"},
+		{"a", "b|c"},
+		{"a|b|c", ""},
+		{"a|b", "|c"},
+		{"a", "|b|c"},
+		{"", "a|b|c"},
+		{"ialltoall|crill|np32|131072B", "torus3d|chaos=os-jitter#1"},
+		{"ialltoall|crill|np32|131072B|torus3d", "chaos=os-jitter#1"},
+		{"ialltoall|crill|np32", "131072B|torus3d|chaos=os-jitter#1"},
+		{"12:a", "b"},
+		{"1", "2:ab"},
+		{"", ""},
+	}
+	seen := make(map[string][2]string)
+	for _, p := range pairs {
+		ck := CombinedKey(p[0], p[1])
+		if prev, dup := seen[ck]; dup {
+			t.Fatalf("CombinedKey collision: (%q,%q) and (%q,%q) both map to %q",
+				prev[0], prev[1], p[0], p[1], ck)
+		}
+		seen[ck] = p
+	}
+}
+
+// TestCombinedKeyRecoverable proves injectivity constructively: the pair
+// can be decoded back out of the combined key.
+func TestCombinedKeyRecoverable(t *testing.T) {
+	decode := func(ck string) (key, env string) {
+		i := strings.IndexByte(ck, ':')
+		n := 0
+		for _, c := range ck[:i] {
+			n = n*10 + int(c-'0')
+		}
+		return ck[i+1 : i+1+n], ck[i+1+n:]
+	}
+	for _, p := range [][2]string{{"a|b", "c"}, {"", "x"}, {"k|k|k", "e|e"}, {"", ""}} {
+		k, e := decode(CombinedKey(p[0], p[1]))
+		if k != p[0] || e != p[1] {
+			t.Fatalf("decode(CombinedKey(%q,%q)) = (%q,%q)", p[0], p[1], k, e)
+		}
+	}
+}
+
+func TestSupersedes(t *testing.T) {
+	cases := []struct {
+		name     string
+		incoming float64
+		stored   float64
+		want     bool
+	}{
+		{"better score wins", 0.5, 1.0, true},
+		{"worse score loses", 1.0, 0.5, false},
+		{"equal scores: last writer wins", 1.0, 1.0, true},
+		{"unknown incoming score: last writer wins", 0, 1.0, true},
+		{"unknown stored score: last writer wins", 1.0, 0, true},
+		{"both unknown: last writer wins", 0, 0, true},
+	}
+	for _, c := range cases {
+		got := supersedes(Record{Score: c.incoming}, Record{Score: c.stored})
+		if got != c.want {
+			t.Errorf("%s: supersedes(score=%v over score=%v) = %v, want %v",
+				c.name, c.incoming, c.stored, got, c.want)
+		}
+	}
+}

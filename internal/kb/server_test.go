@@ -1,0 +1,179 @@
+package kb
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T, st *Store) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(st, HandlerOptions{}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServerEndpoints(t *testing.T) {
+	st := NewStore(StoreOptions{})
+	srv := newTestServer(t, st)
+
+	// healthz
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+
+	// record then lookup
+	var rr recordResponse
+	code := postJSON(t, srv.URL+"/v1/record", Record{Key: "k|a", Env: "e", Winner: "w", Score: 0.01, Evals: 6}, &rr)
+	if code != http.StatusOK || rr.Applied != 1 || rr.Total != 1 {
+		t.Fatalf("record: code=%d resp=%+v", code, rr)
+	}
+	var lr lookupResponse
+	getJSON(t, srv.URL+"/v1/lookup?key=k%7Ca&env=e", &lr)
+	if !lr.Found || lr.Record.Winner != "w" || lr.Record.Evals != 6 {
+		t.Fatalf("lookup after record: %+v", lr)
+	}
+	// miss answers found:false with 200 (the client's negative cache needs
+	// to tell a confirmed miss from a transport failure).
+	lr = lookupResponse{}
+	if code := getJSON(t, srv.URL+"/v1/lookup?key=nope", &lr); code != http.StatusOK || lr.Found {
+		t.Fatalf("miss: code=%d resp=%+v", code, lr)
+	}
+
+	// batch
+	rr = recordResponse{}
+	batch := batchRequest{Records: []Record{
+		{Key: "k|b", Winner: "x", Score: 1},
+		{Key: "k|b", Winner: "y", Score: 2}, // worse score: rejected
+		{Key: "k|c", Winner: "z"},
+	}}
+	postJSON(t, srv.URL+"/v1/batch", batch, &rr)
+	if rr.Applied != 2 || rr.Total != 3 {
+		t.Fatalf("batch: %+v", rr)
+	}
+
+	// stats
+	var stats Stats
+	getJSON(t, srv.URL+"/v1/stats", &stats)
+	if stats.Records != 3 || stats.Puts != 4 || stats.Rejected != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+
+	// malformed requests are 400s
+	if code := getJSON(t, srv.URL+"/v1/lookup", nil); code != http.StatusBadRequest {
+		t.Fatalf("lookup without key: %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/v1/record", Record{Env: "e"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("record without key/winner: %d", code)
+	}
+	resp, err = http.Post(srv.URL+"/v1/batch", "application/json", strings.NewReader(`{"records": [{`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated batch body: %d", resp.StatusCode)
+	}
+
+	// wrong method
+	resp, err = http.Post(srv.URL+"/v1/lookup?key=k", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST lookup: %d", resp.StatusCode)
+	}
+}
+
+// TestServerGoldenTranscript replays the committed golden workload over
+// real HTTP and requires byte-equivalent answers: service correctness is
+// pinned independently of the benchmark (satellite: fixture suite).
+func TestServerGoldenTranscript(t *testing.T) {
+	st := NewStore(StoreOptions{})
+	srv := newTestServer(t, st)
+
+	var rr recordResponse
+	postJSON(t, srv.URL+"/v1/batch", batchRequest{Records: FixtureRecords()}, &rr)
+	if rr.Applied != 50 || rr.Total != 50 {
+		t.Fatalf("fixture load: %+v", rr)
+	}
+
+	want := loadGoldenTranscript(t)
+	for i, q := range FixtureQueries(0, len(want)) {
+		url := srv.URL + "/v1/lookup?" + lookupQueryString(q)
+		var lr lookupResponse
+		getJSON(t, url, &lr)
+		got := TranscriptEntry{Key: q.Key, Env: q.Env, Found: lr.Found}
+		if lr.Found {
+			got.Winner = lr.Record.Winner
+		}
+		if got != want[i] {
+			t.Fatalf("transcript[%d]: got %+v, want %+v", i, got, want[i])
+		}
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	st := NewStore(StoreOptions{})
+	srv := httptest.NewServer(NewHandler(st, HandlerOptions{AccessLog: &buf}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	line := buf.String()
+	if !strings.Contains(line, "GET /healthz 200") {
+		t.Fatalf("access log line = %q", line)
+	}
+}
+
+func lookupQueryString(q LookupQuery) string {
+	v := url.Values{"key": {q.Key}}
+	if q.Env != "" {
+		v.Set("env", q.Env)
+	}
+	return v.Encode()
+}
