@@ -2,7 +2,7 @@
 # command: `make ci`.
 GO ?= go
 
-.PHONY: all build test vet race bench bench-kb benchsmoke benchguard allocguard chaos-smoke kb-smoke ci
+.PHONY: all build test vet race bench bench-kb benchsmoke benchguard allocguard chaos-smoke kb-smoke guideline-smoke ci
 
 all: ci
 
@@ -54,6 +54,19 @@ chaos-smoke:
 	$(GO) test -race -short -count 1 -run 'TestChaos' ./internal/bench
 	$(GO) test -race -count 1 ./internal/chaos/...
 
+# Performance-guideline gate: the guideline package's own tests (expression
+# evaluation, violation feedback loop, report determinism), then the smoke
+# matrix end-to-end through cmd/audit — the regenerated report must be
+# byte-identical to the committed results/guideline_report.json, and the
+# committed report must pass its self-consistency check (verdicts re-derived
+# from the stored samples).
+guideline-smoke:
+	$(GO) test -count 1 ./internal/guideline
+	$(GO) run ./cmd/audit -matrix smoke -quiet -cache -out results/.guideline_report.ci.json > /dev/null
+	cmp results/.guideline_report.ci.json results/guideline_report.json
+	rm -f results/.guideline_report.ci.json
+	$(GO) run ./cmd/audit -check results/guideline_report.json
+
 # Fail if engine throughput regresses >15% versus the committed baseline in
 # BENCH_sim.json (1s measurement for stability; regenerate the baseline with
 # -benchtime=2s on a quiet machine).
@@ -68,10 +81,11 @@ benchguard:
 	echo "benchguard: $$now ns/op within 15% of committed baseline $$base ns/op"
 	$(GO) run ./cmd/benchmpi -check BENCH_mpi.json -benchtime 500ms
 	$(GO) run ./cmd/kbbench -check BENCH_kb.json
+	$(GO) run ./cmd/audit -check results/guideline_report.json
 
 # Zero-allocation pins for the mpi/nbc steady state (matching cycles and a
 # full persistent-Ibcast iteration must stay at 0 allocs once pools are warm).
 allocguard:
 	$(GO) test -count 1 -run 'SteadyStateAllocs' ./internal/mpi ./internal/nbc
 
-ci: build vet test race chaos-smoke kb-smoke benchguard allocguard
+ci: build vet test race chaos-smoke kb-smoke guideline-smoke benchguard allocguard

@@ -1,0 +1,168 @@
+// Command audit runs the performance-guideline verification engine
+// (internal/guideline) over the tuned collectives: it sweeps a scenario
+// matrix, judges every shipped guideline with robust effect sizes, writes
+// the machine-readable report, and — via the violations→function-set
+// feedback loop — promotes the mock implementation behind every violated
+// dominance guideline into the operation's function set for a fresh,
+// audited tuning round.
+//
+// Scenarios execute on the experiment runner: -jobs parallelizes leaf
+// measurements, -cache persists them in the content-addressed store so
+// re-runs and interrupted matrices resume for free. The report is
+// byte-identical for every -jobs value and for cached versus fresh runs.
+//
+// Examples:
+//
+//	audit -matrix smoke -jobs 8 -cache      # the CI gate's matrix
+//	audit -matrix full -chaos congested
+//	audit -check results/guideline_report.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nbctune/internal/chaos/profiles"
+	"nbctune/internal/core"
+	"nbctune/internal/guideline"
+	"nbctune/internal/kb"
+	"nbctune/internal/platform"
+	"nbctune/internal/runner"
+)
+
+func main() {
+	var (
+		matrix    = flag.String("matrix", "smoke", "scenario matrix: smoke (CI-sized) or full (overnight)")
+		chaosStr  = flag.String("chaos", "off", "fault/noise injection profile for the smoke matrix: off, "+strings.Join(profiles.Names(), ", "))
+		chaosSd   = flag.Int64("chaos-seed", 1, "seed for the chaos injector's deterministic streams")
+		seed      = flag.Int64("seed", 42, "simulation seed for every scenario")
+		tol       = flag.Float64("tol", guideline.DefaultTol, "relative slack before a guideline loss counts")
+		minEffect = flag.Float64("min-effect", guideline.DefaultMinEffect, "minimum Cliff's-delta effect size for a violation")
+		noAdopt   = flag.Bool("no-adopt", false, "report violations without running the mock-promotion feedback loop")
+		out       = flag.String("out", "results/guideline_report.json", "machine-readable report path (empty disables)")
+		check     = flag.String("check", "", "validate an existing report (schema version + verdicts re-derived from its samples) and exit; no simulation")
+		jobs      = flag.Int("jobs", 0, "parallel measurement workers (0 = GOMAXPROCS, 1 = sequential)")
+		cacheOn   = flag.Bool("cache", false, "serve and persist leaf measurements via the content-addressed store")
+		cacheDir  = flag.String("cachedir", "results/cache", "result store directory")
+		resume    = flag.Bool("resume", false, "resume an interrupted matrix from the store (implies -cache)")
+		kbAddr    = flag.String("kb", "", "share every adopted registration's winner with a tuned knowledge-base daemon at this address")
+		quiet     = flag.Bool("quiet", false, "suppress per-measurement progress lines")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		rep, err := guideline.LoadFile(*check)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.Check(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: schema v%d, %d findings, %d violations, %d registrations — verdicts re-derived from samples, consistent\n",
+			*check, rep.SchemaVersion, len(rep.Findings), rep.Violations, len(rep.Registrations))
+		return
+	}
+
+	if _, err := profiles.ByName(*chaosStr); err != nil {
+		fatal(err)
+	}
+	chaosName := *chaosStr
+	if chaosName == "off" {
+		chaosName = "" // canonical clean spelling: leaves fingerprint identically to pre-chaos runs
+	}
+
+	var scenarios []guideline.Scenario
+	switch *matrix {
+	case "smoke":
+		scenarios = guideline.SmokeScenarios(*seed, chaosName, *chaosSd)
+	case "full":
+		scenarios = guideline.FullScenarios(*seed, *chaosSd)
+	default:
+		fatal(fmt.Errorf("unknown matrix %q (smoke, full)", *matrix))
+	}
+
+	cfg := guideline.Config{
+		Scenarios: scenarios,
+		Tol:       *tol,
+		MinEffect: *minEffect,
+		Adopt:     !*noAdopt,
+		Workers:   workers(*jobs),
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+	if *cacheOn || *resume {
+		c, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Cache = c
+	}
+
+	rep, err := guideline.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Summary(os.Stdout)
+
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *out)
+	}
+	if *kbAddr != "" {
+		shareKB(*kbAddr, rep, os.Stderr)
+	}
+}
+
+// workers maps the -jobs convention of the other drivers (0 = GOMAXPROCS,
+// 1 = sequential) onto runner.Options.Workers (<= 0 = GOMAXPROCS).
+func workers(jobs int) int {
+	if jobs == 0 {
+		return -1
+	}
+	return jobs
+}
+
+// shareKB publishes every adopted registration's winner to the tuned
+// knowledge-base daemon, keyed by the same (HistoryKey, EnvFingerprint)
+// pair cmd/tune -kb looks up — a mock adopted here becomes a warm-start
+// candidate for later tuning sessions on the same scenario.
+func shareKB(addr string, rep *guideline.Report, diag io.Writer) {
+	var records []kb.Record
+	for _, reg := range rep.Registrations {
+		if !reg.Adopted {
+			continue
+		}
+		pl, err := platform.ByName(reg.Scenario.Platform)
+		if err != nil {
+			continue
+		}
+		topo := pl.Net.Topology.String()
+		if topo == "flat" {
+			topo = "" // mirror cmd/tune's history gating: flat is the clean empty tag
+		}
+		records = append(records, kb.Record{
+			Key:    core.HistoryKey(reg.Op, reg.Scenario.Platform, reg.Scenario.Procs, reg.Scenario.Size),
+			Env:    core.EnvFingerprint(topo, reg.Scenario.Chaos, reg.Scenario.ChaosSeed),
+			Winner: reg.Chosen,
+			Evals:  reg.Evals,
+		})
+	}
+	c := kb.NewClient(addr, kb.ClientOptions{})
+	c.RecordBatch(records)
+	if err := c.Flush(); err != nil {
+		fmt.Fprintf(diag, "audit: kb daemon %s unreachable, registrations not shared: %v\n", addr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(diag, "%d adopted winners shared with kb %s\n", len(records), addr)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

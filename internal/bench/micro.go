@@ -56,6 +56,11 @@ type MicroSpec struct {
 	// (and cache) identically to specs that predate the chaos layer.
 	Chaos     string `json:",omitempty"`
 	ChaosSeed int64  `json:",omitempty"`
+	// Mocks extends the op's function set with the named guideline mocks
+	// (core mock catalog), the programmatic form of the guideline engine's
+	// violations→function-set feedback loop. Omitempty: mock-free specs
+	// fingerprint identically to specs that predate the guideline layer.
+	Mocks []string `json:",omitempty"`
 }
 
 // Ops supported by the micro-benchmark.
@@ -78,6 +83,15 @@ func (s MicroSpec) validate() error {
 	}
 	if s.Op != OpIalltoall && s.Op != OpIbcast {
 		return fmt.Errorf("bench: unknown op %q", s.Op)
+	}
+	for _, m := range s.Mocks {
+		def, ok := core.MockByName(m)
+		if !ok {
+			return fmt.Errorf("bench: unknown mock %q", m)
+		}
+		if def.Op != s.Op {
+			return fmt.Errorf("bench: mock %q extends %q sets, not %q", m, def.Op, s.Op)
+		}
 	}
 	return nil
 }
@@ -126,7 +140,10 @@ func (s MicroSpec) functionSetData(c *mpi.Comm) (*core.FunctionSet, func(), func
 	case OpIalltoall:
 		send := s.payload(n * s.MsgSize)
 		recv := s.payload(n * s.MsgSize)
-		fs := core.IalltoallSet(c, send, recv, false)
+		fs, err := core.IalltoallSetWith(c, send, recv, false, s.Mocks)
+		if err != nil {
+			panic(err) // unreachable: validate() vets mock names
+		}
 		if !s.Data {
 			return fs, nil, nil
 		}
@@ -152,7 +169,10 @@ func (s MicroSpec) functionSetData(c *mpi.Comm) (*core.FunctionSet, func(), func
 		return fs, init, check
 	case OpIbcast:
 		buf := s.payload(s.MsgSize)
-		fs := core.IbcastSet(c, 0, buf)
+		fs, err := core.IbcastSetWith(c, 0, buf, s.Mocks)
+		if err != nil {
+			panic(err) // unreachable: validate() vets mock names
+		}
 		if !s.Data {
 			return fs, nil, nil
 		}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+
+	"nbctune/internal/core"
+)
+
+// MicroSpec.Mocks is the benchmark harness's entry into the guideline
+// feedback loop: a spec can run the micro-benchmark on a mock-extended
+// function set, the same extension a violated guideline registers.
+
+func TestMicroSpecMocksExtendSet(t *testing.T) {
+	spec := smallSpec(t)
+	spec.Op = OpIbcast
+	base := spec.FunctionNames()
+	spec.Mocks = []string{core.MockIbcastScatterAllgather}
+	ext := spec.FunctionNames()
+	if len(ext) != len(base)+1 || ext[len(ext)-1] != core.MockIbcastScatterAllgather {
+		t.Fatalf("mock-extended names = %v", ext)
+	}
+
+	// The mock is runnable under the full benchmark loop with real payloads
+	// and per-iteration data verification (broadcast semantics hold).
+	spec.Data = true
+	spec.Iterations = 4
+	r, err := RunFixed(spec, len(ext)-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Winner != core.MockIbcastScatterAllgather || r.Total <= 0 {
+		t.Fatalf("mock run = %+v", r)
+	}
+}
+
+func TestMicroSpecMocksValidated(t *testing.T) {
+	spec := smallSpec(t)
+	spec.Op = OpIbcast
+	spec.Mocks = []string{"no-such-mock"}
+	if _, err := RunADCL(spec, "brute-force"); err == nil {
+		t.Fatal("unknown mock name accepted")
+	}
+	spec.Mocks = []string{core.MockIalltoallSplit} // wrong operation
+	if _, err := RunADCL(spec, "brute-force"); err == nil {
+		t.Fatal("mock for a different operation accepted")
+	}
+}

@@ -19,6 +19,16 @@ const AlltoallBlocking = 3
 // (virtual or real) from root on comm. Schedules are compiled once and
 // reused per execution (persistent request semantics).
 func IbcastSet(c *mpi.Comm, root int, buf mpi.Buf) *FunctionSet {
+	fs, err := IbcastSetWith(c, root, buf, nil)
+	if err != nil {
+		panic(err) // unreachable: no mocks requested
+	}
+	return fs
+}
+
+// IbcastSetWith is IbcastSet extended with the named guideline mocks
+// (mocks.go); an empty mock list yields the identical pre-guideline set.
+func IbcastSetWith(c *mpi.Comm, root int, buf mpi.Buf, mocks []string) (*FunctionSet, error) {
 	n, me := c.Size(), c.Rank()
 	fanouts := nbc.DefaultFanouts
 	segs := nbc.DefaultSegSizes
@@ -40,7 +50,10 @@ func IbcastSet(c *mpi.Comm, root int, buf mpi.Buf) *FunctionSet {
 			})
 		}
 	}
-	return fs
+	if err := appendMocks(fs, "ibcast", mocks, MockEnv{Comm: c, Root: root, Buf: buf}); err != nil {
+		return nil, err
+	}
+	return fs, nil
 }
 
 // IalltoallSet builds the paper's Ialltoall function set exchanging
@@ -49,6 +62,16 @@ func IbcastSet(c *mpi.Comm, root int, buf mpi.Buf) *FunctionSet {
 // modified function set of §IV-B-f that lets ADCL decide at runtime whether
 // a code region benefits from a non-blocking operation at all.
 func IalltoallSet(c *mpi.Comm, send, recv mpi.Buf, includeBlocking bool) *FunctionSet {
+	fs, err := IalltoallSetWith(c, send, recv, includeBlocking, nil)
+	if err != nil {
+		panic(err) // unreachable: no mocks requested
+	}
+	return fs
+}
+
+// IalltoallSetWith is IalltoallSet extended with the named guideline mocks
+// (mocks.go); an empty mock list yields the identical pre-guideline set.
+func IalltoallSetWith(c *mpi.Comm, send, recv mpi.Buf, includeBlocking bool, mocks []string) (*FunctionSet, error) {
 	n, me := c.Size(), c.Rank()
 	algoVals := []int{int(nbc.AlgoLinear), int(nbc.AlgoBruck), int(nbc.AlgoPairwise)}
 	if includeBlocking {
@@ -83,7 +106,10 @@ func IalltoallSet(c *mpi.Comm, send, recv mpi.Buf, includeBlocking bool) *Functi
 			},
 		})
 	}
-	return fs
+	if err := appendMocks(fs, "ialltoall", mocks, MockEnv{Comm: c, Send: send, Recv: recv}); err != nil {
+		return nil, err
+	}
+	return fs, nil
 }
 
 // Primitive attribute values for IalltoallPrimitivesSet.
@@ -131,6 +157,17 @@ func IalltoallPrimitivesSet(c *mpi.Comm, send, recv mpi.Buf) *FunctionSet {
 
 // IallgatherSet builds a function set over the two Iallgather algorithms.
 func IallgatherSet(c *mpi.Comm, send, recv mpi.Buf) *FunctionSet {
+	fs, err := IallgatherSetWith(c, send, recv, nil)
+	if err != nil {
+		panic(err) // unreachable: no mocks requested
+	}
+	return fs
+}
+
+// IallgatherSetWith is IallgatherSet extended with the named guideline
+// mocks (mocks.go); an empty mock list yields the identical pre-guideline
+// set.
+func IallgatherSetWith(c *mpi.Comm, send, recv mpi.Buf, mocks []string) (*FunctionSet, error) {
 	n, me := c.Size(), c.Rank()
 	fs := &FunctionSet{
 		Name: "iallgather",
@@ -147,7 +184,10 @@ func IallgatherSet(c *mpi.Comm, send, recv mpi.Buf) *FunctionSet {
 			Start: func() Started { return nbc.Start(c, sched) },
 		})
 	}
-	return fs
+	if err := appendMocks(fs, "iallgather", mocks, MockEnv{Comm: c, Send: send, Recv: recv}); err != nil {
+		return nil, err
+	}
+	return fs, nil
 }
 
 // IreduceSet builds a function set over the Ireduce algorithms.

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nbctune/internal/mpi"
+	"nbctune/internal/nbc"
+)
+
+// Guideline-promoted mock implementations. The guideline engine
+// (internal/guideline) checks the tuned function sets against composed
+// "mock" algorithms — a broadcast built from scatter+allgather, a split
+// alltoall, an allgather built from gather+bcast. When a guideline is
+// violated (the tuned table robustly loses to the mock), the mock is
+// promoted into the operation's function set so the ADCL selector can pick
+// it on the next tuning round. This file is the registration seam: a
+// catalog of named mock builders, and With-variants of the built-in set
+// constructors that append the named mocks.
+//
+// Mock functions carry the sentinel attribute vector (MockAttrValue in
+// every dimension): they are deliberately *uncharacterized* — a composed
+// algorithm has no tree fan-out or segment size — so the attribute-driven
+// selectors exempt them from slicing and pruning and carry them into the
+// final brute-force comparison (selector.go). Sets built without mocks are
+// byte-identical to their pre-guideline shape.
+
+// MockAttrValue is the attribute value marking a function as an
+// uncharacterized guideline mock. It is outside every real attribute range
+// (fan-outs, segment sizes, algorithm enums are all small).
+const MockAttrValue = -1 << 20
+
+// IsMockFn reports whether f is a guideline-promoted mock: a non-empty
+// attribute vector holding MockAttrValue in every dimension.
+func IsMockFn(f *Function) bool {
+	if len(f.Attrs) == 0 {
+		return false
+	}
+	for _, v := range f.Attrs {
+		if v != MockAttrValue {
+			return false
+		}
+	}
+	return true
+}
+
+// MockEnv carries the per-rank context a mock builder needs: the
+// communicator plus the operation's buffers. Only the fields meaningful
+// for the mock's operation are set (Buf for ibcast, Send/Recv for
+// ialltoall and iallgather).
+type MockEnv struct {
+	Comm *mpi.Comm
+	Root int
+	Buf  mpi.Buf // ibcast payload
+	Send mpi.Buf
+	Recv mpi.Buf
+}
+
+// MockDef describes one registrable mock implementation: the operation
+// whose function set it extends, its unique name, and the builder that
+// compiles it for one rank. Provenance records which guideline promoted it
+// (empty for catalog entries that were never promoted).
+type MockDef struct {
+	Op         string
+	Name       string
+	Provenance string
+	Build      func(env MockEnv) func() Started
+}
+
+// mockCatalog is the static vocabulary of composed mocks the guideline
+// engine knows how to build, keyed by name. Guarded by mockMu only for the
+// Provenance updates of RecordMockProvenance; the set of entries is fixed
+// at init.
+var (
+	mockMu      sync.Mutex
+	mockCatalog = map[string]*MockDef{
+		MockIbcastScatterAllgather: {
+			Op:   "ibcast",
+			Name: MockIbcastScatterAllgather,
+			Build: func(env MockEnv) func() Started {
+				n, me := env.Comm.Size(), env.Comm.Rank()
+				sched := nbc.MockBcastScatterAllgather(n, me, env.Root, env.Buf)
+				c := env.Comm
+				return func() Started { return nbc.Start(c, sched) }
+			},
+		},
+		MockIallgatherGatherBcast: {
+			Op:   "iallgather",
+			Name: MockIallgatherGatherBcast,
+			Build: func(env MockEnv) func() Started {
+				n, me := env.Comm.Size(), env.Comm.Rank()
+				sched := nbc.MockAllgatherGatherBcast(n, me, env.Send, env.Recv)
+				c := env.Comm
+				return func() Started { return nbc.Start(c, sched) }
+			},
+		},
+		MockIalltoallSplit: {
+			Op:   "ialltoall",
+			Name: MockIalltoallSplit,
+			Build: func(env MockEnv) func() Started {
+				n, me := env.Comm.Size(), env.Comm.Rank()
+				sched := nbc.MockAlltoallSplit(n, me, env.Send, env.Recv)
+				c := env.Comm
+				return func() Started { return nbc.Start(c, sched) }
+			},
+		},
+	}
+)
+
+// Names of the catalog mocks, usable in bench.MicroSpec.Mocks and the
+// *SetWith constructors.
+const (
+	MockIbcastScatterAllgather = "mock-ibcast-scatter-allgather"
+	MockIallgatherGatherBcast  = "mock-iallgather-gather-bcast"
+	MockIalltoallSplit         = "mock-ialltoall-split2"
+)
+
+// MockByName returns the catalog entry for a mock name.
+func MockByName(name string) (MockDef, bool) {
+	mockMu.Lock()
+	defer mockMu.Unlock()
+	d, ok := mockCatalog[name]
+	if !ok {
+		return MockDef{}, false
+	}
+	return *d, true
+}
+
+// MockNames returns the sorted names of every catalog mock.
+func MockNames() []string {
+	mockMu.Lock()
+	defer mockMu.Unlock()
+	out := make([]string, 0, len(mockCatalog))
+	for n := range mockCatalog {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RecordMockProvenance stamps the guideline that promoted a mock onto its
+// catalog entry (the audit trail cmd/audit reports alongside the
+// registration). Unknown names are ignored.
+func RecordMockProvenance(name, provenance string) {
+	mockMu.Lock()
+	defer mockMu.Unlock()
+	if d, ok := mockCatalog[name]; ok {
+		d.Provenance = provenance
+	}
+}
+
+// appendMocks extends fs with the named catalog mocks for op: each
+// attribute's value range gains the MockAttrValue sentinel and each mock
+// joins with the all-sentinel attribute vector. Mock names are sorted so
+// the extended set's function order is deterministic regardless of caller
+// order. Unknown names and mocks for a different op are errors — a
+// violated guideline must never silently fail to register its mock.
+func appendMocks(fs *FunctionSet, op string, mocks []string, env MockEnv) error {
+	if len(mocks) == 0 {
+		return nil
+	}
+	sorted := append([]string(nil), mocks...)
+	sort.Strings(sorted)
+	if fs.AttrSet != nil {
+		for i := range fs.AttrSet.Attrs {
+			fs.AttrSet.Attrs[i].Values = append(fs.AttrSet.Attrs[i].Values, MockAttrValue)
+		}
+	}
+	for _, name := range sorted {
+		def, ok := MockByName(name)
+		if !ok {
+			return fmt.Errorf("adcl: unknown mock %q (have %v)", name, MockNames())
+		}
+		if def.Op != op {
+			return fmt.Errorf("adcl: mock %q extends %q sets, not %q", name, def.Op, op)
+		}
+		attrs := []int(nil)
+		if fs.AttrSet != nil {
+			attrs = make([]int, len(fs.AttrSet.Attrs))
+			for i := range attrs {
+				attrs[i] = MockAttrValue
+			}
+		}
+		fs.Fns = append(fs.Fns, &Function{Name: def.Name, Attrs: attrs, Start: def.Build(env)})
+	}
+	return nil
+}

@@ -187,11 +187,16 @@ func NewAttrHeuristic(fs *FunctionSet, evalsPerFn int) Selector {
 
 // buildSlice collects, for the current attribute, one candidate per distinct
 // value: implementations equal to remaining[0] in every other attribute.
+// Guideline mocks (all-sentinel attribute vectors) never slice — they are
+// uncharacterized, so no attribute dimension describes them.
 func (h *AttrHeuristic) buildSlice() []int {
 	base := h.fns[h.remaining[0]]
 	var out []int
 	for _, i := range h.remaining {
 		f := h.fns[i]
+		if IsMockFn(f) {
+			continue
+		}
 		ok := true
 		for a := range f.Attrs {
 			if a != h.attr && f.Attrs[a] != base.Attrs[a] {
@@ -206,11 +211,24 @@ func (h *AttrHeuristic) buildSlice() []int {
 	return out
 }
 
+// realCands filters guideline mocks out of a candidate list; attribute
+// slicing, factor extraction, and pruning reason only over characterized
+// implementations.
+func realCands(fns []*Function, cands []int) []int {
+	out := make([]int, 0, len(cands))
+	for _, i := range cands {
+		if !IsMockFn(fns[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // advancePhase moves to the next attribute with at least two live values,
 // or finishes.
 func (h *AttrHeuristic) advancePhase() {
 	for h.attr < len(h.attrs.Attrs) {
-		if len(distinctValues(h.fns, h.remaining, h.attr)) >= 2 {
+		if len(distinctValues(h.fns, realCands(h.fns, h.remaining), h.attr)) >= 2 {
 			sl := h.buildSlice()
 			if len(sl) >= 2 {
 				h.slice = sl
@@ -268,13 +286,15 @@ func (h *AttrHeuristic) Record(fn int, t float64) {
 	if h.seq < h.evals*len(h.slice) {
 		return
 	}
-	// Decide the optimal value for this attribute and prune.
+	// Decide the optimal value for this attribute and prune. Guideline mocks
+	// are exempt: no attribute describes them, so no attribute decision can
+	// eliminate them — they ride through to the final brute force.
 	auditEstimates(h.audit, &h.store, h.slice)
 	best := h.store.argmin(h.slice)
 	bestVal := h.fns[best].Attrs[h.attr]
 	var kept, removed []int
 	for _, i := range h.remaining {
-		if h.fns[i].Attrs[h.attr] == bestVal {
+		if h.fns[i].Attrs[h.attr] == bestVal || IsMockFn(h.fns[i]) {
 			kept = append(kept, i)
 		} else {
 			removed = append(removed, i)
@@ -351,8 +371,10 @@ func NewFactorial2K(fs *FunctionSet, evalsPerFn int, thresholdFrac float64) Sele
 		all[i] = i
 	}
 	f := &Factorial2K{fns: fs.Fns, evals: evalsPerFn, thresholdFrac: thresholdFrac, store: newMeasStore()}
+	// Factor extremes come from characterized implementations only; mocks'
+	// sentinel attributes are not levels of any real design factor.
 	for a := range fs.AttrSet.Attrs {
-		vals := distinctValues(fs.Fns, all, a)
+		vals := distinctValues(fs.Fns, realCands(fs.Fns, all), a)
 		if len(vals) >= 2 {
 			f.factors = append(f.factors, a)
 			f.lows = append(f.lows, vals[0])
@@ -452,7 +474,9 @@ func (f *Factorial2K) Record(fn int, t float64) {
 				break
 			}
 		}
-		if ok {
+		// Guideline mocks survive the corner screen unconditionally: the
+		// factorial design screens attribute levels, and mocks have none.
+		if ok || IsMockFn(fnc) {
 			survivors = append(survivors, i)
 		} else {
 			removed = append(removed, i)

@@ -1,0 +1,180 @@
+package guideline
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"nbctune/internal/core"
+)
+
+func TestExprValidateOneOf(t *testing.T) {
+	for _, bad := range []Expr{
+		{},
+		{Term: "ibcast", Mock: core.MockIbcastScatterAllgather},
+		{Term: "ibcast", Seq: []Expr{{Term: "ireduce"}}},
+		{Mock: "no-such-mock"},
+		{Seq: []Expr{{}}},
+	} {
+		if err := bad.validate(); err == nil {
+			t.Errorf("expression %+v accepted", bad)
+		}
+	}
+	for _, good := range []Expr{
+		{Term: "ibcast"},
+		{Term: "ibcast", Scale: 2},
+		{Mock: core.MockIalltoallSplit},
+		{Seq: []Expr{{Term: "ireduce"}, {Term: "ibcast", Scale: 8}}},
+	} {
+		if err := good.validate(); err != nil {
+			t.Errorf("expression %+v rejected: %v", good, err)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := Expr{Seq: []Expr{{Term: "ireduce"}, {Term: "ibcast", Scale: 2}}}
+	if got := e.String(); got != "ireduce + ibcast[x2]" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestDefaultsValidate(t *testing.T) {
+	seen := map[string]bool{}
+	for _, g := range Defaults() {
+		if err := g.Validate(); err != nil {
+			t.Error(err)
+		}
+		if seen[g.Name] {
+			t.Errorf("duplicate guideline name %q", g.Name)
+		}
+		seen[g.Name] = true
+	}
+}
+
+func TestPromotesMock(t *testing.T) {
+	cases := map[string]string{
+		"ibcast-vs-scatter-allgather": core.MockIbcastScatterAllgather,
+		"iallgather-vs-gather-bcast":  core.MockIallgatherGatherBcast,
+		"ialltoall-split-robustness":  core.MockIalltoallSplit,
+		"ibcast-monotonic-size":       "",
+		"ialltoall-monotonic-size":    "",
+		"iallreduce-vs-reduce-bcast":  "",
+	}
+	for _, g := range Defaults() {
+		want, ok := cases[g.Name]
+		if !ok {
+			t.Fatalf("no expectation for guideline %q", g.Name)
+		}
+		if got := g.PromotesMock(); got != want {
+			t.Errorf("%s: PromotesMock() = %q, want %q", g.Name, got, want)
+		}
+	}
+}
+
+// TestJudgeFixtures: constructed sample vectors with known verdicts.
+func TestJudgeFixtures(t *testing.T) {
+	slow := []float64{10, 10.1, 9.9, 10.2, 10}
+	fast := []float64{8, 8.1, 7.9, 8.2, 8}
+
+	// Clear loss: left robustly slower by 25% -> violated.
+	if v := Judge(slow, fast, DefaultTol, DefaultMinEffect); !v.Violated {
+		t.Fatalf("clear loss not flagged: %+v", v)
+	}
+	// Other direction: left faster -> never violated.
+	if v := Judge(fast, slow, DefaultTol, DefaultMinEffect); v.Violated {
+		t.Fatalf("win flagged as violation: %+v", v)
+	}
+	// Sub-tolerance gap: 3% slower with full separation -> effect huge but
+	// score gate holds.
+	within := []float64{8.24, 8.25, 8.23, 8.26, 8.24}
+	if v := Judge(within, fast, DefaultTol, DefaultMinEffect); v.Violated {
+		t.Fatalf("sub-tolerance gap flagged: %+v", v)
+	}
+	// Large score gap carried by a single outlier repetition: the robust
+	// score ignores it, no violation.
+	spiky := []float64{8, 8.1, 7.9, 8.2, 80}
+	if v := Judge(spiky, fast, DefaultTol, DefaultMinEffect); v.Violated {
+		t.Fatalf("outlier-driven gap flagged: %+v", v)
+	}
+	// Overlapping distributions with slightly higher mean: effect-size gate
+	// holds even when the score gap clears tolerance.
+	overlapL := []float64{9, 12, 8, 13, 10}
+	overlapR := []float64{11, 8, 12, 7, 10}
+	if v := Judge(overlapL, overlapR, 0.0, DefaultMinEffect); v.Violated {
+		t.Fatalf("overlapping distributions flagged: %+v", v)
+	}
+}
+
+// stubLookup serves canned samples per leaf for expression evaluation tests.
+func stubLookup(t *testing.T, m map[Leaf][]float64) func(Leaf) ([]float64, error) {
+	return func(l Leaf) ([]float64, error) {
+		s, ok := m[l]
+		if !ok {
+			t.Fatalf("unexpected leaf lookup %+v", l)
+		}
+		return s, nil
+	}
+}
+
+func TestEvalExprLeaves(t *testing.T) {
+	sc := Scenario{Op: "ibcast", Size: 1024}
+	m := map[Leaf][]float64{
+		{Op: "ibcast", Size: 1024}:                                        {1, 2, 3},
+		{Op: "ibcast", Size: 2048}:                                        {4, 5, 6},
+		{Op: "ibcast", Mock: core.MockIbcastScatterAllgather, Size: 1024}: {7, 8, 9},
+	}
+	for _, c := range []struct {
+		e    Expr
+		want []float64
+	}{
+		{Expr{Term: "ibcast"}, []float64{1, 2, 3}},
+		{Expr{Term: "ibcast", Scale: 2}, []float64{4, 5, 6}},
+		{Expr{Mock: core.MockIbcastScatterAllgather}, []float64{7, 8, 9}},
+	} {
+		got, err := evalExpr(c.e, sc, stubLookup(t, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Fatalf("%s: got %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+// TestEvalExprSeqSums: sequential composition adds per-repetition samples
+// elementwise, truncating to the shortest part.
+func TestEvalExprSeqSums(t *testing.T) {
+	sc := Scenario{Op: "iallreduce", Size: 64}
+	m := map[Leaf][]float64{
+		{Op: "ireduce", Size: 64}: {1, 2, 3},
+		{Op: "ibcast", Size: 64}:  {10, 20},
+	}
+	got, err := evalExpr(Expr{Seq: []Expr{{Term: "ireduce"}, {Term: "ibcast"}}}, sc, stubLookup(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint([]float64{11, 22}) {
+		t.Fatalf("seq sum = %v, want [11 22]", got)
+	}
+}
+
+func TestLeavesOfDedup(t *testing.T) {
+	sc := Scenario{Op: "x", Size: 10}
+	e := Expr{Seq: []Expr{{Term: "a"}, {Term: "b"}, {Term: "a"}}}
+	ls := leavesOf(e, sc, nil)
+	if len(ls) != 2 || ls[0] != (Leaf{Op: "a", Size: 10}) || ls[1] != (Leaf{Op: "b", Size: 10}) {
+		t.Fatalf("leaves = %+v", ls)
+	}
+}
+
+// TestJudgeNaNSafety: degenerate sample vectors must not produce a verdict.
+func TestJudgeNaNSafety(t *testing.T) {
+	v := Judge(nil, nil, DefaultTol, DefaultMinEffect)
+	if v.Violated {
+		t.Fatalf("empty samples flagged: %+v", v)
+	}
+	if !math.IsNaN(v.CliffDelta) {
+		t.Fatalf("empty-sample delta = %g, want NaN", v.CliffDelta)
+	}
+}

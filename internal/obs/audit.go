@@ -32,6 +32,10 @@ const (
 	// AuditRetune: a re-opened tuning round committed a (possibly new)
 	// winner.
 	AuditRetune = "retune"
+	// AuditMock: a guideline-promoted composed mock implementation joined
+	// the candidate set; Detail carries the violated guideline and scenario
+	// that promoted it (the feedback-loop provenance trail).
+	AuditMock = "mock"
 )
 
 // AuditEvent is one entry of the selection log. Fn is a function index into
@@ -122,6 +126,16 @@ func (a *Audit) Retune(winner int, evals int) {
 		return
 	}
 	a.add(AuditEvent{Kind: AuditRetune, Fn: winner, Value: float64(evals), Detail: "evals"})
+}
+
+// Mock logs the promotion of a guideline mock into the candidate set before
+// tuning starts; detail names the violated guideline and scenario, so the
+// provenance of every mock candidate is readable from the audit alone.
+func (a *Audit) Mock(fn int, detail string) {
+	if a == nil {
+		return
+	}
+	a.add(AuditEvent{Kind: AuditMock, Fn: fn, Detail: detail})
 }
 
 // Count returns the number of logged events of the given kind.

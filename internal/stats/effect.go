@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Robust two-sample effect sizes for the guideline verification engine
+// (internal/guideline): guidelines are judged on whether one measurement
+// vector is *stochastically* larger than another, not on a bare difference
+// of means — a single OS-noise spike must not flip a verdict. Like the rest
+// of the package, every function here is pure and deterministic and never
+// mutates its inputs.
+
+// CliffDelta returns Cliff's delta of a versus b: the probability that a
+// sample from a exceeds one from b, minus the reverse, over all pairs.
+// The result lies in [-1, 1]; positive means a tends to be larger (for
+// timing vectors: a is slower), 0 means no stochastic ordering, and the
+// magnitude is a distribution-free effect size immune to outliers. Returns
+// NaN when either input is empty.
+func CliffDelta(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.NaN()
+	}
+	gt, lt := 0, 0
+	for _, x := range a {
+		for _, y := range b {
+			switch {
+			case x > y:
+				gt++
+			case x < y:
+				lt++
+			}
+		}
+	}
+	return float64(gt-lt) / float64(len(a)*len(b))
+}
+
+// HodgesLehmann returns the Hodges-Lehmann shift estimate of a relative to
+// b: the median of all pairwise differences a_i - b_j. It is the robust
+// analogue of mean(a) - mean(b) — up to ~29% of either sample may be
+// corrupted without moving it arbitrarily. Returns NaN when either input is
+// empty.
+func HodgesLehmann(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.NaN()
+	}
+	diffs := make([]float64, 0, len(a)*len(b))
+	for _, x := range a {
+		for _, y := range b {
+			diffs = append(diffs, x-y)
+		}
+	}
+	sort.Float64s(diffs)
+	n := len(diffs)
+	if n%2 == 1 {
+		return diffs[n/2]
+	}
+	return (diffs[n/2-1] + diffs[n/2]) / 2
+}
+
+// RelativeShift returns the Hodges-Lehmann shift of a relative to b,
+// normalized by b's robust score: how much slower (positive) or faster
+// (negative) a is than b, as a fraction. Returns NaN when either input is
+// empty or b's robust score is zero.
+func RelativeShift(a, b []float64) float64 {
+	base := RobustScore(b)
+	if base == 0 || math.IsNaN(base) {
+		return math.NaN()
+	}
+	return HodgesLehmann(a, b) / base
+}

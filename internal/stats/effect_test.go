@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCliffDelta(t *testing.T) {
+	a := []float64{3, 4, 5}
+	b := []float64{1, 2, 2.5}
+	if d := CliffDelta(a, b); d != 1 {
+		t.Fatalf("fully separated samples: delta = %v, want 1", d)
+	}
+	if d := CliffDelta(b, a); d != -1 {
+		t.Fatalf("reversed: delta = %v, want -1", d)
+	}
+	if d := CliffDelta(a, a); d != 0 {
+		t.Fatalf("identical samples: delta = %v, want 0", d)
+	}
+	if !math.IsNaN(CliffDelta(nil, a)) || !math.IsNaN(CliffDelta(a, nil)) {
+		t.Fatalf("empty input must yield NaN")
+	}
+	// Overlapping: 2 of 4 pairs have a>b, 1 has a<b, 1 tie -> (2-1)/4.
+	if d := CliffDelta([]float64{1, 3}, []float64{1, 2}); d != 0.25 {
+		t.Fatalf("overlap: delta = %v, want 0.25", d)
+	}
+}
+
+func TestCliffDeltaOutlierImmunity(t *testing.T) {
+	// a is consistently slower; one huge outlier in b must not flip the sign.
+	a := []float64{10, 11, 12, 10.5, 11.5}
+	b := []float64{5, 6, 5.5, 6.5, 1000}
+	if d := CliffDelta(a, b); d <= 0.5 {
+		t.Fatalf("outlier flipped the effect: delta = %v", d)
+	}
+}
+
+func TestHodgesLehmann(t *testing.T) {
+	a := []float64{11, 12, 13}
+	b := []float64{1, 2, 3}
+	if hl := HodgesLehmann(a, b); hl != 10 {
+		t.Fatalf("shift = %v, want 10", hl)
+	}
+	if hl := HodgesLehmann(b, b); hl != 0 {
+		t.Fatalf("self shift = %v, want 0", hl)
+	}
+	if !math.IsNaN(HodgesLehmann(nil, b)) {
+		t.Fatalf("empty input must yield NaN")
+	}
+	// Robust to one corrupted sample: the median of pairwise diffs ignores it.
+	ac := []float64{11, 12, 13, 1e6}
+	if hl := HodgesLehmann(ac, b); hl > 12 || hl < 9 {
+		t.Fatalf("corrupted sample moved the shift to %v", hl)
+	}
+}
+
+func TestRelativeShift(t *testing.T) {
+	a := []float64{2, 2, 2}
+	b := []float64{1, 1, 1}
+	if rs := RelativeShift(a, b); math.Abs(rs-1) > 1e-12 {
+		t.Fatalf("relative shift = %v, want 1 (100%% slower)", rs)
+	}
+	if !math.IsNaN(RelativeShift(a, []float64{0, 0, 0, 0})) {
+		t.Fatalf("zero base must yield NaN")
+	}
+}
