@@ -2,7 +2,7 @@
 # command: `make ci`.
 GO ?= go
 
-.PHONY: all build test vet race bench bench-kb benchsmoke benchguard allocguard chaos-smoke kb-smoke guideline-smoke ci
+.PHONY: all build test vet race bench bench-kb bench-fork benchsmoke benchguard allocguard chaos-smoke kb-smoke guideline-smoke fork-smoke ci
 
 all: ci
 
@@ -54,6 +54,24 @@ chaos-smoke:
 	$(GO) test -race -short -count 1 -run 'TestChaos' ./internal/bench
 	$(GO) test -race -count 1 ./internal/chaos/...
 
+# Regenerate the committed speculative-selection baseline (BENCH_fork.json):
+# virtual selection latencies sequential vs forked at 4 workers. The virtual
+# numbers are deterministic, so any machine regenerates the same baseline.
+bench-fork:
+	$(GO) run ./cmd/benchfork -out BENCH_fork.json
+
+# Snapshot/fork gate: the fork test suites across every layer, then the
+# end-to-end worker-count invariant — cmd/tune -speculate must write a
+# byte-identical decision artifact (winner, audit, virtual latencies) at 1
+# and at 8 fork workers.
+fork-smoke:
+	$(GO) test -count 1 -run 'Fork|Snapshot|Clonable|Speculative|StartPanicsOnPendingPooledHandle|HistoryFreeze|ReadOnlySource' ./internal/sim ./internal/mpi ./internal/nbc ./internal/core ./internal/bench
+	$(GO) run ./cmd/tune -op ialltoall -np 8 -msg 65536 -compute 0.005 -iters 5 -speculate -spec-workers 1 -metrics results/.fork_smoke_w1.json > /dev/null
+	$(GO) run ./cmd/tune -op ialltoall -np 8 -msg 65536 -compute 0.005 -iters 5 -speculate -spec-workers 8 -metrics results/.fork_smoke_w8.json > /dev/null
+	cmp results/.fork_smoke_w1.json results/.fork_smoke_w8.json
+	rm -f results/.fork_smoke_w1.json results/.fork_smoke_w8.json
+	@echo "fork-smoke: speculative decisions byte-identical across fork worker counts"
+
 # Performance-guideline gate: the guideline package's own tests (expression
 # evaluation, violation feedback loop, report determinism), then the smoke
 # matrix end-to-end through cmd/audit — the regenerated report must be
@@ -82,10 +100,11 @@ benchguard:
 	$(GO) run ./cmd/benchmpi -check BENCH_mpi.json -benchtime 500ms
 	$(GO) run ./cmd/kbbench -check BENCH_kb.json
 	$(GO) run ./cmd/audit -check results/guideline_report.json
+	$(GO) run ./cmd/benchfork -check BENCH_fork.json
 
 # Zero-allocation pins for the mpi/nbc steady state (matching cycles and a
 # full persistent-Ibcast iteration must stay at 0 allocs once pools are warm).
 allocguard:
 	$(GO) test -count 1 -run 'SteadyStateAllocs' ./internal/mpi ./internal/nbc
 
-ci: build vet test race chaos-smoke kb-smoke guideline-smoke benchguard allocguard
+ci: build vet test race chaos-smoke kb-smoke guideline-smoke fork-smoke benchguard allocguard

@@ -1,0 +1,206 @@
+// Command benchfork measures speculative (forked) candidate evaluation
+// against sequential in-line learning and maintains the committed baseline
+// BENCH_fork.json. The headline numbers are virtual selection latencies —
+// deterministic properties of the simulation, comparable across machines:
+// sequential cost is the candidates measured back to back, speculative cost
+// is the makespan of dispatching the candidate forks to a worker pool. Host
+// wall-clock timings are recorded for context but never checked (CI machines
+// differ; single-core hosts cannot show real fork parallelism).
+//
+//	benchfork                       # measure and print
+//	benchfork -out BENCH_fork.json  # regenerate the committed baseline
+//	benchfork -check BENCH_fork.json# fail on <2x speedup at 4 workers or >15% regression
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"nbctune/internal/bench"
+	"nbctune/internal/platform"
+)
+
+type scenarioResult struct {
+	Workload   string `json:"workload"`
+	Selector   string `json:"selector"`
+	Candidates int    `json:"candidates"`
+	EvalRounds int    `json:"eval_rounds_per_candidate"`
+	// Virtual (simulated, deterministic) selection latencies in seconds.
+	SeqLatencyVirtual  float64 `json:"seq_latency_virtual"`
+	Latency4Virtual    float64 `json:"spec_latency_virtual_4_workers"`
+	CritLatencyVirtual float64 `json:"spec_latency_virtual_critical_path"`
+	SpeedupAt4         float64 `json:"speedup_at_4_workers"`
+	SpeedupCritical    float64 `json:"speedup_critical_path"`
+	// Host wall-clock seconds for the whole speculative run at 1 and 4
+	// workers — informational only, machine-dependent, never compared.
+	HostSeq1Worker  float64 `json:"host_seconds_1_worker"`
+	HostSpec4Worker float64 `json:"host_seconds_4_workers"`
+}
+
+type baseline struct {
+	Benchmark  string                    `json:"benchmark"`
+	Regenerate string                    `json:"regenerate"`
+	Date       string                    `json:"date"`
+	Scenarios  map[string]scenarioResult `json:"scenarios"`
+}
+
+func scenarios() map[string]bench.MicroSpec {
+	crill, err := platform.ByName("crill")
+	if err != nil {
+		fatal(err)
+	}
+	whale, err := platform.ByName("whale")
+	if err != nil {
+		fatal(err)
+	}
+	return map[string]bench.MicroSpec{
+		"ialltoall-crill-np8-64KiB": {
+			Platform: crill, Procs: 8, MsgSize: 64 * 1024, Op: bench.OpIalltoall,
+			ComputePerIter: 5e-3, Iterations: 10, ProgressCalls: 4, Seed: 3, EvalsPerFn: 5,
+		},
+		"ibcast-whale-np8-128KiB": {
+			Platform: whale, Procs: 8, MsgSize: 128 * 1024, Op: bench.OpIbcast,
+			ComputePerIter: 4e-3, Iterations: 10, ProgressCalls: 4, Seed: 7, EvalsPerFn: 3,
+		},
+	}
+}
+
+func main() {
+	out := flag.String("out", "", "write the measured baseline to this file")
+	check := flag.String("check", "", "compare against the committed baseline in this file")
+	flag.Parse()
+
+	b := measureAll()
+
+	if *check != "" {
+		committed, err := readBaseline(*check)
+		if err != nil {
+			fatal(err)
+		}
+		if err := compare(committed, b); err != nil {
+			fatal(err)
+		}
+		names := sortedNames(b.Scenarios)
+		s := b.Scenarios[names[0]]
+		fmt.Printf("benchfork: within 15%% of %s (%s: %d candidates, %.2fx selection speedup at 4 workers)\n",
+			*check, names[0], s.Candidates, s.SpeedupAt4)
+		return
+	}
+
+	enc, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchfork: wrote %s\n", *out)
+		return
+	}
+	os.Stdout.Write(enc)
+}
+
+func measureAll() baseline {
+	b := baseline{
+		Benchmark:  "speculative (forked) candidate evaluation vs in-line sequential learning",
+		Regenerate: "make bench-fork  (or: go run ./cmd/benchfork -out BENCH_fork.json)",
+		Date:       time.Now().Format("2006-01-02"),
+		Scenarios:  make(map[string]scenarioResult),
+	}
+	for name, spec := range scenarios() {
+		const sel = "brute-force"
+		t0 := time.Now()
+		r1, err := bench.RunSpeculative(spec, sel, 1)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		host1 := time.Since(t0).Seconds()
+		t0 = time.Now()
+		r4, err := bench.RunSpeculative(spec, sel, 4)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		host4 := time.Since(t0).Seconds()
+		l4 := r4.SpecLatencyAt(4)
+		b.Scenarios[name] = scenarioResult{
+			Workload:           spec.String(),
+			Selector:           sel,
+			Candidates:         len(r4.CandidateTime),
+			EvalRounds:         r4.EvalRounds,
+			SeqLatencyVirtual:  r4.SeqLatency,
+			Latency4Virtual:    l4,
+			CritLatencyVirtual: r4.SpecLatency,
+			SpeedupAt4:         r4.SeqLatency / l4,
+			SpeedupCritical:    r4.Speedup(),
+			HostSeq1Worker:     host1,
+			HostSpec4Worker:    host4,
+		}
+		_ = r1 // workers=1 run exists to time the sequential host path
+	}
+	return b
+}
+
+func compare(committed, current baseline) error {
+	const tol = 0.15
+	for name, want := range committed.Scenarios {
+		got, ok := current.Scenarios[name]
+		if !ok {
+			return fmt.Errorf("benchfork: scenario %q missing from current measurement", name)
+		}
+		if got.SpeedupAt4 < 2.0 {
+			return fmt.Errorf("benchfork: %s selection speedup at 4 workers is %.2fx, need >= 2.0x", name, got.SpeedupAt4)
+		}
+		if got.SpeedupAt4 < want.SpeedupAt4*(1-tol) {
+			return fmt.Errorf("benchfork: %s speedup regressed >15%%: %.2fx now vs %.2fx committed", name, got.SpeedupAt4, want.SpeedupAt4)
+		}
+		if rel(got.SeqLatencyVirtual, want.SeqLatencyVirtual) > tol ||
+			rel(got.Latency4Virtual, want.Latency4Virtual) > tol {
+			return fmt.Errorf("benchfork: %s virtual selection latencies drifted >15%% from baseline (seq %.6g vs %.6g, 4-worker %.6g vs %.6g) — the simulation changed; regenerate with -out after reviewing",
+				name, got.SeqLatencyVirtual, want.SeqLatencyVirtual, got.Latency4Virtual, want.Latency4Virtual)
+		}
+	}
+	return nil
+}
+
+func rel(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func sortedNames(m map[string]scenarioResult) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func readBaseline(path string) (baseline, error) {
+	var b baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("benchfork: corrupt baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchfork:", err)
+	os.Exit(1)
+}

@@ -54,6 +54,8 @@ func main() {
 		kbAddr   = flag.String("kb", "", "share every scenario's tuned winner with a tuned knowledge-base daemon at this address")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		specOn   = flag.Bool("speculate", false, "evaluate ADCL selector runs via speculative world forks (decisions worker-count independent)")
+		specWrk  = flag.Int("spec-workers", 0, "fork worker pool per speculative scenario (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -98,6 +100,12 @@ func main() {
 		progress = nil
 	}
 	opt := bench.Parallel(*jobs, progress)
+	opt.Speculate = *specOn
+	opt.SpecWorkers = *specWrk
+	if *specOn && (*observe || *data) {
+		fmt.Fprintln(os.Stderr, "sweep: -speculate is incompatible with -observe and -data (state cannot cross a snapshot)")
+		os.Exit(1)
+	}
 	if *cacheOn || *resume {
 		c, err := runner.OpenCache(*cacheDir)
 		if err != nil {

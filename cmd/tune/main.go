@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 
+	"nbctune/internal/bench"
 	"nbctune/internal/chaos/profiles"
 	"nbctune/internal/core"
 	"nbctune/internal/kb"
@@ -51,6 +52,8 @@ func main() {
 		metrOut  = flag.String("metrics", "", "write overlap metrics + the rank-0 selection audit as JSON")
 		chaosStr = flag.String("chaos", "off", "fault/noise injection profile: off or a profile name")
 		chaosSd  = flag.Int64("chaos-seed", 1, "seed for the chaos injector's deterministic streams")
+		specOn   = flag.Bool("speculate", false, "evaluate candidates on speculative world forks instead of in-line learning (ialltoall/ibcast)")
+		specWrk  = flag.Int("spec-workers", 0, "fork worker pool for -speculate (0 = GOMAXPROCS); decisions are identical for every value")
 	)
 	flag.Parse()
 
@@ -101,8 +104,25 @@ func main() {
 		src = hist
 	}
 
+	speculate := *specOn
+	if speculate {
+		if *op != "ialltoall" && *op != "ibcast" {
+			fail(fmt.Errorf("-speculate supports ops ialltoall and ibcast, not %q", *op))
+		}
+		if *tracOut != "" {
+			fail(fmt.Errorf("-speculate does not support -trace: recorder spans cannot cross a snapshot"))
+		}
+		if src != nil {
+			if _, ok := src.LookupEnv(histKey, env); ok {
+				// Warm history: there is no learning phase to speculate on, so
+				// fall through to the normal fixed-winner path.
+				speculate = false
+			}
+		}
+	}
+
 	var rec *obs.Recorder
-	if *tracOut != "" || *metrOut != "" {
+	if (*tracOut != "" || *metrOut != "") && !speculate {
 		rec = obs.NewRecorder(*np)
 		world.Observe(rec)
 	}
@@ -111,51 +131,84 @@ func main() {
 	var winnerName string
 	var evalsUsed int
 	var audit *obs.Audit
-	world.Start(func(c *mpi.Comm) {
-		fs, err := buildSet(c, *op, *msg)
-		if err != nil {
-			fail(err)
-		}
-		sel, err := core.SelectorByName(*selName, fs, *evals)
-		if err != nil {
-			fail(err)
-		}
-		hit := false
-		if src != nil {
-			sel, hit = core.SelectorWithSourceEnv(src, histKey, env, fs, sel)
-		}
-		if c.Rank() == 0 && rec != nil {
-			audit = core.AttachAudit(sel, fs)
-		}
-		if c.Rank() == 0 && hit {
-			fmt.Printf("history hit for %q: learning phase skipped\n\n", histKey)
-		}
-		req := core.MustRequest(fs, sel, c.Now)
-		timer := core.MustTimer(c.Now, req)
-
+	var specRes *bench.SpecResult
+	if speculate {
 		n := *iters
 		if n == 0 {
-			n = *evals*len(fs.Fns) + 10
+			n = 10 // all iterations run post-decision
 		}
-		for it := 0; it < n; it++ {
-			timer.Start()
-			req.Init()
-			for k := 0; k < *progress; k++ {
-				c.Compute(*compute / float64(*progress))
-				req.Progress()
+		mspec := bench.MicroSpec{
+			Platform: plat, Procs: *np, MsgSize: *msg, Op: *op,
+			ComputePerIter: *compute, Iterations: n, ProgressCalls: *progress,
+			Seed: *seed, EvalsPerFn: *evals, Chaos: chaosName, ChaosSeed: *chaosSd,
+		}
+		if chaosName == "" {
+			mspec.ChaosSeed = 0
+		}
+		sr, err := bench.RunSpeculative(mspec, *selName, *specWrk)
+		if err != nil {
+			fail(err)
+		}
+		specRes = sr
+		winnerName = sr.Result.Winner
+		evalsUsed = sr.Result.Evals
+		audit = sr.Audit
+		report = fmt.Sprintf(
+			"speculative selection: %d candidate forks x %d measurement rounds\n"+
+				"  sequential selection latency   %.6g s (virtual, candidates back to back)\n"+
+				"  speculative selection latency  %.6g s (virtual, critical path)\n"+
+				"  selection speedup              %.2fx\n\n"+
+				"winner: %s (%d evals consumed, %.6g s/iter post-decision over %d iterations)\n",
+			len(sr.CandidateTime), sr.EvalRounds,
+			sr.SeqLatency, sr.SpecLatency, sr.Speedup(),
+			winnerName, evalsUsed, sr.Result.PostLearnPerIter, n)
+	} else {
+		world.Start(func(c *mpi.Comm) {
+			fs, err := buildSet(c, *op, *msg)
+			if err != nil {
+				fail(err)
 			}
-			req.Wait()
-			core.StopMaybeSynced(c, timer, req)
-		}
-		if c.Rank() == 0 {
-			report = core.TuningReport(req)
-			if w := req.Winner(); w != nil {
-				winnerName = w.Name
-				evalsUsed = req.Selector().Evals()
+			sel, err := core.SelectorByName(*selName, fs, *evals)
+			if err != nil {
+				fail(err)
 			}
-		}
-	})
-	eng.Run()
+			hit := false
+			if src != nil {
+				sel, hit = core.SelectorWithSourceEnv(src, histKey, env, fs, sel)
+			}
+			if c.Rank() == 0 && rec != nil {
+				audit = core.AttachAudit(sel, fs)
+			}
+			if c.Rank() == 0 && hit {
+				fmt.Printf("history hit for %q: learning phase skipped\n\n", histKey)
+			}
+			req := core.MustRequest(fs, sel, c.Now)
+			timer := core.MustTimer(c.Now, req)
+
+			n := *iters
+			if n == 0 {
+				n = *evals*len(fs.Fns) + 10
+			}
+			for it := 0; it < n; it++ {
+				timer.Start()
+				req.Init()
+				for k := 0; k < *progress; k++ {
+					c.Compute(*compute / float64(*progress))
+					req.Progress()
+				}
+				req.Wait()
+				core.StopMaybeSynced(c, timer, req)
+			}
+			if c.Rank() == 0 {
+				report = core.TuningReport(req)
+				if w := req.Winner(); w != nil {
+					winnerName = w.Name
+					evalsUsed = req.Selector().Evals()
+				}
+			}
+		})
+		eng.Run()
+	}
 
 	fmt.Printf("platform %s, %d ranks, %d-byte messages, %g s compute/iter, %d progress calls\n\n",
 		plat.Name, *np, *msg, *compute, *progress)
@@ -207,7 +260,20 @@ func main() {
 			Compute: *compute, ProgressCalls: *progress, Selector: *selName,
 			Seed: *seed, Winner: winnerName, Evals: evalsUsed,
 			Chaos: chaosName, ChaosSeed: *chaosSd,
-			Metrics: rec.Metrics(), Audit: audit,
+			Audit: audit,
+		}
+		if rec != nil {
+			out.Metrics = rec.Metrics()
+		}
+		if specRes != nil {
+			// Everything recorded here is virtual-time and fork-order
+			// deterministic: two runs differing only in -spec-workers write
+			// byte-identical artifacts (make fork-smoke pins this).
+			out.Selector = "speculative+" + *selName
+			out.SpecLatency = specRes.SpecLatency
+			out.SeqLatency = specRes.SeqLatency
+			out.CandidateTime = specRes.CandidateTime
+			out.EvalRounds = specRes.EvalRounds
 		}
 		if chaosName == "" {
 			out.ChaosSeed = 0
@@ -246,6 +312,14 @@ type tuneMetrics struct {
 	ChaosSeed     int64        `json:"chaos_seed,omitempty"`
 	Metrics       *obs.Metrics `json:"metrics"`
 	Audit         *obs.Audit   `json:"audit,omitempty"`
+
+	// Speculative-selection fields (-speculate): virtual selection latencies
+	// and per-candidate fork costs. The fork worker count is deliberately
+	// absent — the artifact is byte-identical for every -spec-workers value.
+	SpecLatency   float64   `json:"spec_latency,omitempty"`
+	SeqLatency    float64   `json:"seq_latency,omitempty"`
+	CandidateTime []float64 `json:"candidate_time,omitempty"`
+	EvalRounds    int       `json:"eval_rounds,omitempty"`
 }
 
 func buildSet(c *mpi.Comm, op string, msg int) (*core.FunctionSet, error) {

@@ -508,11 +508,23 @@ func RunVerificationOpts(spec MicroSpec, opt RunOptions, selectors ...string) (*
 	}
 	for _, sel := range selectors {
 		sel := sel
-		jobs = append(jobs, runner.Job{
+		job := runner.Job{
 			Label: fmt.Sprintf("%s adcl=%s", spec, sel),
 			Key:   ADCLKey(spec, sel),
 			Run:   func() (any, error) { return RunADCL(spec, sel) },
-		})
+		}
+		if opt.Speculate {
+			job.Label = fmt.Sprintf("%s adcl=speculative+%s", spec, sel)
+			job.Key = SpecKey(spec, sel)
+			job.Run = func() (any, error) {
+				sr, err := RunSpeculative(spec, sel, opt.SpecWorkers)
+				if err != nil {
+					return nil, err
+				}
+				return sr.Result, nil
+			}
+		}
+		jobs = append(jobs, job)
 	}
 	rs, err := runner.Run(jobs, opt.runnerOptions())
 	if err != nil {

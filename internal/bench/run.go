@@ -28,6 +28,12 @@ type RunOptions struct {
 	Retries int
 	// Progress receives one line per completed scenario.
 	Progress io.Writer
+	// Speculate switches ADCL measurements to speculative parallel candidate
+	// evaluation (RunSpeculative) with SpecWorkers fork workers. Decisions
+	// and latency fields are worker-count independent, so results cache
+	// under a key that ignores SpecWorkers.
+	Speculate   bool
+	SpecWorkers int
 }
 
 func (o RunOptions) runnerOptions() runner.Options {
@@ -79,6 +85,13 @@ func FixedKey(spec MicroSpec, fn int) string {
 // ADCLKey is the content address of one runtime-selection run.
 func ADCLKey(spec MicroSpec, selector string) string {
 	return fingerprint("adcl", spec, selector)
+}
+
+// SpecKey is the content address of one speculative runtime-selection run.
+// The fork worker count is deliberately absent: the decision and every
+// latency field are worker-independent, so all pool sizes share one entry.
+func SpecKey(spec MicroSpec, selector string) string {
+	return fingerprint("speculative", spec, selector)
 }
 
 // FFTKey is the content address of one FFT kernel run (the spec carries the

@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"fmt"
+
+	"nbctune/internal/core"
+	"nbctune/internal/mpi"
+	"nbctune/internal/obs"
+)
+
+// Speculative tuning (the forkable-World payoff): instead of interleaving
+// the learning phase with the application loop, the world is snapshotted at
+// the decision point and every candidate's measurement rounds run on a
+// private fork. The per-candidate measurement cost then overlaps across
+// workers, so selection latency falls from the sum of all candidates'
+// measurement time to (ideally) the slowest single candidate — while the
+// decision itself replays through the unmodified selector and is
+// byte-identical for every worker count.
+
+// SpecResult is the outcome of one speculative tuning run. Result is a plain
+// MicroResult (the committed-winner execution phase), so speculative runs
+// slot into every existing report path; the extra fields quantify the
+// selection phase. All latency fields are virtual (simulated) seconds and
+// independent of the host worker count: SeqLatency is the cost of measuring
+// the candidates back to back (what the in-line learning phase pays), and
+// SpecLatency is the critical path — the slowest single candidate — which a
+// pool of >= one-worker-per-candidate achieves. Use SpecLatencyAt for the
+// makespan under a finite pool.
+type SpecResult struct {
+	Result MicroResult
+	// Audit is the selection log: fork and join events bracketing the inner
+	// selector's sample/estimate/prune/decide trail.
+	Audit *obs.Audit
+	// SpecLatency is max over CandidateTime (critical path).
+	SpecLatency float64
+	// SeqLatency is the sum over CandidateTime (back-to-back measurement).
+	SeqLatency float64
+	// CandidateTime is each candidate fork's virtual duration, indexed like
+	// the function set.
+	CandidateTime []float64
+	// EvalRounds is the per-candidate measurement budget each fork ran.
+	EvalRounds int
+	// Workers is the pool size the forks were dispatched to (host-side
+	// execution detail; no latency field depends on it).
+	Workers int
+}
+
+// SpecLatencyAt returns the virtual selection latency under a pool of w
+// workers: the makespan of dispatching the candidate forks in index order,
+// each worker taking the next candidate when it falls idle. w <= 0 or
+// w >= len(CandidateTime) gives the critical path.
+func (s *SpecResult) SpecLatencyAt(w int) float64 {
+	n := len(s.CandidateTime)
+	if w <= 0 || w > n {
+		w = n
+	}
+	if w == 0 {
+		return 0
+	}
+	busy := make([]float64, w)
+	for _, d := range s.CandidateTime {
+		min := 0
+		for i := 1; i < w; i++ {
+			if busy[i] < busy[min] {
+				min = i
+			}
+		}
+		busy[min] += d
+	}
+	max := 0.0
+	for _, b := range busy {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// Speedup is the selection-latency ratio sequential/speculative at the
+// critical path (>= worker-per-candidate pool).
+func (s *SpecResult) Speedup() float64 {
+	if s.SpecLatency <= 0 {
+		return 0
+	}
+	return s.SeqLatency / s.SpecLatency
+}
+
+// specSkew mirrors runLoop's deterministic arrival stagger for rank me.
+func specSkew(spec MicroSpec, me int) float64 {
+	if spec.Imbalance > 0 && spec.Procs > 1 {
+		return spec.Imbalance * float64(me) / float64(spec.Procs-1)
+	}
+	return 0
+}
+
+// specIter is one §IV-A benchmark iteration: initiate, compute in chunks
+// with progress calls between, wait, record the (possibly max-reduced)
+// interval into the request's selector.
+func specIter(spec MicroSpec, c *mpi.Comm, req *core.Request, timer *core.Timer, skew float64) {
+	chunk := spec.ComputePerIter / float64(spec.ProgressCalls)
+	timer.Start()
+	req.Init()
+	for k := 0; k < spec.ProgressCalls; k++ {
+		c.Compute(chunk * (1 + skew))
+		req.Progress()
+	}
+	req.Wait()
+	core.StopMaybeSynced(c, timer, req)
+}
+
+// hostFunctionSet builds the spec's function set outside any live rank, for
+// host-side selector replay. The set's structure (names, attributes) is
+// rank-independent; the Start closures are bound to a throwaway world and
+// never invoked by selectors.
+func (s MicroSpec) hostFunctionSet() (*core.FunctionSet, error) {
+	tmp := s
+	tmp.Procs = 2
+	eng, w, err := tmp.Platform.NewWorld(2, 1)
+	if err != nil {
+		return nil, err
+	}
+	var fs *core.FunctionSet
+	w.Start(func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			fs = tmp.functionSet(c)
+		}
+	})
+	eng.Run()
+	return fs, nil
+}
+
+// RunSpeculative runs the micro-benchmark with speculative parallel
+// candidate evaluation: warm the world, snapshot, measure every candidate on
+// a forked copy (dispatched to `workers` host workers), replay the streams
+// through the named selector, then run the application loop on a fresh fork
+// pinned to the committed winner.
+func RunSpeculative(spec MicroSpec, selector string, workers int) (*SpecResult, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if spec.Observe {
+		return nil, fmt.Errorf("bench: speculative runs do not support Observe (recorder spans cannot cross a snapshot)")
+	}
+	if spec.Data {
+		return nil, fmt.Errorf("bench: speculative runs do not support Data (payload state cannot cross a snapshot)")
+	}
+	hostFS, err := spec.hostFunctionSet()
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase A: warm the world — build the function set, run one pinned
+	// iteration so every pool (handles, requests, matcher lists) reaches
+	// working size — then snapshot at the quiescent decision point.
+	eng, w, err := chaosWorld(spec.Platform, spec.Procs, spec.Seed, spec.Placement, spec.Chaos, spec.ChaosSeed)
+	if err != nil {
+		return nil, err
+	}
+	w.Start(func(c *mpi.Comm) {
+		fs := spec.functionSet(c)
+		cap := core.NewCapture(0)
+		req := core.MustRequest(fs, cap, c.Now)
+		timer := core.MustTimer(c.Now, req)
+		skew := specSkew(spec, c.Rank())
+		c.Barrier()
+		specIter(spec, c, req, timer, skew)
+		c.Barrier()
+	})
+	eng.Run()
+	snap, err := w.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("bench: world not forkable at the decision point: %w", err)
+	}
+	base := snap.Now()
+
+	// Candidate measurement over forks. Each call owns a private fork;
+	// durs[fn] is written at a distinct index, and runner.Run's barrier
+	// orders all writes before the reads below.
+	durs := make([]float64, len(hostFS.Fns))
+	runCand := func(fn, rounds int) ([]float64, error) {
+		feng, fw := snap.Fork()
+		var samples []float64
+		fw.Start(func(c *mpi.Comm) {
+			fs := spec.functionSet(c)
+			capSel := core.NewCapture(fn)
+			req := core.MustRequest(fs, capSel, c.Now)
+			timer := core.MustTimer(c.Now, req)
+			skew := specSkew(spec, c.Rank())
+			c.Barrier()
+			for it := 0; it < rounds; it++ {
+				specIter(spec, c, req, timer, skew)
+			}
+			c.Barrier()
+			if c.Rank() == 0 {
+				samples = capSel.Samples()
+			}
+		})
+		feng.Run()
+		if len(samples) != rounds {
+			return nil, fmt.Errorf("bench: candidate %d fork captured %d samples, want %d", fn, len(samples), rounds)
+		}
+		durs[fn] = float64(feng.Now()) - base
+		return samples, nil
+	}
+
+	ssel, err := core.NewSpeculativeSelector(selector, hostFS, spec.evals(), workers, runCand)
+	if err != nil {
+		return nil, err
+	}
+	winner := ssel.Winner()
+	if winner < 0 || winner >= len(hostFS.Fns) {
+		return nil, fmt.Errorf("bench: speculative selection produced no winner")
+	}
+
+	// Phase B: the application loop on a fresh fork, pinned to the winner.
+	feng, fw := snap.Fork()
+	res := MicroResult{Spec: spec, Impl: "adcl:" + ssel.Name(), DecidedIter: 0}
+	starts := make([]float64, spec.Procs)
+	ends := make([]float64, spec.Procs)
+	fw.Start(func(c *mpi.Comm) {
+		me := c.Rank()
+		fs := spec.functionSet(c)
+		req := core.MustRequest(fs, &core.FixedSelector{Fn: winner}, c.Now)
+		timer := core.MustTimer(c.Now, req)
+		skew := specSkew(spec, me)
+		c.Barrier()
+		starts[me] = c.Now()
+		var postSum float64
+		for it := 0; it < spec.Iterations; it++ {
+			iterStart := c.Now()
+			specIter(spec, c, req, timer, skew)
+			postSum += c.Now() - iterStart
+		}
+		c.Barrier()
+		ends[me] = c.Now()
+		if me == 0 {
+			if wf := req.Winner(); wf != nil {
+				res.Winner = wf.Name
+			}
+			res.PostLearnPerIter = postSum / float64(spec.Iterations)
+		}
+	})
+	feng.Run()
+	for me := 0; me < spec.Procs; me++ {
+		if d := ends[me] - starts[me]; d > res.Total {
+			res.Total = d
+		}
+	}
+	res.PerIter = res.Total / float64(spec.Iterations)
+	res.Evals = ssel.Evals()
+
+	out := &SpecResult{
+		Result:        res,
+		Audit:         ssel.Audit(),
+		CandidateTime: durs,
+		EvalRounds:    ssel.Rounds(),
+		Workers:       workers,
+	}
+	for _, d := range durs {
+		out.SeqLatency += d
+		if d > out.SpecLatency {
+			out.SpecLatency = d
+		}
+	}
+	return out, nil
+}

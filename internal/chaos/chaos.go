@@ -138,6 +138,13 @@ type Injector struct {
 	link    *rand.Rand   // delivery-jitter stream
 	burst   *rand.Rand   // burst-schedule stream
 
+	// The raw PCG sources backing the streams above, retained because
+	// *rand.Rand cannot export its source: Clone serializes these to give a
+	// forked world streams positioned exactly where the parent's are.
+	computeSrc []*rand.PCG
+	linkSrc    *rand.PCG
+	burstSrc   *rand.PCG
+
 	slow []bool // per node: degraded NIC
 
 	shiftIdx   int // last shift whose At has passed (-1: none yet)
@@ -151,9 +158,14 @@ type Injector struct {
 	JitterDraws int64
 }
 
+// pcgSrc derives an independent deterministic source from (seed, lane).
+func pcgSrc(seed int64, lane uint64) *rand.PCG {
+	return rand.NewPCG(uint64(seed)*0x9E3779B97F4A7C15+lane, lane*0xDA942042E4DD58B5+0x6368616F73)
+}
+
 // pcg derives an independent deterministic stream from (seed, lane).
 func pcg(seed int64, lane uint64) *rand.Rand {
-	return rand.New(rand.NewPCG(uint64(seed)*0x9E3779B97F4A7C15+lane, lane*0xDA942042E4DD58B5+0x6368616F73))
+	return rand.New(pcgSrc(seed, lane))
 }
 
 // NewInjector instantiates a profile for a world of `ranks` ranks on
@@ -167,11 +179,15 @@ func NewInjector(p Profile, seed int64, ranks, nodes int) (*Injector, error) {
 	}
 	in := &Injector{prof: p, seed: seed, ranks: ranks, nodes: nodes, shiftIdx: -1}
 	in.compute = make([]*rand.Rand, ranks)
+	in.computeSrc = make([]*rand.PCG, ranks)
 	for r := 0; r < ranks; r++ {
-		in.compute[r] = pcg(seed, 1000+uint64(r))
+		in.computeSrc[r] = pcgSrc(seed, 1000+uint64(r))
+		in.compute[r] = rand.New(in.computeSrc[r])
 	}
-	in.link = pcg(seed, 1)
-	in.burst = pcg(seed, 2)
+	in.linkSrc = pcgSrc(seed, 1)
+	in.link = rand.New(in.linkSrc)
+	in.burstSrc = pcgSrc(seed, 2)
+	in.burst = rand.New(in.burstSrc)
 	if p.BurstEvery > 0 {
 		in.nextBurst = p.BurstEvery * (0.5 + in.burst.Float64())
 		in.burstStart = math.Inf(1)
@@ -192,6 +208,40 @@ func NewInjector(p Profile, seed int64, ranks, nodes int) (*Injector, error) {
 		}
 	}
 	return in, nil
+}
+
+// clonePCG duplicates a PCG source mid-stream via its binary state.
+func clonePCG(src *rand.PCG) *rand.PCG {
+	b, err := src.MarshalBinary()
+	if err != nil {
+		panic(fmt.Sprintf("chaos: PCG state export failed: %v", err))
+	}
+	cp := &rand.PCG{}
+	if err := cp.UnmarshalBinary(b); err != nil {
+		panic(fmt.Sprintf("chaos: PCG state import failed: %v", err))
+	}
+	return cp
+}
+
+// Clone returns a detached injector positioned exactly where the receiver
+// is: every noise stream continues with the identical values, and the
+// burst/shift state machines and counters carry over. Clone does not mutate
+// the receiver, so one parent can be cloned once per fork and each clone
+// serves exactly one forked world.
+func (in *Injector) Clone() *Injector {
+	cp := *in
+	cp.computeSrc = make([]*rand.PCG, len(in.computeSrc))
+	cp.compute = make([]*rand.Rand, len(in.compute))
+	for r, src := range in.computeSrc {
+		cp.computeSrc[r] = clonePCG(src)
+		cp.compute[r] = rand.New(cp.computeSrc[r])
+	}
+	cp.linkSrc = clonePCG(in.linkSrc)
+	cp.link = rand.New(cp.linkSrc)
+	cp.burstSrc = clonePCG(in.burstSrc)
+	cp.burst = rand.New(cp.burstSrc)
+	cp.slow = append([]bool(nil), in.slow...)
+	return &cp
 }
 
 // Profile returns the injector's profile.

@@ -246,3 +246,46 @@ func TestValidateRejectsNonsense(t *testing.T) {
 		}
 	}
 }
+
+// TestInjectorClone pins the fork contract: a clone continues every noise
+// stream and state machine with exactly the values the parent would have
+// produced, without the two coupling afterwards.
+func TestInjectorClone(t *testing.T) {
+	prof := Profile{
+		Name: "clone-test", NoiseRel: 0.1, DetourProb: 0.05, DetourTime: 1e-4,
+		JitterMean: 1e-6, BurstEvery: 1e-3, BurstLen: 2e-4, BurstBWFactor: 0.25,
+		SlowNodeFrac: 0.25, SlowNodeBWFactor: 0.5,
+		Shifts: []Shift{{At: 0.5, LatencyFactor: 2}},
+	}
+	in, err := NewInjector(prof, 11, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance the parent mid-stream so the clone has state to carry.
+	now := 0.0
+	for i := 0; i < 500; i++ {
+		now += 1e-5
+		in.ComputeNoise(i%4, 1e-5)
+		in.Wire(now, 0, 1)
+		in.DeliveryJitter(now)
+	}
+	cl := in.Clone()
+	if cl.Detours != in.Detours || cl.BurstWindows != in.BurstWindows || cl.JitterDraws != in.JitterDraws {
+		t.Fatal("clone counters diverge from parent at clone time")
+	}
+	for i := 0; i < 500; i++ {
+		now += 1e-5
+		r := i % 4
+		if a, b := in.ComputeNoise(r, 1e-5), cl.ComputeNoise(r, 1e-5); a != b {
+			t.Fatalf("step %d: ComputeNoise diverged: %v != %v", i, a, b)
+		}
+		al, ab := in.Wire(now, 0, 1)
+		bl, bb := cl.Wire(now, 0, 1)
+		if al != bl || ab != bb {
+			t.Fatalf("step %d: Wire diverged: (%v,%v) != (%v,%v)", i, al, ab, bl, bb)
+		}
+		if a, b := in.DeliveryJitter(now), cl.DeliveryJitter(now); a != b {
+			t.Fatalf("step %d: DeliveryJitter diverged: %v != %v", i, a, b)
+		}
+	}
+}

@@ -16,6 +16,12 @@ import (
 // later run can skip the learning phase entirely.
 type History struct {
 	Entries map[string]HistoryEntry `json:"entries"`
+
+	// frozen, when non-empty, makes the history read-only: Save refuses and
+	// Record panics, each citing this reason. Forked worlds freeze their
+	// histories so a speculative measurement round can never leak a winner —
+	// or half a file write — into the durable store the parent owns.
+	frozen string
 }
 
 // HistoryEntry records one tuned scenario.
@@ -87,6 +93,9 @@ func LoadHistory(path string) (*History, error) {
 // the earlier fixed-name .tmp scheme could additionally corrupt itself
 // under two concurrent savers writing the same temp path.
 func (h *History) Save(path string) error {
+	if h.frozen != "" {
+		return fmt.Errorf("adcl: history is read-only (%s); refusing to write %s", h.frozen, path)
+	}
 	data, err := json.MarshalIndent(h, "", "  ")
 	if err != nil {
 		return err
@@ -94,8 +103,24 @@ func (h *History) Save(path string) error {
 	return kb.WriteFileAtomic(path, data, 0o644)
 }
 
+// Freeze makes the history read-only, recording why. Lookups keep working;
+// Save returns an error and Record panics with the reason. There is no
+// unfreeze — a fork that wants a writable history must load its own.
+func (h *History) Freeze(reason string) {
+	if reason == "" {
+		reason = "frozen"
+	}
+	h.frozen = reason
+}
+
+// Frozen reports whether the history has been made read-only.
+func (h *History) Frozen() bool { return h.frozen != "" }
+
 // Record stores a tuning outcome.
 func (h *History) Record(key string, e HistoryEntry) {
+	if h.frozen != "" {
+		panic(fmt.Sprintf("adcl: Record(%q) on a read-only history (%s)", key, h.frozen))
+	}
 	h.Entries[key] = e
 }
 
@@ -134,6 +159,28 @@ func (h *History) Keys() []string {
 type HistorySource interface {
 	LookupEnv(key, env string) (HistoryEntry, bool)
 	Record(key string, e HistoryEntry)
+}
+
+// ReadOnlySource wraps a HistorySource so lookups pass through but Record
+// panics. This is the guard handed to code running on a forked world: a
+// speculative candidate evaluation may consult the shared history (or the kb
+// daemon) for context, but only the parent — after the join — may commit a
+// winner.
+func ReadOnlySource(src HistorySource) HistorySource {
+	return readOnlySource{src: src}
+}
+
+type readOnlySource struct{ src HistorySource }
+
+func (r readOnlySource) LookupEnv(key, env string) (HistoryEntry, bool) {
+	if r.src == nil {
+		return HistoryEntry{}, false
+	}
+	return r.src.LookupEnv(key, env)
+}
+
+func (r readOnlySource) Record(key string, e HistoryEntry) {
+	panic(fmt.Sprintf("adcl: Record(%q) through a read-only history source; forked worlds must not write tuning outcomes", key))
 }
 
 // SelectorWithSourceEnv returns a FixedSelector when src already knows the

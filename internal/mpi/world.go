@@ -46,6 +46,7 @@ type World struct {
 	opts    Options
 	nextCtx int
 	winReg  *winRegistry
+	forked  bool // materialized by WorldSnapshot.Fork, not NewWorld
 
 	// Free lists for pooled protocol records. World-level (not per rank) so
 	// a record freed by its receiver can be reused by any sender; safe
@@ -64,7 +65,7 @@ func NewWorld(eng *sim.Engine, net *netmodel.Network, n int, opts Options) *Worl
 			w:    w,
 			id:   i,
 			cond: sim.NewCond(eng),
-			rng:  rand.New(rand.NewSource(opts.Seed*7919 + int64(i))),
+			rng:  sim.NewClonableRand(opts.Seed*7919 + int64(i)),
 		}
 		r.m.init()
 		w.ranks = append(w.ranks, r)
@@ -118,7 +119,7 @@ type Rank struct {
 	w    *World
 	id   int
 	proc *sim.Proc
-	rng  *rand.Rand
+	rng  *sim.ClonableRand
 	rec  *obs.Recorder // nil unless World.Observe attached one
 
 	// Message-progression state. The notice queue and the matcher are only
@@ -154,7 +155,7 @@ func (r *Rank) Now() float64 { return r.proc.Now() }
 func (r *Rank) Proc() *sim.Proc { return r.proc }
 
 // Rand returns this rank's deterministic RNG.
-func (r *Rank) Rand() *rand.Rand { return r.rng }
+func (r *Rank) Rand() *rand.Rand { return r.rng.Rand }
 
 // Recorder returns the attached observability recorder, or nil. All
 // *obs.Recorder methods are nil-safe, so callers use the result directly.
@@ -168,7 +169,7 @@ func (r *Rank) Compute(d float64) {
 		panic("mpi: negative compute time")
 	}
 	if n := r.w.opts.Noise; n != nil {
-		d = n(r.rng, d)
+		d = n(r.rng.Rand, d)
 	}
 	if in := r.w.opts.Chaos; in != nil {
 		d = in.ComputeNoise(r.id, d)

@@ -105,6 +105,37 @@ type handlePool struct {
 	free []*Handle
 }
 
+// ForkLayer implements mpi.LayerForker: a forked world gets a pool of the
+// same depth with fresh released records whose pending slices carry the
+// parent's warmed capacity but none of its backing arrays — re-arming a
+// handle inside a fork can never alias the parent's scratch memory, and the
+// fork's steady state starts allocation-free.
+func (p *handlePool) ForkLayer() any {
+	q := &handlePool{}
+	if len(p.free) > 0 {
+		q.free = make([]*Handle, len(p.free))
+		for i, h := range p.free {
+			q.free[i] = &Handle{
+				pool:     q,
+				pending:  make([]mpi.ReqHandle, 0, cap(h.pending)),
+				await:    -1,
+				done:     true,
+				released: true,
+				obsID:    -1,
+			}
+		}
+	}
+	return q
+}
+
+// schedName names the schedule a handle is armed on, for diagnostics.
+func (h *Handle) schedName() string {
+	if h.sched == nil {
+		return "<none>"
+	}
+	return h.sched.Name
+}
+
 func poolFor(rank *mpi.Rank) *handlePool {
 	slot := rank.LayerState()
 	if *slot == nil {
@@ -124,6 +155,13 @@ func Start(comm *mpi.Comm, sched *Schedule) *Handle {
 		h = pool.free[n-1]
 		pool.free[n-1] = nil
 		pool.free = pool.free[:n-1]
+		if h.comm != nil || h.sched != nil || len(h.pending) != 0 {
+			// A pooled record still owns an in-flight execution: re-arming it
+			// would alias two collectives onto one pending list and corrupt
+			// both silently. Only released handles may sit in the pool.
+			panic(fmt.Sprintf("nbc: Start drew a pooled handle still pending on %q round %d (%d request(s) in flight); a Handle was returned to the pool before Wait observed completion",
+				h.schedName(), h.round, len(h.pending)))
+		}
 	} else {
 		h = &Handle{pool: pool}
 	}

@@ -1,0 +1,106 @@
+package netmodel
+
+import (
+	"fmt"
+
+	"nbctune/internal/chaos"
+	"nbctune/internal/sim"
+)
+
+// Snapshot is a detached copy of a quiescent network: NIC channel high-water
+// marks, counters, chaos FIFO floors, and the size of the delivery pool. It
+// shares nothing mutable with the parent, so any number of Forks can be
+// materialized from it concurrently.
+type Snapshot struct {
+	p      Params
+	nodeOf []int
+	tx, rx [][]float64
+	inRx   []int
+
+	transfers, ctrl, bytes, incast int64
+
+	delivCap   int
+	floors     map[uint64]float64
+	ctrlFloors map[uint64]float64
+}
+
+// Snapshot captures the network's state. The network must be quiescent: the
+// engine owning it has drained its queue, so no delivery is in flight (every
+// inRx slot released). A recorder, if attached, is not carried across — it
+// is an observer of the parent run, not part of the simulated state.
+func (n *Network) Snapshot() (*Snapshot, error) {
+	s := &Snapshot{
+		p:         n.p,
+		nodeOf:    append([]int(nil), n.nodeOf...),
+		tx:        make([][]float64, len(n.nodes)),
+		rx:        make([][]float64, len(n.nodes)),
+		inRx:      make([]int, len(n.nodes)),
+		transfers: n.Transfers,
+		ctrl:      n.CtrlMessages,
+		bytes:     n.BytesOnWire,
+		incast:    n.IncastSamples,
+		delivCap:  len(n.freeDeliv),
+	}
+	for i, nd := range n.nodes {
+		if nd.inRx != 0 {
+			return nil, fmt.Errorf("netmodel: snapshot with %d transfer(s) still inbound to node %d", nd.inRx, i)
+		}
+		s.tx[i] = append([]float64(nil), nd.txFree...)
+		s.rx[i] = append([]float64(nil), nd.rxFree...)
+	}
+	if n.chaos != nil {
+		s.floors = make(map[uint64]float64, len(n.chaosFloor))
+		for k, v := range n.chaosFloor {
+			s.floors[k] = v
+		}
+		s.ctrlFloors = make(map[uint64]float64, len(n.chaosCtrlFloor))
+		for k, v := range n.chaosCtrlFloor {
+			s.ctrlFloors[k] = v
+		}
+	}
+	return s, nil
+}
+
+// Fork materializes a network on the forked engine. inj must be a clone of
+// the injector the parent ran under (nil if it ran clean); the snapshot's
+// FIFO floors are installed under it so the non-overtaking guarantee extends
+// across the fork boundary. Fork only reads the snapshot.
+func (s *Snapshot) Fork(eng *sim.Engine, inj *chaos.Injector) *Network {
+	n := &Network{
+		eng:           eng,
+		p:             s.p,
+		nodeOf:        append([]int(nil), s.nodeOf...),
+		nodes:         make([]*nicState, len(s.tx)),
+		Transfers:     s.transfers,
+		CtrlMessages:  s.ctrl,
+		BytesOnWire:   s.bytes,
+		IncastSamples: s.incast,
+	}
+	for i := range n.nodes {
+		n.nodes[i] = &nicState{
+			txFree: append([]float64(nil), s.tx[i]...),
+			rxFree: append([]float64(nil), s.rx[i]...),
+		}
+	}
+	if s.delivCap > 0 {
+		n.freeDeliv = make([]*delivery, s.delivCap)
+		for i := range n.freeDeliv {
+			n.freeDeliv[i] = &delivery{}
+		}
+	}
+	if inj != nil {
+		// SetChaos resets the FIFO floors; install the injector first, then
+		// restore the parent's high-water marks.
+		n.SetChaos(inj)
+		for k, v := range s.floors {
+			n.chaosFloor[k] = v
+		}
+		for k, v := range s.ctrlFloors {
+			n.chaosCtrlFloor[k] = v
+		}
+	}
+	return n
+}
+
+// ChaosInjector returns the attached injector (nil when running clean).
+func (n *Network) ChaosInjector() *chaos.Injector { return n.chaos }

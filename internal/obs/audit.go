@@ -36,6 +36,12 @@ const (
 	// the candidate set; Detail carries the violated guideline and scenario
 	// that promoted it (the feedback-loop provenance trail).
 	AuditMock = "mock"
+	// AuditFork: a speculative fork dispatched to measure one candidate on
+	// its own copy of the world.
+	AuditFork = "fork"
+	// AuditJoin: one candidate's speculative measurements merged back into
+	// the selector; Value carries the number of samples joined.
+	AuditJoin = "join"
 )
 
 // AuditEvent is one entry of the selection log. Fn is a function index into
@@ -100,6 +106,24 @@ func (a *Audit) Phase(detail string) {
 		return
 	}
 	a.add(AuditEvent{Kind: AuditPhase, Fn: -1, Detail: detail})
+}
+
+// Fork logs the dispatch of one candidate's measurement rounds to a forked
+// world.
+func (a *Audit) Fork(fn int, detail string) {
+	if a == nil {
+		return
+	}
+	a.add(AuditEvent{Kind: AuditFork, Fn: fn, Detail: detail})
+}
+
+// Join logs the merge of one candidate's speculative measurements back into
+// the selector.
+func (a *Audit) Join(fn int, samples int, detail string) {
+	if a == nil {
+		return
+	}
+	a.add(AuditEvent{Kind: AuditJoin, Fn: fn, Value: float64(samples), Detail: detail})
 }
 
 // Decide logs the final winner and the number of measurements consumed.

@@ -119,7 +119,7 @@ type Engine struct {
 
 	procs []*Proc
 	live  int
-	rng   *rand.Rand
+	rng   *ClonableRand
 
 	// Stats counters, useful in tests and for harness reporting.
 	EventsFired int64
@@ -131,7 +131,7 @@ type Engine struct {
 func NewEngine(seed int64) *Engine {
 	return &Engine{
 		toMain: make(chan struct{}),
-		rng:    rand.New(rand.NewSource(seed)),
+		rng:    NewClonableRand(seed),
 	}
 }
 
@@ -139,7 +139,7 @@ func NewEngine(seed int64) *Engine {
 func (e *Engine) Now() Time { return e.now }
 
 // Rand returns the engine's deterministic random source.
-func (e *Engine) Rand() *rand.Rand { return e.rng }
+func (e *Engine) Rand() *rand.Rand { return e.rng.Rand }
 
 // allocRec returns a free record index, growing the pool only when the free
 // list is empty.

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestClonableRandStream pins two properties the fork machinery depends on:
+// the counting wrapper does not perturb the sequence rand.New(rand.NewSource)
+// would produce, and a mid-stream clone continues with the identical values.
+func TestClonableRandStream(t *testing.T) {
+	ref := rand.New(rand.NewSource(42))
+	cr := NewClonableRand(42)
+	for i := 0; i < 1000; i++ {
+		if a, b := ref.Float64(), cr.Rand.Float64(); a != b {
+			t.Fatalf("draw %d: wrapper diverged from plain source: %v != %v", i, b, a)
+		}
+		if a, b := ref.NormFloat64(), cr.Rand.NormFloat64(); a != b {
+			t.Fatalf("draw %d: NormFloat64 diverged: %v != %v", i, b, a)
+		}
+	}
+	clone := cr.Clone()
+	if clone.Draws() != cr.Draws() {
+		t.Fatalf("clone at %d draws, parent at %d", clone.Draws(), cr.Draws())
+	}
+	for i := 0; i < 1000; i++ {
+		if a, b := cr.Rand.Float64(), clone.Rand.Float64(); a != b {
+			t.Fatalf("post-clone draw %d: %v != %v", i, b, a)
+		}
+	}
+}
+
+// TestSnapshotRequiresQuiescence checks the descriptive failure modes:
+// queued events and live processes both refuse to snapshot.
+func TestSnapshotRequiresQuiescence(t *testing.T) {
+	e := NewEngine(1)
+	e.At(1, func() {})
+	if _, err := e.Snapshot(); err == nil {
+		t.Fatal("snapshot with a queued event must fail")
+	}
+	e.Run()
+
+	e.Spawn("sleeper", func(p *Proc) { p.Sleep(10) })
+	e.RunUntil(5)
+	if _, err := e.Snapshot(); err == nil {
+		t.Fatal("snapshot with a live process must fail")
+	}
+	e.Run()
+	if _, err := e.Snapshot(); err != nil {
+		t.Fatalf("snapshot after Run drained everything: %v", err)
+	}
+}
+
+// forkWorkload runs an identical program on an engine and returns its noise
+// observations; used to compare forks against each other.
+func forkWorkload(e *Engine) []float64 {
+	var obs []float64
+	for r := 0; r < 4; r++ {
+		e.Spawn("p", func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.Sleep(1e-6 * (1 + e.Rand().Float64()))
+				obs = append(obs, e.Rand().NormFloat64())
+			}
+		})
+	}
+	e.Run()
+	obs = append(obs, e.Now(), float64(e.EventsFired))
+	return obs
+}
+
+// TestForkDeterminism forks the same snapshot twice and requires the two
+// forks to replay an identical program identically: same event counts, same
+// final clock, same noise draws — and independently of whether the parent
+// keeps running in between.
+func TestForkDeterminism(t *testing.T) {
+	e := NewEngine(7)
+	forkWorkload(e) // advance the parent to an interesting state
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f1 := snap.Fork()
+	a := forkWorkload(f1)
+	forkWorkload(e) // mutate the parent between the two forks
+	f2 := snap.Fork()
+	b := forkWorkload(f2)
+
+	if len(a) != len(b) {
+		t.Fatalf("fork observation lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fork observation %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if f1.Now() == snap.Now() {
+		t.Fatal("fork workload did not advance the clock")
+	}
+}
+
+// TestForkPreservesPoolGenerations pins the handle-discipline half of the
+// snapshot contract: record generations and free-list order survive into the
+// fork, so pre-snapshot Event handles are exactly as stale in a fork as in
+// the parent, and forks allocate records in the parent's order.
+func TestForkPreservesPoolGenerations(t *testing.T) {
+	e := NewEngine(3)
+	for i := 0; i < 32; i++ {
+		e.At(float64(i), func() {})
+	}
+	e.At(100, func() {}).Cancel() // extra gen bump on one record
+	e.Run()
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := snap.Fork()
+	if len(f.recs) != len(e.recs) {
+		t.Fatalf("fork pool size %d, parent %d", len(f.recs), len(e.recs))
+	}
+	for i := range e.recs {
+		if f.recs[i].gen != e.recs[i].gen {
+			t.Fatalf("record %d generation %d in fork, %d in parent", i, f.recs[i].gen, e.recs[i].gen)
+		}
+		if f.recs[i].pos != -1 {
+			t.Fatalf("record %d queued in fresh fork", i)
+		}
+	}
+	for i := range e.free {
+		if f.free[i] != e.free[i] {
+			t.Fatalf("free-list slot %d: %d in fork, %d in parent", i, f.free[i], e.free[i])
+		}
+	}
+}
+
+// TestForkSteadyStateAllocFree extends the zero-allocation pin to forks: a
+// fork inherits a warm pool, so scheduling and firing events in it allocates
+// nothing once its heap has grown to working size.
+func TestForkSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 4096; i++ {
+		e.AtCall(float64(i)*1e-6, nopCall, nil)
+	}
+	e.Run()
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := snap.Fork()
+	run := func(n int) {
+		for i := 0; i < n; i++ {
+			f.AtCall(float64(i)*1e-6, nopCall, nil)
+		}
+		f.Run()
+	}
+	run(4096) // grow the fork's heap once
+	const batch = 1024
+	allocs := testing.AllocsPerRun(10, func() { run(batch) })
+	if per := allocs / batch; per > 0.01 {
+		t.Fatalf("fork steady state allocates %.4f allocs/event, want ~0", per)
+	}
+}
