@@ -2,7 +2,7 @@
 # command: `make ci`.
 GO ?= go
 
-.PHONY: all build test vet race bench bench-kb bench-fork benchsmoke benchguard allocguard chaos-smoke kb-smoke guideline-smoke fork-smoke ci
+.PHONY: all build test vet race bench bench-kb bench-fork bench-scale benchsmoke benchguard allocguard chaos-smoke kb-smoke guideline-smoke fork-smoke scale-smoke ci
 
 all: ci
 
@@ -60,6 +60,25 @@ chaos-smoke:
 bench-fork:
 	$(GO) run ./cmd/benchfork -out BENCH_fork.json
 
+# Regenerate the committed world-scaling baseline (BENCH_scale.json): idle
+# bytes/rank and engine event throughput at 1K/4K/16K ranks on the bgp-16k
+# torus. Run on a quiet machine before committing.
+bench-scale:
+	$(GO) run ./cmd/benchscale -out BENCH_scale.json
+
+# Scale gate: the 16K footprint pin, the 4K fork replay, the scale
+# conformance suite for the topology-aware variants (-short keeps the chaos
+# legs smoke-sized), then a fast scale sweep through the cached runner —
+# written to a scratch path so the committed results/sweep_summary.json
+# stays byte-identical.
+scale-smoke:
+	$(GO) test -count 1 -run 'TestIdleWorldFootprint16K' ./internal/bench
+	$(GO) test -count 1 -run 'TestFork4KQuiescentReplay' ./internal/mpi
+	$(GO) test -short -count 1 -run 'TestScaleConformance|TestConformanceIbcastTorus|TestConformanceIbarrierTree' ./internal/nbc
+	$(GO) run ./cmd/sweep -suite scale -fast -quiet -out results/.scale_smoke.json > /dev/null
+	rm -f results/.scale_smoke.json
+	@echo "scale-smoke: 16K world inside budget, 4K fork replay exact, scale variants conformant"
+
 # Snapshot/fork gate: the fork test suites across every layer, then the
 # end-to-end worker-count invariant — cmd/tune -speculate must write a
 # byte-identical decision artifact (winner, audit, virtual latencies) at 1
@@ -101,10 +120,11 @@ benchguard:
 	$(GO) run ./cmd/kbbench -check BENCH_kb.json
 	$(GO) run ./cmd/audit -check results/guideline_report.json
 	$(GO) run ./cmd/benchfork -check BENCH_fork.json
+	$(GO) run ./cmd/benchscale -check BENCH_scale.json
 
 # Zero-allocation pins for the mpi/nbc steady state (matching cycles and a
 # full persistent-Ibcast iteration must stay at 0 allocs once pools are warm).
 allocguard:
 	$(GO) test -count 1 -run 'SteadyStateAllocs' ./internal/mpi ./internal/nbc
 
-ci: build vet test race chaos-smoke kb-smoke guideline-smoke fork-smoke benchguard allocguard
+ci: build vet test race chaos-smoke kb-smoke guideline-smoke fork-smoke scale-smoke benchguard allocguard

@@ -1,0 +1,151 @@
+// Command benchscale measures how the simulated world scales: idle memory
+// per rank and engine event throughput at 1K/4K/16K ranks on the bgp-16k
+// torus. It maintains the committed BENCH_scale.json baseline.
+//
+//	benchscale                        # measure and print
+//	benchscale -out BENCH_scale.json  # regenerate the committed baseline
+//	benchscale -check BENCH_scale.json# fail on >15% regression or budget overrun
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nbctune/internal/bench"
+)
+
+var scaleRanks = []int{1024, 4096, 16384}
+
+type baseline struct {
+	Benchmark              string                      `json:"benchmark"`
+	Regenerate             string                      `json:"regenerate"`
+	Workload               string                      `json:"workload"`
+	CPU                    string                      `json:"cpu"`
+	Date                   string                      `json:"date"`
+	BudgetIdleBytesPerRank float64                     `json:"budget_idle_bytes_per_rank"`
+	Points                 map[string]bench.ScalePoint `json:"points_by_ranks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the measured baseline to this file")
+	check := flag.String("check", "", "compare against the committed baseline in this file")
+	benchtime := flag.Duration("benchtime", time.Second, "minimum wall time per rank count")
+	flag.Parse()
+
+	b := baseline{
+		Benchmark:              "simulated-world scaling: idle bytes/rank + engine events/sec",
+		Regenerate:             "make bench-scale  (or: go run ./cmd/benchscale -out BENCH_scale.json)",
+		Workload:               bench.ScaleWorkload,
+		CPU:                    cpuModel(),
+		Date:                   time.Now().Format("2006-01-02"),
+		BudgetIdleBytesPerRank: bench.IdleBudgetBytesPerRank,
+		Points:                 make(map[string]bench.ScalePoint, len(scaleRanks)),
+	}
+	for _, n := range scaleRanks {
+		pt, err := bench.MeasureScalePoint(n, *benchtime)
+		if err != nil {
+			fatal(err)
+		}
+		b.Points[fmt.Sprint(n)] = pt
+	}
+
+	if *check != "" {
+		committed, err := readBaseline(*check)
+		if err != nil {
+			fatal(err)
+		}
+		if err := compare(committed, b); err != nil {
+			fatal(err)
+		}
+		p16 := b.Points["16384"]
+		fmt.Printf("benchscale: within 15%% of %s (16K ranks: %.0f B/rank idle, %.2fM events/sec)\n",
+			*check, p16.IdleBytesPerRank, p16.EventsPerSec/1e6)
+		return
+	}
+
+	enc, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchscale: wrote %s\n", *out)
+		return
+	}
+	os.Stdout.Write(enc)
+}
+
+func compare(committed, now baseline) error {
+	budget := committed.BudgetIdleBytesPerRank
+	if budget == 0 {
+		budget = bench.IdleBudgetBytesPerRank
+	}
+	for _, n := range scaleRanks {
+		key := fmt.Sprint(n)
+		base, ok := committed.Points[key]
+		if !ok {
+			return fmt.Errorf("baseline has no point for %s ranks", key)
+		}
+		got := now.Points[key]
+		// Hard budget first: the absolute bound the scale work guarantees.
+		if got.IdleBytesPerRank > budget {
+			return fmt.Errorf("%s ranks: idle footprint %.0f B/rank exceeds the %.0f B/rank budget",
+				key, got.IdleBytesPerRank, budget)
+		}
+		if limit := base.IdleBytesPerRank * 1.15; got.IdleBytesPerRank > limit {
+			return fmt.Errorf("%s ranks: idle footprint %.0f B/rank exceeds 115%% of committed %.0f B/rank",
+				key, got.IdleBytesPerRank, base.IdleBytesPerRank)
+		}
+		if floor := base.EventsPerSec / 1.15; got.EventsPerSec < floor {
+			return fmt.Errorf("%s ranks: %.0f events/sec is more than 15%% below committed %.0f events/sec",
+				key, got.EventsPerSec, base.EventsPerSec)
+		}
+		// The workload is deterministic; an event-count change means the
+		// simulation itself changed, which a baseline refresh must own.
+		if base.Events != 0 && got.Events != base.Events {
+			return fmt.Errorf("%s ranks: workload fired %d events, committed baseline has %d (regenerate BENCH_scale.json if intended)",
+				key, got.Events, base.Events)
+		}
+	}
+	return nil
+}
+
+func readBaseline(path string) (baseline, error) {
+	var b baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if name, ok := strings.CutPrefix(sc.Text(), "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return "unknown"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchscale:", err)
+	os.Exit(1)
+}

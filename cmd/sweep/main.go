@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		suite    = flag.String("suite", "verification", "sweep suite: verification or fft")
+		suite    = flag.String("suite", "verification", "sweep suite: verification, fft, or scale")
 		fast     = flag.Bool("fast", false, "trimmed scenario grid (minutes instead of hours)")
 		quiet    = flag.Bool("quiet", false, "suppress per-scenario progress lines")
 		jobs     = flag.Int("jobs", 0, "parallel scenario workers (0 = GOMAXPROCS, 1 = sequential)")
@@ -156,6 +156,38 @@ func main() {
 			}
 		}
 
+	case "scale":
+		// E15: the scalable function sets on the bgp-16k torus at 64 ranks vs
+		// the 1K–4K regime, where the tuned winner flips (EXPERIMENTS.md E15).
+		specs := bench.ScaleScenarios(*fast)
+		for i := range specs {
+			specs[i].Observe = specs[i].Observe || *observe
+			specs[i].Data = specs[i].Data || *data
+			if chaosName != "" {
+				specs[i].Chaos = chaosName
+				specs[i].ChaosSeed = *chaosSd
+			}
+		}
+		selectors := []string{"brute-force", "attr-heuristic"}
+		st, err := bench.VerificationSweepOpts(specs, selectors, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t := bench.NewTable(fmt.Sprintf("Scale sweep: %d scenarios on %s (winner per scenario)", st.Total, "bgp-16k"),
+			"scenario", "best fixed", "brute-force correct")
+		for _, v := range st.Runs {
+			t.AddRow(v.Spec.String(), v.Fixed[v.Best].Impl, v.Correct(0))
+		}
+		t.Render(os.Stdout)
+		t2 := bench.NewTable("Correct-decision rates", "selector", "correct", "total", "rate")
+		for _, sel := range st.Selectors {
+			t2.AddRow(sel, st.Correct[sel], st.Total, fmt.Sprintf("%.1f%%", st.Rate(sel)*100))
+		}
+		t2.Render(os.Stdout)
+		summary = st.Summary()
+		summary.Suite = "scale"
+
 	case "fft":
 		specs := bench.FFTScenarios(*fast)
 		for i := range specs {
@@ -199,7 +231,7 @@ func main() {
 		}
 
 	default:
-		fmt.Fprintf(os.Stderr, "unknown suite %q (verification, fft)\n", *suite)
+		fmt.Fprintf(os.Stderr, "unknown suite %q (verification, fft, scale)\n", *suite)
 		os.Exit(1)
 	}
 

@@ -36,9 +36,9 @@ import (
 
 func main() {
 	var (
-		platName = flag.String("platform", "crill", "platform preset: crill, whale, whale-tcp, bgp")
+		platName = flag.String("platform", "crill", "platform preset: crill, whale, whale-tcp, bgp, bgp-16k")
 		np       = flag.Int("np", 16, "number of ranks")
-		op       = flag.String("op", "ialltoall", "operation: ialltoall, ialltoall-ext, ialltoall-prim, ibcast, iallgather, iallreduce, neighborhood")
+		op       = flag.String("op", "ialltoall", "operation: ialltoall, ialltoall-ext, ialltoall-prim, ibcast, ibcast-scalable, iallgather, iallgather-scalable, iallreduce, ibarrier, neighborhood")
 		msg      = flag.Int("msg", 128*1024, "message size in bytes")
 		compute  = flag.Float64("compute", 0.02, "compute seconds per iteration")
 		progress = flag.Int("progress", 5, "progress calls per iteration")
@@ -335,9 +335,16 @@ func buildSet(c *mpi.Comm, op string, msg int) (*core.FunctionSet, error) {
 		return core.IalltoallPrimitivesSet(c, mpi.Virtual(n*msg), mpi.Virtual(n*msg)), nil
 	case "ibcast":
 		return core.IbcastSet(c, 0, mpi.Virtual(msg)), nil
+	case "ibcast-scalable":
+		return core.IbcastScalableSet(c, 0, mpi.Virtual(msg)), nil
 	case "iallgather":
 		n := c.Size()
 		return core.IallgatherSet(c, mpi.Virtual(msg), mpi.Virtual(n*msg)), nil
+	case "iallgather-scalable":
+		n := c.Size()
+		return core.IallgatherScalableSet(c, mpi.Virtual(msg), mpi.Virtual(n*msg)), nil
+	case "ibarrier":
+		return core.IbarrierSet(c), nil
 	case "iallreduce":
 		return core.IallreduceSet(c, mpi.Virtual(msg), mpi.Virtual(msg), nil), nil
 	case "neighborhood":

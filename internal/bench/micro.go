@@ -63,11 +63,20 @@ type MicroSpec struct {
 	Mocks []string `json:",omitempty"`
 }
 
-// Ops supported by the micro-benchmark.
+// Ops supported by the micro-benchmark. The -scalable variants select from
+// the scale-oriented function sets (core/funcsets_scale.go) that add the
+// O(log n) and topology-aware algorithms; MsgSize is the per-rank block for
+// iallgather-scalable and is ignored by ibarrier.
 const (
-	OpIalltoall = "ialltoall"
-	OpIbcast    = "ibcast"
+	OpIalltoall          = "ialltoall"
+	OpIbcast             = "ibcast"
+	OpIbcastScalable     = "ibcast-scalable"
+	OpIallgatherScalable = "iallgather-scalable"
+	OpIbarrier           = "ibarrier"
 )
+
+// microOps lists every op the micro-benchmark accepts.
+var microOps = []string{OpIalltoall, OpIbcast, OpIbcastScalable, OpIallgatherScalable, OpIbarrier}
 
 func (s MicroSpec) String() string {
 	return fmt.Sprintf("%s/%s np=%d msg=%dB compute=%gs progress=%d iters=%d",
@@ -81,7 +90,14 @@ func (s MicroSpec) validate() error {
 	if s.Iterations < 1 || s.ProgressCalls < 1 {
 		return fmt.Errorf("bench: iterations and progress calls must be >= 1")
 	}
-	if s.Op != OpIalltoall && s.Op != OpIbcast {
+	known := false
+	for _, op := range microOps {
+		if s.Op == op {
+			known = true
+			break
+		}
+	}
+	if !known {
 		return fmt.Errorf("bench: unknown op %q", s.Op)
 	}
 	for _, m := range s.Mocks {
@@ -194,6 +210,58 @@ func (s MicroSpec) functionSetData(c *mpi.Comm) (*core.FunctionSet, func(), func
 			return nil
 		}
 		return fs, init, check
+	case OpIbcastScalable:
+		buf := s.payload(s.MsgSize)
+		fs := core.IbcastScalableSet(c, 0, buf)
+		if !s.Data {
+			return fs, nil, nil
+		}
+		init := func() {
+			if me == 0 {
+				b := buf.Data()
+				for k := range b {
+					b[k] = pat(0, 1, k)
+				}
+			}
+		}
+		check := func() error {
+			b := buf.Data()
+			for k := range b {
+				if b[k] != pat(0, 1, k) {
+					return fmt.Errorf("bench: ibcast-scalable data mismatch at rank %d byte %d", me, k)
+				}
+			}
+			return nil
+		}
+		return fs, init, check
+	case OpIallgatherScalable:
+		send := s.payload(s.MsgSize)
+		recv := s.payload(n * s.MsgSize)
+		fs := core.IallgatherScalableSet(c, send, recv)
+		if !s.Data {
+			return fs, nil, nil
+		}
+		init := func() {
+			b := send.Data()
+			for k := range b {
+				b[k] = pat(me, 0, k)
+			}
+		}
+		check := func() error {
+			for j := 0; j < n; j++ {
+				b := recv.Slice(j*s.MsgSize, s.MsgSize).Data()
+				for k := range b {
+					if b[k] != pat(j, 0, k) {
+						return fmt.Errorf("bench: iallgather data mismatch at rank %d block %d byte %d", me, j, k)
+					}
+				}
+			}
+			return nil
+		}
+		return fs, init, check
+	case OpIbarrier:
+		// Barriers move no payload; data mode has nothing to verify.
+		return core.IbarrierSet(c), nil, nil
 	default:
 		panic("bench: unknown op " + s.Op)
 	}

@@ -81,6 +81,52 @@ func VerificationScenarios(fast bool) []MicroSpec {
 	return specs
 }
 
+// ScaleScenarios builds the E15 grid: the scalable function sets tuned on
+// the BlueGene/P-style 16x16x16 torus (bgp-16k) at a small-communicator size
+// inside the paper's regime (64 ranks) and at 4K ranks, where the O(n)
+// algorithms collapse and the tuned winner flips. Block placement packs 4
+// ranks per node so the torus broadcast's node-leader hierarchy and
+// shared-memory fanout are exercised. fast=true caps the large points at
+// 1K ranks for CI smoke runs; the committed E15 artifacts come from the
+// full grid.
+func ScaleScenarios(fast bool) []MicroSpec {
+	bgp16k, _ := platform.ByName("bgp-16k")
+	const evals = 2
+	bcastNP, barrierNP, agNP := []int{64, 4096}, []int{64, 4096}, []int{64, 1024}
+	bcastMsg := 256 * 1024
+	if fast {
+		bcastNP, barrierNP, agNP = []int{64, 1024}, []int{64, 1024}, []int{64, 256}
+		bcastMsg = 128 * 1024
+	}
+	var specs []MicroSpec
+	seed := int64(1500)
+	for _, np := range bcastNP {
+		seed++
+		specs = append(specs, MicroSpec{
+			Platform: bgp16k, Procs: np, MsgSize: bcastMsg, Op: OpIbcastScalable,
+			ComputePerIter: computeFor(bcastMsg), Iterations: evals*9 + 6,
+			ProgressCalls: 4, Seed: seed, EvalsPerFn: evals, Placement: platform.Block,
+		})
+	}
+	for _, np := range agNP {
+		seed++
+		specs = append(specs, MicroSpec{
+			Platform: bgp16k, Procs: np, MsgSize: 1024, Op: OpIallgatherScalable,
+			ComputePerIter: computeFor(1024), Iterations: evals*3 + 6,
+			ProgressCalls: 4, Seed: seed, EvalsPerFn: evals, Placement: platform.Block,
+		})
+	}
+	for _, np := range barrierNP {
+		seed++
+		specs = append(specs, MicroSpec{
+			Platform: bgp16k, Procs: np, MsgSize: 1, Op: OpIbarrier,
+			ComputePerIter: 2e-4, Iterations: evals*2 + 6,
+			ProgressCalls: 4, Seed: seed, EvalsPerFn: evals, Placement: platform.Block,
+		})
+	}
+	return specs
+}
+
 // computeFor sizes the per-iteration compute phase so it is larger than or
 // equal to the communication cost, as the paper's benchmark prescribes.
 func computeFor(msgSize int) float64 {

@@ -113,20 +113,35 @@ func (c *Comm) Test(reqs ...*Request) bool { return c.r.Test(reqs...) }
 // collTagBase; internal blocking-collective tags and non-blocking base tags
 // each own a disjoint high range, and both ranges wrap around a finite
 // window so million-iteration sweeps cannot run the tag space into the
-// next range (or into integer overflow). A wraparound collision is only
-// possible against a collective still in flight after a full window of
-// later collectives on the same communicator — 2^22 blocking or 2^15
+// next range (or into integer overflow — the top of the NB range is
+// ~2^33, far inside int64). A wraparound collision is only possible
+// against a collective still in flight after a full window of later
+// collectives on the same communicator — 2^22 blocking or 2^15
 // non-blocking operations — which the non-overtaking matching of a
-// single-threaded MPI makes unreachable in practice. TestFreshNBTagWindow
-// pins the layout.
+// single-threaded MPI makes unreachable in practice.
+//
+// The stride is sized for 10K+ rank worlds: schedule builders use the tag
+// offset to disambiguate rounds/segments, and round counts grow with the
+// rank count (pairwise Ialltoall uses n-1 offsets, the ring Iallgather n-2,
+// a deeply segmented Ibcast size/segSize). The original 1024-wide stride
+// silently aliased offset n into the NEXT operation's base tag once n
+// exceeded 1024 ranks; 2^18 covers a quarter-million offsets, and the nbc
+// executor panics on any schedule that would overrun it (see
+// mpi.NBTagStride). TestFreshNBTagWindow and TestNBTagLargeRankBoundaries
+// pin the layout.
 const (
 	collTagBase   = 1 << 24
 	collTagWindow = 1 << 22
 
 	nbTagBase   = 1 << 26
-	nbTagStride = 1024 // tag offsets 0..1023 per non-blocking base tag
+	nbTagStride = 1 << 18 // tag offsets 0..nbTagStride-1 per non-blocking base tag
 	nbTagWindow = 1 << 15
 )
+
+// NBTagStride is the number of tag offsets each non-blocking base tag owns.
+// Schedule executors must keep every tag offset strictly below this bound;
+// an offset at or above it would alias a later operation's tag range.
+const NBTagStride = nbTagStride
 
 // nextCollTag returns a fresh tag for an internal collective operation.
 // Collective tags live in their own high range so they never collide with

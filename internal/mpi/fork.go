@@ -110,13 +110,19 @@ func (w *World) Snapshot() (*WorldSnapshot, error) {
 			return nil, fmt.Errorf("mpi: snapshot with %d open request(s) on rank %d", r.outstanding, r.id)
 		}
 		rs := rankSnap{
-			rng:           r.rng.Clone(),
 			mpiTime:       r.MPITime,
 			computeTime:   r.ComputeTime,
 			progressCalls: r.ProgressCalls,
 			pseq:          r.m.pseq,
 			scratchCap:    cap(r.scratch),
 			noticeCap:     cap(r.notices),
+		}
+		// A rank that never drew randomness has no stream to position; the
+		// fork re-creates it lazily from the same seed, so leaving it nil
+		// here is byte-equivalent and keeps fork cost proportional to the
+		// ranks that actually used their RNG.
+		if r.rng != nil {
+			rs.rng = r.rng.Clone()
 		}
 		for env := r.m.eager.ghead; env != nil; env = env.gnext {
 			rs.eager = append(rs.eager, envSnap{
@@ -179,18 +185,21 @@ func (s *WorldSnapshot) Fork() (*sim.Engine, *World) {
 		forked:  true,
 	}
 	w.opts.Chaos = inj
+	// Rank records come out of one contiguous batch, and the lazily created
+	// structures (RNG, wait condition, matcher maps) stay absent in the fork
+	// exactly where they were absent in the parent — per-fork cost is
+	// proportional to live state, not to the rank count times the size of a
+	// fully equipped rank.
+	recs := make([]Rank, len(s.ranks))
+	w.ranks = make([]*Rank, len(s.ranks))
 	for i := range s.ranks {
 		rs := &s.ranks[i]
-		r := &Rank{
-			w:             w,
-			id:            i,
-			cond:          sim.NewCond(eng),
-			rng:           rs.rng.Clone(),
-			MPITime:       rs.mpiTime,
-			ComputeTime:   rs.computeTime,
-			ProgressCalls: rs.progressCalls,
+		r := &recs[i]
+		r.w, r.id = w, i
+		r.MPITime, r.ComputeTime, r.ProgressCalls = rs.mpiTime, rs.computeTime, rs.progressCalls
+		if rs.rng != nil {
+			r.rng = rs.rng.Clone()
 		}
-		r.m.init()
 		r.m.pseq = rs.pseq
 		if rs.noticeCap > 0 {
 			r.notices = make([]notice, 0, rs.noticeCap)
@@ -198,6 +207,7 @@ func (s *WorldSnapshot) Fork() (*sim.Engine, *World) {
 		if rs.scratchCap > 0 {
 			r.scratch = make([]*Request, 0, rs.scratchCap)
 		}
+		w.ranks[i] = r
 		for _, es := range rs.eager {
 			env := w.allocEnv()
 			env.src, env.dst, env.tag, env.ctx = es.src, es.dst, es.tag, es.ctx
@@ -208,19 +218,23 @@ func (s *WorldSnapshot) Fork() (*sim.Engine, *World) {
 		if rs.layer != nil {
 			r.layerState = rs.layer.(LayerForker).ForkLayer()
 		}
-		w.ranks = append(w.ranks, r)
 	}
+	// Free lists are rebuilt as batch allocations in the parent's stack order.
+	reqRecs := make([]Request, len(s.reqGens))
 	w.reqFree = make([]*Request, len(s.reqGens))
 	for i, g := range s.reqGens {
-		w.reqFree[i] = &Request{gen: g, freed: true}
+		reqRecs[i] = Request{gen: g, freed: true}
+		w.reqFree[i] = &reqRecs[i]
 	}
-	w.envFree = make([]*envelope, 0, s.envFree)
-	for i := 0; i < s.envFree; i++ {
-		w.envFree = append(w.envFree, &envelope{})
+	envRecs := make([]envelope, s.envFree)
+	w.envFree = make([]*envelope, s.envFree)
+	for i := range envRecs {
+		w.envFree[i] = &envRecs[i]
 	}
-	w.osFree = make([]*osOp, 0, s.osFree)
-	for i := 0; i < s.osFree; i++ {
-		w.osFree = append(w.osFree, &osOp{})
+	osRecs := make([]osOp, s.osFree)
+	w.osFree = make([]*osOp, s.osFree)
+	for i := range osRecs {
+		w.osFree[i] = &osRecs[i]
 	}
 	return eng, w
 }

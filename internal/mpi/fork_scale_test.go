@@ -1,0 +1,83 @@
+package mpi
+
+import (
+	"runtime"
+	"testing"
+
+	"nbctune/internal/sim"
+)
+
+// forkScaleFingerprint runs a light full-world program — noisy compute, an
+// eager ring, a barrier — and condenses timing, event counts, network
+// counters and per-rank accounting into floats for exact comparison. It
+// deliberately never touches rank RNGs: forcing 4096 lazy RNGs into
+// existence would swamp the per-fork cost this file pins.
+func forkScaleFingerprint(eng *sim.Engine, w *World) []float64 {
+	n := w.Size()
+	w.Start(func(c *Comm) {
+		me := c.Rank()
+		c.Compute(1e-5)
+		c.Send((me+1)%n, 3, Virtual(512))
+		c.Recv((me+n-1)%n, 3, Virtual(512))
+		c.Barrier()
+	})
+	eng.Run()
+	fp := []float64{eng.Now(), float64(eng.EventsFired)}
+	net := w.Network()
+	fp = append(fp, float64(net.Transfers), float64(net.CtrlMessages), float64(net.BytesOnWire))
+	for _, r := range w.ranks {
+		fp = append(fp, r.MPITime, r.ComputeTime, float64(r.ProgressCalls))
+	}
+	return fp
+}
+
+// TestFork4KQuiescentReplay pins snapshot/fork at scale: a quiescent
+// 4096-rank world forks, both forks replay an identical continuation
+// byte-identically (parent mutation in between must not bleed through),
+// and the marginal heap cost of a fork stays proportional to the live
+// state — ~1.5 KiB/rank for rank records, matcher state and cloned chaos
+// streams, not the ~6 KiB/rank an eager deep copy of untouched lazy RNGs
+// would add on top.
+func TestFork4KQuiescentReplay(t *testing.T) {
+	n := 4096
+	if testing.Short() {
+		n = 512
+	}
+	eng, w := forkTestWorld(t, n)
+	forkScaleFingerprint(eng, w) // advance the parent to a lived-in quiescent state
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	e1, w1 := snap.Fork()
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	perRank := float64(int64(m1.HeapAlloc)-int64(m0.HeapAlloc)) / float64(n)
+	const forkBudgetBytesPerRank = 2048
+	if perRank > forkBudgetBytesPerRank {
+		t.Errorf("fork of a quiescent %d-rank world costs %.0f B/rank, budget is %d B/rank",
+			n, perRank, forkBudgetBytesPerRank)
+	}
+	t.Logf("%d ranks: fork cost %.0f B/rank", n, perRank)
+
+	a := forkScaleFingerprint(e1, w1)
+	forkScaleFingerprint(eng, w) // mutate the parent between the forks
+	e2, w2 := snap.Fork()
+	b := forkScaleFingerprint(e2, w2)
+
+	if len(a) != len(b) {
+		t.Fatalf("fingerprint lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fork fingerprint slot %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if a[0] <= snap.sim.Now() {
+		t.Fatal("fork replay did not advance virtual time")
+	}
+}

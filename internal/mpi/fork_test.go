@@ -66,7 +66,7 @@ func forkFingerprint(eng *sim.Engine, w *World) []float64 {
 	net := w.Network()
 	fp = append(fp, float64(net.Transfers), float64(net.CtrlMessages), float64(net.BytesOnWire))
 	for _, r := range w.ranks {
-		fp = append(fp, r.MPITime, r.ComputeTime, float64(r.ProgressCalls), r.rng.Rand.Float64())
+		fp = append(fp, r.MPITime, r.ComputeTime, float64(r.ProgressCalls), r.Rand().Float64())
 	}
 	return fp
 }

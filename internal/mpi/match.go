@@ -47,11 +47,10 @@ type matcher struct {
 	rts   unexpQueue // arrived RTS envelopes with no matching receive
 }
 
-func (m *matcher) init() {
-	m.posted = map[matchKey]*reqList{}
-	m.eager.init()
-	m.rts.init()
-}
+// The matcher's hash maps are created lazily on first insertion — a nil map
+// reads as empty in Go, so the lookup paths (matchArrival, find) need no
+// guards, and an idle rank carries no map headers at all. A 16K-rank world
+// where only a subset of ranks communicate pays for exactly the maps it uses.
 
 // post indexes a receive. Its position in posted order is stamped into
 // req.pseq so concurrent buckets can be merged by age.
@@ -60,6 +59,9 @@ func (m *matcher) post(req *Request) {
 	req.pseq = m.pseq
 	req.mnext = nil
 	k := matchKey{req.ctx, req.peer, req.tag}
+	if m.posted == nil {
+		m.posted = map[matchKey]*reqList{}
+	}
 	l := m.posted[k]
 	if l == nil {
 		if n := len(m.freeRL); n > 0 {
@@ -149,12 +151,11 @@ type unexpQueue struct {
 	freeEL       []*envList
 }
 
-func (u *unexpQueue) init() {
-	u.buckets = map[matchKey]*envList{}
-}
-
 func (u *unexpQueue) push(env *envelope) {
 	k := matchKey{env.ctx, env.src, env.tag}
+	if u.buckets == nil {
+		u.buckets = map[matchKey]*envList{}
+	}
 	l := u.buckets[k]
 	if l == nil {
 		if n := len(u.freeEL); n > 0 {

@@ -19,7 +19,6 @@ func TestMatchingOrderProperty(t *testing.T) {
 	for seed := 0; seed < seeds; seed++ {
 		rng := rand.New(rand.NewSource(int64(seed)))
 		var m matcher
-		m.init()
 		var ref refMatcher
 		reqID := map[*Request]int{}
 		envID := map[*envelope]int{}

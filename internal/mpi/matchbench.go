@@ -22,7 +22,6 @@ type MatchBench struct {
 func NewMatchBench(k int, indexed bool) *MatchBench {
 	mb := &MatchBench{indexed: indexed, k: k, step: oddCoprimeStep(k)}
 	if indexed {
-		mb.m.init()
 		for i := 0; i < k; i++ {
 			q := &Request{kind: reqRecv, peer: 0, tag: i, ctx: 1}
 			mb.reqs = append(mb.reqs, q)

@@ -1,0 +1,79 @@
+package mpi
+
+import "testing"
+
+// Tag-window arithmetic at scale. The original layout sized the per-operation
+// tag stride for ≤128-rank schedules; at 10K+ ranks round-indexed tag offsets
+// (pairwise Ialltoall uses n-1, the ring Iallgather n-2) overran a 1024-wide
+// stride into the next operation's range. These tests pin the widened layout
+// exhaustively at the boundaries that matter for large worlds.
+
+// TestNBTagLargeRankBoundaries checks, for every base tag of a full window,
+// that the stride's first and last offsets stay inside that operation's
+// private range: above the blocking-collective range, below the next base
+// tag, and non-overlapping with the previous one. This is the exhaustive
+// wrap/boundary sweep for the large-rank regime (offsets up to the deepest
+// schedule a 100K-rank world can build).
+func TestNBTagLargeRankBoundaries(t *testing.T) {
+	c := &Comm{}
+	prevHi := 0
+	for i := 0; i < nbTagWindow+2; i++ { // full window plus the wrap
+		base := c.FreshNBTag()
+		lo, hi := base, base+nbTagStride-1
+		if lo <= collTagBase+collTagWindow {
+			t.Fatalf("op %d: stride start %d reaches the blocking-collective range", i, lo)
+		}
+		if i > 0 && i < nbTagWindow && lo <= prevHi {
+			t.Fatalf("op %d: stride [%d,%d] overlaps the previous operation's range ending at %d", i, lo, hi, prevHi)
+		}
+		if i == nbTagWindow { // wrapped back to the window's first base tag
+			if lo != nbTagBase+nbTagStride {
+				t.Fatalf("op %d: wrap landed on %d, want the window's first base %d", i, lo, nbTagBase+nbTagStride)
+			}
+		}
+		prevHi = hi
+	}
+}
+
+// TestNBTagStrideCoversDeepSchedules pins the schedule depths the stride must
+// absorb: the largest per-round offsets any builder emits at large rank
+// counts and segment counts must stay strictly below NBTagStride.
+func TestNBTagStrideCoversDeepSchedules(t *testing.T) {
+	cases := []struct {
+		name string
+		off  int
+	}{
+		{"pairwise-ialltoall n=16384", 16384 - 1},
+		{"ring-iallgather n=16384", 16384 - 2},
+		{"pairwise-ialltoall n=131072", 131072 - 1},
+		{"ibcast 4GiB at 32KiB segments", (4 << 30) / (32 << 10)},
+		{"dissemination phases n=2^30", 30},
+	}
+	for _, tc := range cases {
+		if tc.off >= NBTagStride {
+			t.Errorf("%s: tag offset %d overruns the %d-wide stride", tc.name, tc.off, NBTagStride)
+		}
+	}
+	// The stride must also not push the window's top tag anywhere near the
+	// int range where arithmetic could overflow.
+	top := nbTagBase + (nbTagWindow+1)*nbTagStride
+	if top < nbTagBase || top > 1<<40 {
+		t.Fatalf("window top tag %d out of sane range", top)
+	}
+}
+
+// TestCollTagDisjointFromNBRange verifies the blocking-collective window can
+// never produce a tag inside any non-blocking stride, for every tag of the
+// collective window (exhaustive over the 2^22 window).
+func TestCollTagDisjointFromNBRange(t *testing.T) {
+	c := &Comm{}
+	for i := 0; i < collTagWindow; i++ {
+		tag := c.nextCollTag()
+		if tag >= nbTagBase {
+			t.Fatalf("collective tag %d (op %d) reaches the NB base range", tag, i)
+		}
+		if tag <= 0 || tag < collTagBase {
+			t.Fatalf("collective tag %d (op %d) below the collective base", tag, i)
+		}
+	}
+}

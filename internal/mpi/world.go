@@ -58,17 +58,21 @@ type World struct {
 
 // NewWorld creates n ranks on the given network. The network's rank->node
 // placement must cover at least n ranks.
+//
+// Per-rank state is deliberately minimal at construction: the rank records
+// come out of one contiguous batch allocation, and everything that is only
+// needed once a rank actually communicates — its RNG (≈5KB of math/rand
+// state), its wait condition, the matcher's hash maps — is created lazily on
+// first use. An idle 16K-rank world therefore costs a few hundred bytes per
+// rank (pinned by TestIdleWorldFootprint16K), not kilobytes.
 func NewWorld(eng *sim.Engine, net *netmodel.Network, n int, opts Options) *World {
 	w := &World{eng: eng, net: net, opts: opts, nextCtx: 1}
+	recs := make([]Rank, n)
+	w.ranks = make([]*Rank, n)
 	for i := 0; i < n; i++ {
-		r := &Rank{
-			w:    w,
-			id:   i,
-			cond: sim.NewCond(eng),
-			rng:  sim.NewClonableRand(opts.Seed*7919 + int64(i)),
-		}
-		r.m.init()
-		w.ranks = append(w.ranks, r)
+		r := &recs[i]
+		r.w, r.id = w, i
+		w.ranks[i] = r
 	}
 	return w
 }
@@ -100,12 +104,15 @@ func (w *World) Observe(rec *obs.Recorder) {
 func (w *World) Start(prog func(c *Comm)) {
 	ctx := w.nextCtx
 	w.nextCtx++
+	// One immutable members table shared by every rank's world communicator:
+	// per-rank copies would cost O(n²) memory (2GB at 16K ranks). Comm never
+	// mutates members, and Split/Dup build fresh slices, so sharing is safe.
+	members := make([]int, len(w.ranks))
+	for i := range members {
+		members[i] = i
+	}
 	for _, r := range w.ranks {
 		r := r
-		members := make([]int, len(w.ranks))
-		for i := range members {
-			members[i] = i
-		}
 		c := &Comm{r: r, members: members, me: r.id, ctx: ctx}
 		w.eng.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
 			r.proc = p
@@ -119,8 +126,8 @@ type Rank struct {
 	w    *World
 	id   int
 	proc *sim.Proc
-	rng  *sim.ClonableRand
-	rec  *obs.Recorder // nil unless World.Observe attached one
+	rng  *sim.ClonableRand // lazily created (see random); nil until first draw
+	rec  *obs.Recorder     // nil unless World.Observe attached one
 
 	// Message-progression state. The notice queue and the matcher are only
 	// mutated in engine-event context (enqueue) or in the rank's own proc
@@ -129,7 +136,7 @@ type Rank struct {
 	nhead        int      // first unprocessed notice (head cursor)
 	m            matcher  // posted receives and unexpected envelopes (match.go)
 	blockedInMPI bool
-	cond         *sim.Cond
+	cond         *sim.Cond // lazily created on first block (waitUntil)
 
 	outstanding int // open non-blocking requests, for OTest charging
 
@@ -155,11 +162,28 @@ func (r *Rank) Now() float64 { return r.proc.Now() }
 func (r *Rank) Proc() *sim.Proc { return r.proc }
 
 // Rand returns this rank's deterministic RNG.
-func (r *Rank) Rand() *rand.Rand { return r.rng.Rand }
+func (r *Rank) Rand() *rand.Rand { return r.random().Rand }
+
+// random returns the rank's clonable RNG, creating it on first use. The
+// stream is fully determined by the world seed and the rank id, so lazy
+// creation draws the identical sequence an eagerly created stream would —
+// only ranks that actually consume randomness (noise/chaos models, test
+// programs) ever pay the ≈5KB of math/rand source state.
+func (r *Rank) random() *sim.ClonableRand {
+	if r.rng == nil {
+		r.rng = sim.NewClonableRand(r.w.opts.Seed*7919 + int64(r.id))
+	}
+	return r.rng
+}
 
 // Recorder returns the attached observability recorder, or nil. All
 // *obs.Recorder methods are nil-safe, so callers use the result directly.
 func (r *Rank) Recorder() *obs.Recorder { return r.rec }
+
+// Network returns the interconnect model the rank's world runs on. Topology-
+// aware schedule builders read placement (NodeOf) and the shared topology
+// table (Topo) through it; they must treat both as immutable.
+func (r *Rank) Network() *netmodel.Network { return r.w.net }
 
 // Compute advances this rank by d seconds of application computation,
 // perturbed by the world's noise model. It is the only rank API that does
@@ -169,7 +193,7 @@ func (r *Rank) Compute(d float64) {
 		panic("mpi: negative compute time")
 	}
 	if n := r.w.opts.Noise; n != nil {
-		d = n(r.rng.Rand, d)
+		d = n(r.random().Rand, d)
 	}
 	if in := r.w.opts.Chaos; in != nil {
 		d = in.ComputeNoise(r.id, d)
@@ -313,6 +337,9 @@ func (w *World) freeOS(op *osOp) {
 // waitUntil blocks the rank inside MPI until pred holds, processing notices
 // as they arrive. It is the core of Wait and the blocking collectives.
 func (r *Rank) waitUntil(pred func() bool) {
+	if r.cond == nil {
+		r.cond = sim.NewCond(r.w.eng)
+	}
 	for {
 		r.processNotices()
 		if pred() {

@@ -84,6 +84,8 @@ func FanoutName(fanout int) string {
 		return "chain"
 	case FanoutBinomial:
 		return "binomial"
+	case FanoutTorus:
+		return "torus"
 	default:
 		return fmt.Sprintf("%d-ary", fanout)
 	}

@@ -116,8 +116,8 @@ func TestConformanceIalltoall(t *testing.T) {
 	confModes(t, func(t *testing.T, withChaos bool) {
 		rng := rand.New(rand.NewPCG(0xA11, 0xC0F))
 		for ci := 0; ci < confCases(t); ci++ {
-			n := 2 + rng.IntN(9)                   // 2..10 ranks
-			bs := 1 + rng.IntN(16*1024)            // crosses the 12 KiB eager limit
+			n := 2 + rng.IntN(9)        // 2..10 ranks
+			bs := 1 + rng.IntN(16*1024) // crosses the 12 KiB eager limit
 			algo := DefaultAlltoallAlgos[rng.IntN(len(DefaultAlltoallAlgos))]
 			ms, record, _ := recordOn()
 			runConf(t, n, withChaos, int64(ci+1), func(c *mpi.Comm) {
@@ -269,7 +269,7 @@ func TestConformanceIallgather(t *testing.T) {
 		for ci := 0; ci < confCases(t); ci++ {
 			n := 1 + rng.IntN(10)
 			bs := 1 + rng.IntN(16*1024)
-			algo := []AllgatherAlgo{AllgatherRing, AllgatherLinear}[rng.IntN(2)]
+			algo := []AllgatherAlgo{AllgatherRing, AllgatherLinear, AllgatherBruck}[rng.IntN(3)]
 			ms, record, _ := recordOn()
 			runConf(t, n, withChaos, int64(ci+1), func(c *mpi.Comm) {
 				me := c.Rank()

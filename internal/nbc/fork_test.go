@@ -176,7 +176,7 @@ func TestComposeTagRebaseAcrossNBTagWindowWrap(t *testing.T) {
 		root       = 1
 		size       = 6000 // not divisible by n: exercises padded tail blocks
 		nbTagBase  = 1 << 26
-		tagStride  = 1024
+		tagStride  = 1 << 18
 		tagWindow  = 1 << 15
 		spin       = tagWindow - 2 // leave two draws below the wrap point
 		iterations = 4             // two ops at the window top, two after the wrap

@@ -33,13 +33,20 @@ type AllgatherAlgo int
 const (
 	AllgatherRing AllgatherAlgo = iota
 	AllgatherLinear
+	// AllgatherBruck is the O(log n) dissemination allgather (scale.go),
+	// part of the scalable function set rather than the paper's default set.
+	AllgatherBruck
 )
 
 func (a AllgatherAlgo) String() string {
-	if a == AllgatherRing {
+	switch a {
+	case AllgatherRing:
 		return "ring"
+	case AllgatherBruck:
+		return "bruck"
+	default:
+		return "linear"
 	}
-	return "linear"
 }
 
 // Iallgather builds this rank's schedule for gathering send.Len() bytes from
@@ -85,6 +92,8 @@ func Iallgather(n, me int, send, recv mpi.Buf, algo AllgatherAlgo) *Schedule {
 			cur = prev
 		}
 		return s
+	case AllgatherBruck:
+		return IallgatherBruck(n, me, send, recv)
 	default:
 		panic(fmt.Sprintf("nbc: unknown allgather algorithm %d", int(algo)))
 	}

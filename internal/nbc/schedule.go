@@ -47,7 +47,7 @@ const (
 type Op struct {
 	Kind   OpKind
 	Peer   int     // comm rank (send destination / recv source)
-	TagOff int     // tag offset within the handle's tag range (0..1023)
+	TagOff int     // tag offset within the handle's tag range (0..mpi.NBTagStride-1)
 	Buf    mpi.Buf // payload or destination descriptor (virtual or real)
 	Bytes  int     // OpLocal: bytes of local work for cost accounting
 	Fn     func()  // OpLocal: the work itself (may be nil for timing-only)
@@ -217,6 +217,14 @@ func (h *Handle) execRounds() {
 		h.freePending()
 		h.await = -1
 		for _, op := range r {
+			if uint(op.TagOff) >= mpi.NBTagStride {
+				// An offset at or above the stride would alias a later
+				// operation's tag range and corrupt matching silently —
+				// the failure mode large-rank schedules (pairwise, ring,
+				// deeply segmented trees) hit before the stride was widened.
+				panic(fmt.Sprintf("nbc: %s round %d tag offset %d outside the %d-wide stride",
+					h.schedName(), h.round, op.TagOff, mpi.NBTagStride))
+			}
 			switch op.Kind {
 			case OpLocal:
 				h.comm.RankState().ChargeCopy(op.Bytes)

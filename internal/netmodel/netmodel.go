@@ -178,8 +178,9 @@ type nicState struct {
 type Network struct {
 	eng    *sim.Engine
 	p      Params
-	nodeOf []int // rank -> node
+	nodeOf []int // rank -> node; immutable after New, shared by forks
 	nodes  []*nicState
+	topo   *Topo // immutable topology table, shared by forks (topo.go)
 
 	// Counters for tests and reporting.
 	Transfers     int64
@@ -293,7 +294,9 @@ func New(eng *sim.Engine, p Params, nodeOf []int) (*Network, error) {
 		}
 	}
 	cp := p
-	return &Network{eng: eng, p: cp, nodeOf: append([]int(nil), nodeOf...), nodes: nodes}, nil
+	n := &Network{eng: eng, p: cp, nodeOf: append([]int(nil), nodeOf...), nodes: nodes}
+	n.topo = newTopo(&n.p, len(nodes))
+	return n, nil
 }
 
 // Params returns the network's parameter set.

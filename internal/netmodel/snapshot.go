@@ -13,7 +13,8 @@ import (
 // materialized from it concurrently.
 type Snapshot struct {
 	p      Params
-	nodeOf []int
+	nodeOf []int // immutable; shared by every fork rather than re-copied
+	topo   *Topo // immutable; shared by every fork
 	tx, rx [][]float64
 	inRx   []int
 
@@ -31,7 +32,8 @@ type Snapshot struct {
 func (n *Network) Snapshot() (*Snapshot, error) {
 	s := &Snapshot{
 		p:         n.p,
-		nodeOf:    append([]int(nil), n.nodeOf...),
+		nodeOf:    n.nodeOf,
+		topo:      n.topo,
 		tx:        make([][]float64, len(n.nodes)),
 		rx:        make([][]float64, len(n.nodes)),
 		inRx:      make([]int, len(n.nodes)),
@@ -69,7 +71,8 @@ func (s *Snapshot) Fork(eng *sim.Engine, inj *chaos.Injector) *Network {
 	n := &Network{
 		eng:           eng,
 		p:             s.p,
-		nodeOf:        append([]int(nil), s.nodeOf...),
+		nodeOf:        s.nodeOf,
+		topo:          s.topo,
 		nodes:         make([]*nicState, len(s.tx)),
 		Transfers:     s.transfers,
 		CtrlMessages:  s.ctrl,

@@ -200,9 +200,22 @@ func BGP() Platform {
 	}
 }
 
+// BGPScale is the BGP preset scaled out to a 16x16x16 torus (4096 nodes,
+// 16384 cores), the machine size the scale experiments (E15) tune at. Link
+// and host parameters are identical to BGP; only the partition geometry
+// changes, so ≤128-rank results on the two presets are directly comparable.
+func BGPScale() Platform {
+	p := BGP()
+	p.Name = "bgp-16k"
+	p.Nodes = 4096
+	p.Net.Name = "bgp-torus-16k"
+	p.Net.TorusDims = [3]int{16, 16, 16}
+	return p
+}
+
 // All returns every preset.
 func All() []Platform {
-	return []Platform{Crill(), Whale(), WhaleTCP(), BGP()}
+	return []Platform{Crill(), Whale(), WhaleTCP(), BGP(), BGPScale()}
 }
 
 // ByName looks a preset up by its name.

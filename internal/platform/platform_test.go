@@ -19,7 +19,7 @@ func TestPresetsValid(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"crill", "whale", "whale-tcp", "bgp"} {
+	for _, name := range []string{"crill", "whale", "whale-tcp", "bgp", "bgp-16k"} {
 		p, err := ByName(name)
 		if err != nil || p.Name != name {
 			t.Errorf("ByName(%q) = %v, %v", name, p.Name, err)
