@@ -2,7 +2,7 @@
 # command: `make ci`.
 GO ?= go
 
-.PHONY: all build test vet race bench bench-kb bench-fork bench-scale benchsmoke benchguard allocguard chaos-smoke kb-smoke guideline-smoke fork-smoke scale-smoke ci
+.PHONY: all build test vet race bench bench-kb bench-fork bench-scale bench-pdes benchsmoke benchguard allocguard chaos-smoke kb-smoke guideline-smoke fork-smoke scale-smoke pdes-smoke ci
 
 all: ci
 
@@ -15,12 +15,14 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The experiment runner is the one package with real goroutine concurrency
-# (worker pool, shared progress state, cache writes); run it — and the
-# execution core it schedules plus the mpi/nbc layers built on the token
-# handoff — under the race detector.
+# The packages with real goroutine concurrency — the experiment runner
+# (worker pool, shared progress state, cache writes), the sharded PDES
+# engine and everything that executes on it (sim windows, the sharded
+# netmodel views and mpi world, the bench PDES determinism matrix) — run
+# under the race detector.
 race:
-	$(GO) test -race ./internal/runner ./internal/sim/... ./internal/mpi/... ./internal/nbc/... ./internal/chaos/... ./internal/kb
+	$(GO) test -race ./internal/runner ./internal/sim/... ./internal/mpi/... ./internal/nbc/... ./internal/chaos/... ./internal/kb ./internal/netmodel
+	$(GO) test -race -count 1 -run 'PDES' ./internal/bench
 
 # All Go benchmarks (one iteration as a smoke), then regenerate the committed
 # MPI hot-path baseline from full measurements. Run on a quiet machine before
@@ -65,6 +67,26 @@ bench-fork:
 # torus. Run on a quiet machine before committing.
 bench-scale:
 	$(GO) run ./cmd/benchscale -out BENCH_scale.json
+
+# Regenerate the committed PDES baseline (BENCH_pdes.json): sequential vs
+# sharded event throughput at 4096 ranks. Event counts, window barriers and
+# virtual seconds are deterministic; throughput (and the recorded core count
+# the speedup assertion is gated on) is host-specific, so run on a quiet
+# machine before committing.
+bench-pdes:
+	$(GO) run ./cmd/benchpdes -benchtime 2s -out BENCH_pdes.json
+
+# PDES gate: the window/lookahead unit suites and the determinism matrices
+# under the race detector (shards 1/2/4/8 must produce byte-identical
+# artifacts), then a sharded fast sweep written to a scratch path and
+# compared against a second run at a different shard count.
+pdes-smoke:
+	$(GO) test -race -count 1 -run 'Window|Lookahead|Sharded|PDES' ./internal/sim ./internal/netmodel ./internal/mpi ./internal/platform ./internal/bench
+	$(GO) run ./cmd/sweep -suite verification -fast -quiet -shards 2 -out results/.pdes_smoke_s2.json > /dev/null
+	$(GO) run ./cmd/sweep -suite verification -fast -quiet -shards 4 -out results/.pdes_smoke_s4.json > /dev/null
+	cmp results/.pdes_smoke_s2.json results/.pdes_smoke_s4.json
+	rm -f results/.pdes_smoke_s2.json results/.pdes_smoke_s4.json
+	@echo "pdes-smoke: sharded runs race-clean, sweep summaries byte-identical across shard counts"
 
 # Scale gate: the 16K footprint pin, the 4K fork replay, the scale
 # conformance suite for the topology-aware variants (-short keeps the chaos
@@ -121,10 +143,11 @@ benchguard:
 	$(GO) run ./cmd/audit -check results/guideline_report.json
 	$(GO) run ./cmd/benchfork -check BENCH_fork.json
 	$(GO) run ./cmd/benchscale -check BENCH_scale.json
+	$(GO) run ./cmd/benchpdes -check BENCH_pdes.json
 
 # Zero-allocation pins for the mpi/nbc steady state (matching cycles and a
 # full persistent-Ibcast iteration must stay at 0 allocs once pools are warm).
 allocguard:
 	$(GO) test -count 1 -run 'SteadyStateAllocs' ./internal/mpi ./internal/nbc
 
-ci: build vet test race chaos-smoke kb-smoke guideline-smoke fork-smoke scale-smoke benchguard allocguard
+ci: build vet test race chaos-smoke kb-smoke guideline-smoke fork-smoke scale-smoke pdes-smoke benchguard allocguard

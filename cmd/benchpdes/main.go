@@ -1,0 +1,197 @@
+// Command benchpdes measures the multi-core PDES engine (DESIGN.md §13): the
+// sequential engine against the sharded world at 1, 2 and 4 shards on a
+// 4096-rank workload. It maintains the committed BENCH_pdes.json baseline.
+//
+// The simulated quantities (event counts, window barriers, virtual seconds)
+// are deterministic and pinned exactly; throughput is checked with regression
+// margins. The parallel-speedup assertion only applies when the measuring
+// host has enough cores to exhibit it — the recorded core count travels with
+// the baseline so a 1-CPU CI box neither fails nor silently weakens the check.
+//
+//	benchpdes                        # measure and print
+//	benchpdes -out BENCH_pdes.json   # regenerate the committed baseline
+//	benchpdes -check BENCH_pdes.json # fail on determinism break or >15% regression
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"nbctune/internal/bench"
+)
+
+const pdesRanks = 4096
+
+// pdesShards are the measured configurations; 0 is the sequential engine.
+var pdesShards = []int{0, 1, 2, 4}
+
+// Overhead and speedup targets (ISSUE: ≤15% 1-shard window-barrier overhead,
+// ≥2.5x events/sec at 4 shards — the latter asserted only on hosts with >= 4
+// cores).
+const (
+	maxOneShardOverhead = 1.15
+	minFourShardSpeedup = 2.5
+	speedupMinCores     = 4
+)
+
+type baseline struct {
+	Benchmark  string                     `json:"benchmark"`
+	Regenerate string                     `json:"regenerate"`
+	Workload   string                     `json:"workload"`
+	CPU        string                     `json:"cpu"`
+	Cores      int                        `json:"cores"`
+	Date       string                     `json:"date"`
+	Points     map[string]bench.PDESPoint `json:"points_by_shards"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the measured baseline to this file")
+	check := flag.String("check", "", "compare against the committed baseline in this file")
+	benchtime := flag.Duration("benchtime", time.Second, "minimum wall time per configuration")
+	flag.Parse()
+
+	b := baseline{
+		Benchmark:  "PDES engine: sequential vs sharded event throughput at 4096 ranks",
+		Regenerate: "make bench-pdes  (or: go run ./cmd/benchpdes -out BENCH_pdes.json)",
+		Workload:   bench.PDESWorkload,
+		CPU:        cpuModel(),
+		Cores:      runtime.NumCPU(),
+		Date:       time.Now().Format("2006-01-02"),
+		Points:     make(map[string]bench.PDESPoint, len(pdesShards)),
+	}
+	for _, shards := range pdesShards {
+		pt, err := bench.MeasurePDESPoint(pdesRanks, shards, *benchtime)
+		if err != nil {
+			fatal(err)
+		}
+		b.Points[key(shards)] = pt
+	}
+
+	if *check != "" {
+		committed, err := readBaseline(*check)
+		if err != nil {
+			fatal(err)
+		}
+		if err := compare(committed, b); err != nil {
+			fatal(err)
+		}
+		seq, p4 := b.Points[key(0)], b.Points[key(4)]
+		fmt.Printf("benchpdes: within 15%% of %s (seq %.2fM events/sec, 4 shards %.2fM events/sec on %d cores)\n",
+			*check, seq.EventsPerSec/1e6, p4.EventsPerSec/1e6, b.Cores)
+		return
+	}
+
+	enc, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchpdes: wrote %s\n", *out)
+		return
+	}
+	os.Stdout.Write(enc)
+}
+
+func key(shards int) string {
+	if shards == 0 {
+		return "seq"
+	}
+	return fmt.Sprint(shards)
+}
+
+func compare(committed, now baseline) error {
+	for _, shards := range pdesShards {
+		k := key(shards)
+		base, ok := committed.Points[k]
+		if !ok {
+			return fmt.Errorf("baseline has no point for %s", k)
+		}
+		got := now.Points[k]
+		// Simulated quantities are deterministic; any drift means the
+		// simulation itself changed, which a baseline refresh must own.
+		if got.Events != base.Events {
+			return fmt.Errorf("%s: workload fired %d events, committed baseline has %d (regenerate BENCH_pdes.json if intended)",
+				k, got.Events, base.Events)
+		}
+		if got.VirtualSeconds != base.VirtualSeconds {
+			return fmt.Errorf("%s: virtual completion %.9g s, committed baseline has %.9g s (regenerate BENCH_pdes.json if intended)",
+				k, got.VirtualSeconds, base.VirtualSeconds)
+		}
+		if got.WindowBarriers != base.WindowBarriers {
+			return fmt.Errorf("%s: %d window barriers, committed baseline has %d (regenerate BENCH_pdes.json if intended)",
+				k, got.WindowBarriers, base.WindowBarriers)
+		}
+		if floor := base.EventsPerSec / 1.15; got.EventsPerSec < floor {
+			return fmt.Errorf("%s: %.0f events/sec is more than 15%% below committed %.0f events/sec",
+				k, got.EventsPerSec, base.EventsPerSec)
+		}
+	}
+	// Shard-count independence: every sharded point simulates the identical
+	// run.
+	ref := now.Points[key(1)]
+	for _, shards := range pdesShards[2:] {
+		got := now.Points[key(shards)]
+		if got.Events != ref.Events || got.VirtualSeconds != ref.VirtualSeconds {
+			return fmt.Errorf("shard count changed simulated quantities: %s fired %d events over %.9g s, 1 shard fired %d over %.9g s",
+				key(shards), got.Events, got.VirtualSeconds, ref.Events, ref.VirtualSeconds)
+		}
+	}
+	// Window-barrier overhead: one shard must stay within 15% of the
+	// sequential engine's wall clock on this host.
+	seq := now.Points[key(0)]
+	if ref.EventsPerSec*maxOneShardOverhead < seq.EventsPerSec {
+		return fmt.Errorf("1-shard overhead: %.0f events/sec vs sequential %.0f (more than %.0f%% slower)",
+			ref.EventsPerSec, seq.EventsPerSec, (maxOneShardOverhead-1)*100)
+	}
+	// Parallel speedup, only meaningful with real cores to spread over.
+	if now.Cores >= speedupMinCores {
+		p4 := now.Points[key(4)]
+		if p4.EventsPerSec < seq.EventsPerSec*minFourShardSpeedup {
+			return fmt.Errorf("4-shard speedup %.2fx over sequential is below the %.1fx target (%d cores)",
+				p4.EventsPerSec/seq.EventsPerSec, minFourShardSpeedup, now.Cores)
+		}
+	}
+	return nil
+}
+
+func readBaseline(path string) (baseline, error) {
+	var b baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if name, ok := strings.CutPrefix(sc.Text(), "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return "unknown"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchpdes:", err)
+	os.Exit(1)
+}

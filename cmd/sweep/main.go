@@ -27,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"nbctune/internal/bench"
@@ -56,8 +57,15 @@ func main() {
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		specOn   = flag.Bool("speculate", false, "evaluate ADCL selector runs via speculative world forks (decisions worker-count independent)")
 		specWrk  = flag.Int("spec-workers", 0, "fork worker pool per speculative scenario (0 = GOMAXPROCS)")
+		shardStr = flag.String("shards", "", "run scenarios on the sharded PDES engine: auto (GOMAXPROCS, clamped to nodes) or a shard count; empty = sequential engine")
 	)
 	flag.Parse()
+
+	shards, pdes, err := parseShards(*shardStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
 
 	if _, err := profiles.ByName(*chaosStr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -106,6 +114,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep: -speculate is incompatible with -observe and -data (state cannot cross a snapshot)")
 		os.Exit(1)
 	}
+	if pdes {
+		if *specOn {
+			fmt.Fprintln(os.Stderr, "sweep: -shards is incompatible with -speculate (a sharded world cannot be snapshotted)")
+			os.Exit(1)
+		}
+		if chaosName != "" {
+			fmt.Fprintln(os.Stderr, "sweep: -shards is incompatible with -chaos (injection streams are consumed in global order)")
+			os.Exit(1)
+		}
+		if *suite == "fft" {
+			fmt.Fprintln(os.Stderr, "sweep: -shards applies to the micro-benchmark suites (verification, scale), not fft")
+			os.Exit(1)
+		}
+	}
 	if *cacheOn || *resume {
 		c, err := runner.OpenCache(*cacheDir)
 		if err != nil {
@@ -126,6 +148,10 @@ func main() {
 			if chaosName != "" {
 				specs[i].Chaos = chaosName
 				specs[i].ChaosSeed = *chaosSd
+			}
+			if pdes {
+				specs[i].PDES = true
+				specs[i].Shards = shards
 			}
 		}
 		selectors := []string{"brute-force", "attr-heuristic", "factorial-2k"}
@@ -166,6 +192,10 @@ func main() {
 			if chaosName != "" {
 				specs[i].Chaos = chaosName
 				specs[i].ChaosSeed = *chaosSd
+			}
+			if pdes {
+				specs[i].PDES = true
+				specs[i].Shards = shards
 			}
 		}
 		selectors := []string{"brute-force", "attr-heuristic"}
@@ -252,6 +282,25 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "%d tuned winners shared with kb %s\n", len(kbRecords), *kbAddr)
 	}
+}
+
+// parseShards interprets the -shards flag: "" keeps the sequential engine,
+// "auto" selects the sharded (PDES) engine with a GOMAXPROCS-derived worker
+// count (platform assembly clamps it to the used node count), and a positive
+// integer pins the shard count. Aggregate output is byte-identical for every
+// value — the shard count, like -jobs, changes only wall-clock.
+func parseShards(v string) (shards int, pdes bool, err error) {
+	switch v {
+	case "":
+		return 0, false, nil
+	case "auto":
+		return 0, true, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0, false, fmt.Errorf("invalid -shards %q (want auto or a positive shard count)", v)
+	}
+	return n, true, nil
 }
 
 // envFingerprint mirrors cmd/tune's history gating: flat topology maps to

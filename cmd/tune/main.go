@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"nbctune/internal/bench"
 	"nbctune/internal/chaos/profiles"
@@ -54,6 +55,7 @@ func main() {
 		chaosSd  = flag.Int64("chaos-seed", 1, "seed for the chaos injector's deterministic streams")
 		specOn   = flag.Bool("speculate", false, "evaluate candidates on speculative world forks instead of in-line learning (ialltoall/ibcast)")
 		specWrk  = flag.Int("spec-workers", 0, "fork worker pool for -speculate (0 = GOMAXPROCS); decisions are identical for every value")
+		shardStr = flag.String("shards", "", "run on the sharded PDES engine: auto (GOMAXPROCS, clamped to nodes) or a shard count; empty = sequential engine")
 	)
 	flag.Parse()
 
@@ -69,9 +71,43 @@ func main() {
 	if prof != nil {
 		chaosName = prof.Name
 	}
-	eng, world, err := plat.NewWorldChaos(*np, *seed, platform.Cyclic, prof, *chaosSd)
+	shards, pdes, err := parseShards(*shardStr)
 	if err != nil {
 		fail(err)
+	}
+	if pdes {
+		// The gated feature set (DESIGN.md §13): chaos consumes injection
+		// streams in global call order, speculation needs a snapshot, the
+		// primitive set creates one-sided windows, and history/kb lookups run
+		// once per rank — concurrently under PDES.
+		switch {
+		case chaosName != "":
+			fail(fmt.Errorf("-shards is incompatible with -chaos"))
+		case *specOn:
+			fail(fmt.Errorf("-shards is incompatible with -speculate (a sharded world cannot be snapshotted)"))
+		case *op == "ialltoall-prim":
+			fail(fmt.Errorf("-shards does not support op %q (one-sided windows are gated on a sharded world)", *op))
+		case *histPath != "" || *kbAddr != "":
+			fail(fmt.Errorf("-shards is incompatible with -history and -kb"))
+		}
+	}
+	// The uniform start/observe/run triple over the sequential engine or the
+	// sharded (PDES) world; the tuning loop below runs unchanged on either.
+	var startW func(func(*mpi.Comm))
+	var observeW func(*obs.Recorder)
+	var runW func()
+	if pdes {
+		sw, err := plat.NewWorldPDES(*np, *seed, platform.Cyclic, shards)
+		if err != nil {
+			fail(err)
+		}
+		startW, observeW, runW = sw.Start, sw.Observe, sw.Run
+	} else {
+		eng, world, err := plat.NewWorldChaos(*np, *seed, platform.Cyclic, prof, *chaosSd)
+		if err != nil {
+			fail(err)
+		}
+		startW, observeW, runW = world.Start, world.Observe, func() { eng.Run() }
 	}
 	// The environment fingerprint gates history hits: a winner tuned on a
 	// clean flat fabric must not be replayed under a chaos profile (or vice
@@ -124,7 +160,7 @@ func main() {
 	var rec *obs.Recorder
 	if (*tracOut != "" || *metrOut != "") && !speculate {
 		rec = obs.NewRecorder(*np)
-		world.Observe(rec)
+		observeW(rec)
 	}
 
 	var report string
@@ -163,7 +199,7 @@ func main() {
 			sr.SeqLatency, sr.SpecLatency, sr.Speedup(),
 			winnerName, evalsUsed, sr.Result.PostLearnPerIter, n)
 	} else {
-		world.Start(func(c *mpi.Comm) {
+		startW(func(c *mpi.Comm) {
 			fs, err := buildSet(c, *op, *msg)
 			if err != nil {
 				fail(err)
@@ -207,7 +243,7 @@ func main() {
 				}
 			}
 		})
-		eng.Run()
+		runW()
 	}
 
 	fmt.Printf("platform %s, %d ranks, %d-byte messages, %g s compute/iter, %d progress calls\n\n",
@@ -368,6 +404,23 @@ func buildSet(c *mpi.Comm, op string, msg int) (*core.FunctionSet, error) {
 	default:
 		return nil, fmt.Errorf("unknown operation %q", op)
 	}
+}
+
+// parseShards interprets the -shards flag exactly as cmd/sweep does: "" keeps
+// the sequential engine, "auto" selects the sharded (PDES) engine with a
+// GOMAXPROCS-derived worker count, a positive integer pins the shard count.
+func parseShards(v string) (shards int, pdes bool, err error) {
+	switch v {
+	case "":
+		return 0, false, nil
+	case "auto":
+		return 0, true, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0, false, fmt.Errorf("invalid -shards %q (want auto or a positive shard count)", v)
+	}
+	return n, true, nil
 }
 
 func fail(err error) {

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestE15AuditArtifactIntegrity verifies the compressed form of the large
+// E15 selection audit (results/e15_audit_np4096.json was 2.6 MB of committed
+// JSON; it now lives as a gzip plus a readable head excerpt plus a SHA-256
+// pin). The test proves the three pieces are mutually consistent: the gzip
+// decompresses to valid JSON whose digest matches the pin and whose prefix is
+// exactly the head excerpt.
+func TestE15AuditArtifactIntegrity(t *testing.T) {
+	const base = "../../results/e15_audit_np4096"
+
+	f, err := os.Open(base + ".json.gz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pin, err := os.ReadFile(base + ".sha256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimSpace(string(pin))
+	if got := fmt.Sprintf("%x", sha256.Sum256(full)); got != want {
+		t.Errorf("decompressed audit digest %s does not match pinned %s", got, want)
+	}
+
+	head, err := os.ReadFile(base + ".head.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(head) == 0 || !bytes.HasPrefix(full, head) {
+		t.Error("head excerpt is not a prefix of the decompressed audit")
+	}
+
+	var doc struct {
+		Winner string          `json:"winner"`
+		Audit  json.RawMessage `json:"audit"`
+	}
+	if err := json.Unmarshal(full, &doc); err != nil {
+		t.Fatalf("decompressed audit is not valid JSON: %v", err)
+	}
+	if doc.Winner == "" || len(doc.Audit) == 0 {
+		t.Errorf("decompressed audit missing winner/audit fields (winner=%q, audit %d bytes)", doc.Winner, len(doc.Audit))
+	}
+}

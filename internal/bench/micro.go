@@ -14,6 +14,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"nbctune/internal/chaos/profiles"
 	"nbctune/internal/core"
@@ -61,6 +62,19 @@ type MicroSpec struct {
 	// violations→function-set feedback loop. Omitempty: mock-free specs
 	// fingerprint identically to specs that predate the guideline layer.
 	Mocks []string `json:",omitempty"`
+	// PDES selects the sharded multi-core simulation engine (DESIGN.md §13).
+	// Results are identical at every shard count but legitimately differ
+	// from the sequential engine (the rendezvous sender completes at
+	// NIC-drain time; incast is sampled at wire arrival), so the flag is
+	// part of the spec's identity and cache fingerprint. Chaos profiles are
+	// not supported under PDES.
+	PDES bool `json:",omitempty"`
+	// Shards is the worker (OS thread) count used when PDES is set; <= 0
+	// selects min(GOMAXPROCS, used nodes). Excluded from the JSON form: the
+	// shard count changes only wall-clock, never a simulated quantity, so
+	// specs fingerprint (and cache, and summarize) identically at every
+	// count — the same philosophy as the runner's -jobs.
+	Shards int `json:"-"`
 }
 
 // Ops supported by the micro-benchmark. The -scalable variants select from
@@ -109,6 +123,9 @@ func (s MicroSpec) validate() error {
 			return fmt.Errorf("bench: mock %q extends %q sets, not %q", m, def.Op, s.Op)
 		}
 	}
+	if s.PDES && s.Chaos != "" && s.Chaos != "off" {
+		return fmt.Errorf("bench: chaos profile %q is not supported under PDES (sharded) simulation", s.Chaos)
+	}
 	return nil
 }
 
@@ -127,6 +144,24 @@ func chaosWorld(pl platform.Platform, procs int, seed int64, place platform.Plac
 		return nil, nil, err
 	}
 	return pl.NewWorldChaos(procs, seed, place, prof, chaosSeed)
+}
+
+// world assembles the spec's simulated machine — sequential by default, the
+// sharded (PDES) world when spec.PDES is set — behind a uniform
+// start/observe/run triple so the benchmark loops run unchanged on either.
+func (s MicroSpec) world() (start func(func(*mpi.Comm)), observe func(*obs.Recorder), run func(), err error) {
+	if s.PDES {
+		sw, err := s.Platform.NewWorldPDES(s.Procs, s.Seed, s.Placement, s.Shards)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return sw.Start, sw.Observe, sw.Run, nil
+	}
+	eng, w, err := chaosWorld(s.Platform, s.Procs, s.Seed, s.Placement, s.Chaos, s.ChaosSeed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return w.Start, w.Observe, func() { eng.Run() }, nil
 }
 
 // payload allocates an n-byte buffer descriptor in the spec's data mode:
@@ -320,23 +355,25 @@ func runLoopObserved(spec MicroSpec, label string, mkSel func(fs *core.FunctionS
 	if err := spec.validate(); err != nil {
 		return MicroResult{}, nil, err
 	}
-	eng, w, err := chaosWorld(spec.Platform, spec.Procs, spec.Seed, spec.Placement, spec.Chaos, spec.ChaosSeed)
+	start, observe, run, err := spec.world()
 	if err != nil {
 		return MicroResult{}, nil, err
 	}
 	var rec *obs.Recorder
 	if spec.Observe {
 		rec = obs.NewRecorder(spec.Procs)
-		w.Observe(rec)
+		observe(rec)
 	}
 	res := MicroResult{Spec: spec, Impl: label, DecidedIter: -1}
 	chunk := spec.ComputePerIter / float64(spec.ProgressCalls)
 
 	starts := make([]float64, spec.Procs)
 	ends := make([]float64, spec.Procs)
-	var dataErr error
+	// Per-rank error slots: under PDES, ranks on different shards check
+	// concurrently, so a shared variable would race.
+	dataErrs := make([]error, spec.Procs)
 
-	w.Start(func(c *mpi.Comm) {
+	start(func(c *mpi.Comm) {
 		me := c.Rank()
 		fs, dinit, dcheck := spec.functionSetData(c)
 		req := core.MustRequest(fs, mkSel(fs), c.Now)
@@ -360,7 +397,7 @@ func runLoopObserved(spec MicroSpec, label string, mkSel func(fs *core.FunctionS
 			iterStart := c.Now()
 			timer.Start()
 			req.Init()
-			if res.DecidedIter < 0 && me == 0 && req.Decided() {
+			if me == 0 && res.DecidedIter < 0 && req.Decided() {
 				res.DecidedIter = it
 			}
 			for k := 0; k < spec.ProgressCalls; k++ {
@@ -368,8 +405,8 @@ func runLoopObserved(spec MicroSpec, label string, mkSel func(fs *core.FunctionS
 				req.Progress()
 			}
 			req.Wait()
-			if dcheck != nil && dataErr == nil {
-				dataErr = dcheck()
+			if dcheck != nil && dataErrs[me] == nil {
+				dataErrs[me] = dcheck()
 			}
 			core.StopMaybeSynced(c, timer, req)
 			if me == 0 && req.Decided() {
@@ -389,9 +426,11 @@ func runLoopObserved(spec MicroSpec, label string, mkSel func(fs *core.FunctionS
 			}
 		}
 	})
-	eng.Run()
-	if dataErr != nil {
-		return res, nil, dataErr
+	run()
+	for _, derr := range dataErrs {
+		if derr != nil {
+			return res, nil, derr
+		}
 	}
 
 	for me := 0; me < spec.Procs; me++ {
@@ -449,10 +488,11 @@ func RunFixedObserved(spec MicroSpec, fn int) (MicroResult, *obs.Recorder, error
 func RunADCLObserved(spec MicroSpec, selector string) (MicroResult, *obs.Recorder, error) {
 	spec.Observe = true
 	var selErr error
+	var selOnce sync.Once // every rank constructs a selector; under PDES they do so concurrently
 	r, rec, err := runLoopObserved(spec, "adcl:"+selector, func(fs *core.FunctionSet) core.Selector {
 		sel, err := core.SelectorByName(selector, fs, spec.evals())
 		if err != nil {
-			selErr = err
+			selOnce.Do(func() { selErr = err })
 			return &core.FixedSelector{Fn: 0}
 		}
 		return sel
@@ -481,10 +521,11 @@ func RunAllFixed(spec MicroSpec) ([]MicroResult, error) {
 // ("brute-force", "attr-heuristic", or "factorial-2k").
 func RunADCL(spec MicroSpec, selector string) (MicroResult, error) {
 	var selErr error
+	var selOnce sync.Once // see RunADCLObserved: ranks race on this under PDES
 	r, err := runLoop(spec, "adcl:"+selector, func(fs *core.FunctionSet) core.Selector {
 		sel, err := core.SelectorByName(selector, fs, spec.evals())
 		if err != nil {
-			selErr = err
+			selOnce.Do(func() { selErr = err })
 			return &core.FixedSelector{Fn: 0}
 		}
 		return sel
@@ -501,18 +542,19 @@ func TuningReportFor(spec MicroSpec, selector string) (string, error) {
 	if err := spec.validate(); err != nil {
 		return "", err
 	}
-	eng, w, err := chaosWorld(spec.Platform, spec.Procs, spec.Seed, spec.Placement, spec.Chaos, spec.ChaosSeed)
+	start, _, run, err := spec.world()
 	if err != nil {
 		return "", err
 	}
 	chunk := spec.ComputePerIter / float64(spec.ProgressCalls)
 	var out string
 	var selErr error
-	w.Start(func(c *mpi.Comm) {
+	var selOnce sync.Once // see RunADCLObserved: ranks race on this under PDES
+	start(func(c *mpi.Comm) {
 		fs := spec.functionSet(c)
 		sel, err := core.SelectorByName(selector, fs, spec.evals())
 		if err != nil {
-			selErr = err
+			selOnce.Do(func() { selErr = err })
 			return
 		}
 		req := core.MustRequest(fs, sel, c.Now)
@@ -531,10 +573,10 @@ func TuningReportFor(spec MicroSpec, selector string) (string, error) {
 			out = core.TuningReport(req)
 		}
 	})
+	run()
 	if selErr != nil {
 		return "", selErr
 	}
-	eng.Run()
 	return out, nil
 }
 

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"nbctune/internal/core"
+	"nbctune/internal/mpi"
+	"nbctune/internal/obs"
+	"nbctune/internal/platform"
+)
+
+// pdesSpec is the determinism-matrix workload: 64 ranks block-placed over 16
+// bgp-16k nodes, so shard counts 1/2/4/8 all divide the node set.
+func pdesSpec(t *testing.T) MicroSpec {
+	t.Helper()
+	plat, err := platform.ByName("bgp-16k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MicroSpec{
+		Platform:       plat,
+		Procs:          64,
+		MsgSize:        8 * 1024,
+		Op:             OpIbcastScalable,
+		ComputePerIter: 2e-3,
+		Iterations:     12,
+		ProgressCalls:  2,
+		Seed:           7,
+		EvalsPerFn:     1,
+		Placement:      platform.Block,
+		PDES:           true,
+	}
+}
+
+// TestPDESDeterminismMatrix is the tentpole acceptance test at the bench
+// layer: sweep summaries, Perfetto traces, and selection audits produced by a
+// PDES run are byte-identical at shard counts 1, 2, 4 and 8.
+func TestPDESDeterminismMatrix(t *testing.T) {
+	spec := pdesSpec(t)
+
+	type artifacts struct {
+		result  []byte // MicroResult JSON (what sweep summaries aggregate)
+		trace   []byte // Chrome/Perfetto trace
+		audit   []byte // rank-0 selection audit JSON
+		summary []byte // verification-sweep summary JSON
+	}
+	run := func(shards int) artifacts {
+		s := spec
+		s.Shards = shards
+		var a artifacts
+
+		// ADCL result + trace.
+		res, rec, err := RunADCLObserved(s, "brute-force")
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		a.result, err = json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr bytes.Buffer
+		if err := rec.WriteChromeTrace(&tr); err != nil {
+			t.Fatalf("shards=%d: trace: %v", shards, err)
+		}
+		a.trace = tr.Bytes()
+
+		// Selection audit from a rank-0-attached selector (the cmd/tune
+		// -metrics path).
+		start, _, runW, err := s.world()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		var audit *obs.Audit
+		chunk := s.ComputePerIter / float64(s.ProgressCalls)
+		start(func(c *mpi.Comm) {
+			fs := s.functionSet(c)
+			sel, err := core.SelectorByName("brute-force", fs, s.evals())
+			if err != nil {
+				panic(err)
+			}
+			if c.Rank() == 0 {
+				audit = core.AttachAudit(sel, fs)
+			}
+			req := core.MustRequest(fs, sel, c.Now)
+			timer := core.MustTimer(c.Now, req)
+			for it := 0; it < s.Iterations; it++ {
+				timer.Start()
+				req.Init()
+				for k := 0; k < s.ProgressCalls; k++ {
+					c.Compute(chunk)
+					req.Progress()
+				}
+				req.Wait()
+				core.StopMaybeSynced(c, timer, req)
+			}
+		})
+		runW()
+		var au bytes.Buffer
+		if err := audit.WriteJSON(&au); err != nil {
+			t.Fatalf("shards=%d: audit: %v", shards, err)
+		}
+		a.audit = au.Bytes()
+
+		// Full verification-sweep summary over the spec.
+		st, err := VerificationSweepOpts([]MicroSpec{s}, []string{"brute-force", "attr-heuristic"}, RunOptions{})
+		if err != nil {
+			t.Fatalf("shards=%d: sweep: %v", shards, err)
+		}
+		var sm bytes.Buffer
+		if err := st.Summary().WriteJSON(&sm); err != nil {
+			t.Fatal(err)
+		}
+		a.summary = sm.Bytes()
+		return a
+	}
+
+	base := run(1)
+	if len(base.trace) == 0 || len(base.audit) == 0 || len(base.summary) == 0 {
+		t.Fatal("baseline artifacts empty")
+	}
+	for _, shards := range []int{2, 4, 8} {
+		got := run(shards)
+		if !bytes.Equal(got.result, base.result) {
+			t.Errorf("shards=%d: MicroResult JSON differs from shards=1:\n%s\nvs\n%s", shards, got.result, base.result)
+		}
+		if !bytes.Equal(got.trace, base.trace) {
+			t.Errorf("shards=%d: Perfetto trace differs from shards=1 (%d vs %d bytes)", shards, len(got.trace), len(base.trace))
+		}
+		if !bytes.Equal(got.audit, base.audit) {
+			t.Errorf("shards=%d: selection audit differs from shards=1", shards)
+		}
+		if !bytes.Equal(got.summary, base.summary) {
+			t.Errorf("shards=%d: sweep summary differs from shards=1:\n%s\nvs\n%s", shards, got.summary, base.summary)
+		}
+	}
+}
+
+// TestPDESGates pins the spec-level guards: chaos profiles and speculative
+// runs refuse PDES.
+func TestPDESGates(t *testing.T) {
+	spec := pdesSpec(t)
+	spec.Chaos = "noisy-neighbor"
+	if _, err := RunADCL(spec, "brute-force"); err == nil || !strings.Contains(err.Error(), "chaos") {
+		t.Errorf("PDES+chaos: err = %v, want chaos rejection", err)
+	}
+	spec.Chaos = ""
+	if _, err := RunSpeculative(spec, "brute-force", 2); err == nil || !strings.Contains(err.Error(), "PDES") {
+		t.Errorf("RunSpeculative under PDES: err = %v, want PDES rejection", err)
+	}
+}
+
+// TestMeasurePDESPoint pins that the measurement harness reports identical
+// simulated quantities at different shard counts, and that the sequential
+// point runs.
+func TestMeasurePDESPoint(t *testing.T) {
+	seq, err := MeasurePDESPoint(256, 0, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Events == 0 || seq.VirtualSeconds <= 0 || seq.EventsPerSec <= 0 {
+		t.Errorf("sequential point incomplete: %+v", seq)
+	}
+	p2, err := MeasurePDESPoint(256, 2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := MeasurePDESPoint(256, 4, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Events != p4.Events || p2.VirtualSeconds != p4.VirtualSeconds {
+		t.Errorf("shard count changed simulated quantities: %+v vs %+v", p2, p4)
+	}
+	if p2.WindowBarriers == 0 {
+		t.Errorf("sharded point recorded no window barriers: %+v", p2)
+	}
+}

@@ -144,6 +144,9 @@ func RunSpeculative(spec MicroSpec, selector string, workers int) (*SpecResult, 
 	if spec.Data {
 		return nil, fmt.Errorf("bench: speculative runs do not support Data (payload state cannot cross a snapshot)")
 	}
+	if spec.PDES {
+		return nil, fmt.Errorf("bench: speculative runs do not support PDES (a sharded world cannot be snapshotted)")
+	}
 	hostFS, err := spec.hostFunctionSet()
 	if err != nil {
 		return nil, err

@@ -114,6 +114,22 @@ func (p *Profile) Validate() error {
 	return nil
 }
 
+// MinLatencyFactor returns the smallest latency multiplier this profile can
+// ever apply to an inter-node transfer: the minimum over the static factor
+// and every regime shift's override. Delivery jitter is excluded because it
+// only adds delay. PDES lookahead computation multiplies the clean latency
+// floor by this value, so a profile that *speeds up* links (factor < 1)
+// still yields a window bound no message can undercut.
+func (p *Profile) MinLatencyFactor() float64 {
+	min := factor(p.LatencyFactor)
+	for _, s := range p.Shifts {
+		if s.LatencyFactor > 0 && s.LatencyFactor < min {
+			min = s.LatencyFactor
+		}
+	}
+	return min
+}
+
 // factor maps the "0 means 1.0" convention.
 func factor(f float64) float64 {
 	if f == 0 {

@@ -93,7 +93,13 @@ func (w *World) registry() *winRegistry {
 }
 
 // CreateWin collectively creates a window exposing b on every rank of c.
+// Not available on a sharded (PDES) world: puts deposit into the target
+// rank's window from the origin's execution context, which would mutate
+// another shard's state (DESIGN.md §13).
 func (c *Comm) CreateWin(b Buf) *Win {
+	if c.r.w.shardOf != nil {
+		panic("mpi: one-sided windows are not supported on a sharded (PDES) world")
+	}
 	c.splits++
 	ctx := c.ctx*1000003 + 500000 + c.splits
 	win := &Win{c: c, buf: b, ctx: ctx}

@@ -175,6 +175,51 @@ func deliverBulk(arg any) {
 	sreq.r.enqueue(notice{kind: ntSendDone, sreq: sreq})
 }
 
+// bulkXfer carries the receiver half of a sharded-world rendezvous bulk
+// transfer across the window barrier. It must not reach through the send
+// request: under PDES the sender completes at NIC-drain time on its own
+// shard and may recycle the request before the receiver's shard processes
+// the arrival, so everything the receiver needs is snapshotted at CTS time.
+// Records are pooled like envelopes; allocated on the sender's shard, freed
+// into the receiving rank's world pool.
+type bulkXfer struct {
+	rreq     *Request
+	src, tag int
+	buf      Buf
+}
+
+func (w *World) allocBX() *bulkXfer {
+	if n := len(w.bxFree); n > 0 {
+		bx := w.bxFree[n-1]
+		w.bxFree[n-1] = nil
+		w.bxFree = w.bxFree[:n-1]
+		return bx
+	}
+	return &bulkXfer{}
+}
+
+func (w *World) freeBX(bx *bulkXfer) {
+	*bx = bulkXfer{}
+	w.bxFree = append(w.bxFree, bx)
+}
+
+// deliverBulkPDES runs on the receiver's shard when the cross-shard bulk
+// transfer finishes serializing into the destination NIC.
+func deliverBulkPDES(arg any) {
+	bx := arg.(*bulkXfer)
+	r := bx.rreq.r
+	r.enqueue(notice{kind: ntBulk, rreq: bx.rreq, src: bx.src, tag: bx.tag, buf: bx.buf})
+	r.w.freeBX(bx)
+}
+
+// fireSendDone completes a rendezvous send on the sender's own shard at the
+// time its NIC drained the payload (the PDES split of deliverBulk's
+// sender-side half).
+func fireSendDone(arg any) {
+	sreq := arg.(*Request)
+	sreq.r.enqueue(notice{kind: ntSendDone, sreq: sreq})
+}
+
 // completeRecv finishes a receive request with the given payload.
 func (r *Rank) completeRecv(rreq *Request, src, tag int, data Buf) {
 	Copy(rreq.buf, data)
@@ -231,6 +276,18 @@ func (r *Rank) processCTS(sreq, rreq *Request) {
 		cost += p.CopyTime(sreq.buf.Len())
 	}
 	r.charge(cost)
+	if r.w.shardOf != nil && !r.net().SameNode(r.id, rreq.r.id) {
+		// PDES split: the cross-node transfer's delivery fires on the
+		// receiver's shard, where the sender's request must not be touched
+		// (its lifecycle belongs to the sender's shard). Snapshot the
+		// receiver half now and complete the send locally at NIC-drain time
+		// (Transfer's return under PDES).
+		bx := r.w.allocBX()
+		bx.rreq, bx.src, bx.tag, bx.buf = rreq, r.id, sreq.tag, sreq.buf.Clone()
+		txEnd := r.net().Transfer(r.id, rreq.r.id, sreq.buf.Len(), deliverBulkPDES, bx)
+		r.w.eng.AtTimeCall(txEnd, fireSendDone, sreq)
+		return
+	}
 	r.net().Transfer(r.id, rreq.r.id, sreq.buf.Len(), deliverBulk, sreq)
 }
 

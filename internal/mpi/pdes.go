@@ -1,0 +1,125 @@
+// PDES support: the sharded world (DESIGN.md §13).
+//
+// A ShardedWorld runs one World per shard over a single global rank space.
+// The shards share the immutable platform (placement, topology, parameters)
+// and the global rank table, but each shard owns its own engine, its own
+// netmodel view, and its own protocol-record pools, and executes only the
+// ranks whose nodes were assigned to it. Cross-shard protocol traffic flows
+// through the netmodel PDES layer's outboxes and is injected at window
+// barriers in canonical (time, source rank, sequence) order, which is what
+// makes every simulated quantity independent of the shard count.
+//
+// Gated features: chaos injection (its RNG streams are consumed in global
+// call order, which a partition would reorder), one-sided windows (the put
+// registry and delivery paths mutate target-rank state from the origin's
+// context), and snapshot/fork (netmodel refuses to snapshot a sharded
+// network). Everything else — p2p, collectives, the NBC layer, tuning,
+// observability — runs unchanged.
+package mpi
+
+import (
+	"fmt"
+
+	"nbctune/internal/netmodel"
+	"nbctune/internal/obs"
+	"nbctune/internal/sim"
+)
+
+// ShardedWorld is a set of per-shard Worlds executing one MPI program over a
+// common rank space under conservative time-window synchronization.
+type ShardedWorld struct {
+	worlds  []*World
+	win     *sim.Windows
+	shardOf []int // rank -> shard
+}
+
+// NewSharded assembles a sharded world from per-shard engines and network
+// views (netmodel.NewSharded) plus the window coordinator they are bound to.
+// shardOf maps every rank to its shard and must be node-aligned: all ranks
+// of one node on one shard, or the NIC single-writer discipline breaks.
+func NewSharded(engs []*sim.Engine, nets []*netmodel.Network, win *sim.Windows, n int, opts Options, shardOf []int) (*ShardedWorld, error) {
+	if opts.Chaos != nil {
+		return nil, fmt.Errorf("mpi: chaos injection is not supported on a sharded (PDES) world")
+	}
+	k := len(engs)
+	if k == 0 || k != len(nets) || k != win.Shards() {
+		return nil, fmt.Errorf("mpi: %d engines / %d networks / %d window shards", len(engs), len(nets), win.Shards())
+	}
+	if len(shardOf) < n {
+		return nil, fmt.Errorf("mpi: shardOf covers %d of %d ranks", len(shardOf), n)
+	}
+	worlds := make([]*World, k)
+	for s := range worlds {
+		worlds[s] = &World{eng: engs[s], net: nets[s], opts: opts, nextCtx: 1, shard: s, shardOf: shardOf}
+	}
+	recs := make([]Rank, n)
+	ranks := make([]*Rank, n)
+	nodeShard := make(map[int]int)
+	for i := 0; i < n; i++ {
+		s := shardOf[i]
+		if s < 0 || s >= k {
+			return nil, fmt.Errorf("mpi: rank %d assigned to shard %d of %d", i, s, k)
+		}
+		nd := nets[0].NodeOf(i)
+		if prev, ok := nodeShard[nd]; ok && prev != s {
+			return nil, fmt.Errorf("mpi: node %d split across shards %d and %d (partition must be node-aligned)", nd, prev, s)
+		}
+		nodeShard[nd] = s
+		r := &recs[i]
+		r.w, r.id = worlds[s], i
+		ranks[i] = r
+	}
+	for _, w := range worlds {
+		w.ranks = ranks
+	}
+	return &ShardedWorld{worlds: worlds, win: win, shardOf: shardOf}, nil
+}
+
+// Size returns the number of ranks across all shards.
+func (sw *ShardedWorld) Size() int { return len(sw.worlds[0].ranks) }
+
+// Shards returns the shard count.
+func (sw *ShardedWorld) Shards() int { return len(sw.worlds) }
+
+// Windows returns the window coordinator driving the shards.
+func (sw *ShardedWorld) Windows() *sim.Windows { return sw.win }
+
+// World returns shard s's world (its engine and network view hang off it).
+func (sw *ShardedWorld) World(s int) *World { return sw.worlds[s] }
+
+// Rank returns the global rank record; valid for any rank regardless of its
+// shard (read-only use from other shards: accounting, placement).
+func (sw *ShardedWorld) Rank(i int) *Rank { return sw.worlds[0].ranks[i] }
+
+// Observe attaches one recorder to every rank and every shard's network
+// view. The recorder's per-node NIC storage is pre-sized here: growing it
+// lazily from concurrent shards would race. As in World.Observe, recording
+// is passive; nil detaches.
+func (sw *ShardedWorld) Observe(rec *obs.Recorder) {
+	rec.EnsureNodes(sw.worlds[0].net.Topo().NumNodes())
+	for _, r := range sw.worlds[0].ranks {
+		r.rec = rec
+	}
+	for _, w := range sw.worlds {
+		w.net.SetRecorder(rec)
+	}
+}
+
+// Start spawns one simulated process per rank, each executing prog with its
+// world communicator; every shard spawns exactly its own ranks. Call Run
+// afterwards.
+func (sw *ShardedWorld) Start(prog func(c *Comm)) {
+	for _, w := range sw.worlds {
+		w.Start(prog)
+	}
+}
+
+// Run executes the simulation to completion: all shards advance in lockstep
+// time windows until every event queue drains (sim.Windows.Run).
+func (sw *ShardedWorld) Run() { sw.win.Run() }
+
+// EventsFired returns the total events executed across all shard engines.
+func (sw *ShardedWorld) EventsFired() int64 { return sw.win.EventsFired() }
+
+// Now returns the maximum virtual time reached by any shard.
+func (sw *ShardedWorld) Now() float64 { return sw.win.Now() }

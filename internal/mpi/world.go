@@ -48,12 +48,20 @@ type World struct {
 	winReg  *winRegistry
 	forked  bool // materialized by WorldSnapshot.Fork, not NewWorld
 
+	// PDES sharding (DESIGN.md §13). On a sequential world shardOf is nil.
+	// On a sharded world this World executes only the ranks with
+	// shardOf[id] == shard; w.ranks still holds the full global rank table
+	// so any rank can address any peer.
+	shard   int
+	shardOf []int
+
 	// Free lists for pooled protocol records. World-level (not per rank) so
 	// a record freed by its receiver can be reused by any sender; safe
 	// without locks because the engine serializes all ranks of one world.
 	reqFree []*Request
 	envFree []*envelope
 	osFree  []*osOp
+	bxFree  []*bulkXfer
 }
 
 // NewWorld creates n ranks on the given network. The network's rank->node
@@ -112,6 +120,9 @@ func (w *World) Start(prog func(c *Comm)) {
 		members[i] = i
 	}
 	for _, r := range w.ranks {
+		if w.shardOf != nil && w.shardOf[r.id] != w.shard {
+			continue // another shard's world spawns this rank
+		}
 		r := r
 		c := &Comm{r: r, members: members, me: r.id, ctx: ctx}
 		w.eng.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {

@@ -232,12 +232,12 @@ func (h *Handle) execRounds() {
 					op.Fn()
 				}
 			case OpSend:
-				rec.AlgoBytes(h.sched.Name, op.Buf.Len())
+				rec.AlgoBytes(rank.ID(), h.sched.Name, op.Buf.Len())
 				h.pending = append(h.pending, h.comm.Isend(op.Peer, h.tag+op.TagOff, op.Buf).Handle())
 			case OpRecv:
 				h.pending = append(h.pending, h.comm.Irecv(op.Peer, h.tag+op.TagOff, op.Buf).Handle())
 			case OpPut:
-				rec.AlgoBytes(h.sched.Name, op.Buf.Len())
+				rec.AlgoBytes(rank.ID(), h.sched.Name, op.Buf.Len())
 				h.pending = append(h.pending, h.sched.Win.PutInstanced(h.instance, op.Peer, op.Off, op.Buf).Handle())
 			case OpAwaitPuts:
 				h.await = op.Count

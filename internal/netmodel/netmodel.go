@@ -192,6 +192,7 @@ type Network struct {
 
 	rec   *obs.Recorder
 	chaos *chaos.Injector
+	pdes  *pdesLinks // sharded (PDES) view state; nil on a sequential network
 	// chaosFloor / chaosCtrlFloor enforce per-directed-rank-pair FIFO
 	// delivery under chaos: jitter and time-varying link factors may delay
 	// a message but must never let it overtake an earlier one on the same
@@ -244,6 +245,12 @@ func (n *Network) SetRecorder(rec *obs.Recorder) { n.rec = rec }
 // detaches; with nil attached the arithmetic below is bit-identical to a
 // build without chaos (the factors are never even drawn).
 func (n *Network) SetChaos(in *chaos.Injector) {
+	if in != nil && n.pdes != nil {
+		// Chaos streams are consumed in global call order, which a sharded
+		// run cannot reproduce; the platform layer refuses the combination
+		// before it gets here.
+		panic("netmodel: chaos injection is not supported on a sharded (PDES) network")
+	}
 	n.chaos = in
 	n.chaosFloor, n.chaosCtrlFloor = nil, nil
 	if in != nil {
@@ -334,6 +341,9 @@ func (n *Network) Transfer(src, dst, bytes int, deliver func(any), arg any) floa
 		n.eng.AtTimeCall(arrival, deliver, arg)
 		return arrival
 	}
+	if n.pdes != nil {
+		return n.transferPDES(src, dst, bytes, a, b, deliver, arg)
+	}
 	sn, rn := n.nodes[a], n.nodes[b]
 
 	// Link parameters in force for this message. With no injector attached
@@ -413,6 +423,13 @@ func (n *Network) Ctrl(src, dst int, deliver func(any), arg any) float64 {
 		}
 		if n.chaos != nil {
 			arrival = fifoClamp(n.chaosCtrlFloor, src, dst, arrival)
+		}
+		if n.pdes != nil {
+			// Cross-node control messages cross the window barrier like bulk
+			// deliveries: arrival >= now + Latency >= the window end, so the
+			// merge at the next barrier always precedes the event.
+			n.pdes.out.Add(arrival, int32(src), n.nextSeq(src), n.pdes.shardOfNode[b], deliver, arg)
+			return arrival
 		}
 	}
 	n.eng.AtTimeCall(arrival, deliver, arg)

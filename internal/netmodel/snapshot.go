@@ -30,6 +30,9 @@ type Snapshot struct {
 // inRx slot released). A recorder, if attached, is not carried across — it
 // is an observer of the parent run, not part of the simulated state.
 func (n *Network) Snapshot() (*Snapshot, error) {
+	if n.pdes != nil {
+		return nil, fmt.Errorf("netmodel: snapshot of a sharded (PDES) network is not supported")
+	}
 	s := &Snapshot{
 		p:         n.p,
 		nodeOf:    n.nodeOf,

@@ -9,8 +9,10 @@ import (
 // Exporters: Chrome trace-event JSON (loadable by Perfetto and
 // chrome://tracing) for the timelines, and flat indented JSON for the
 // derived metrics. Output is deterministic: events are emitted in a fixed
-// order (metadata, then per-rank states, ops, marks, then NIC spans in
-// recording order), so two identical runs export byte-identical files.
+// canonical order (metadata, then states and ops per rank, then marks per
+// rank, then NIC spans per node), so two identical runs export byte-identical
+// files — including PDES runs at different shard counts, whose per-rank and
+// per-node streams are identical even though global recording order is not.
 
 // Process ids used in the trace. Each simulated concept gets its own trace
 // "process" so Perfetto groups the tracks.
@@ -74,23 +76,26 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 				evs = append(evs, complete(op.Name, pidOps, rank, op.Start, op.End, "op", nil))
 			}
 		}
-		for _, mk := range r.marks {
-			evs = append(evs, traceEvent{
-				Name: mk.Name, Ph: "i", Pid: pidOps, Tid: mk.Rank,
-				Ts: mk.T * usPerSec, S: "t", Cat: "round",
-			})
-		}
-		nicNamed := map[int]bool{}
-		for _, s := range r.nic {
-			pid := pidNIC + s.Node
-			if !nicNamed[s.Node] {
-				nicNamed[s.Node] = true
-				evs = append(evs, metaName("process_name", pid, 0, fmt.Sprintf("node %d NIC", s.Node)))
+		for rank := range r.ranks {
+			for _, mk := range r.ranks[rank].marks {
+				evs = append(evs, traceEvent{
+					Name: mk.Name, Ph: "i", Pid: pidOps, Tid: mk.Rank,
+					Ts: mk.T * usPerSec, S: "t", Cat: "round",
+				})
 			}
-			tid := s.Channel*2 + int(s.Dir)
-			name := fmt.Sprintf("%s %dB", s.Dir, s.Bytes)
-			evs = append(evs, complete(name, pid, tid, s.Start, s.End, "nic",
-				map[string]any{"bytes": s.Bytes, "channel": s.Channel, "dir": s.Dir.String()}))
+		}
+		for node, spans := range r.nicByNode {
+			if len(spans) == 0 {
+				continue
+			}
+			pid := pidNIC + node
+			evs = append(evs, metaName("process_name", pid, 0, fmt.Sprintf("node %d NIC", node)))
+			for _, s := range spans {
+				tid := s.Channel*2 + int(s.Dir)
+				name := fmt.Sprintf("%s %dB", s.Dir, s.Bytes)
+				evs = append(evs, complete(name, pid, tid, s.Start, s.End, "nic",
+					map[string]any{"bytes": s.Bytes, "channel": s.Channel, "dir": s.Dir.String()}))
+			}
 		}
 	}
 	out := struct {

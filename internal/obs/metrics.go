@@ -184,10 +184,12 @@ func (r *Recorder) Metrics() *Metrics {
 	if sumWall > 0 {
 		m.Overlap = sumHidden / sumWall
 	}
-	if len(r.bytesByAlgo) > 0 {
-		m.BytesByAlgo = make(map[string]int64, len(r.bytesByAlgo))
-		for k, v := range r.bytesByAlgo {
-			m.BytesByAlgo[k] = v
+	for rank := range r.ranks {
+		for k, v := range r.ranks[rank].algoBytes {
+			if m.BytesByAlgo == nil {
+				m.BytesByAlgo = map[string]int64{}
+			}
+			m.BytesByAlgo[k] += v
 		}
 	}
 	m.NIC = r.nicMetrics()
@@ -195,30 +197,22 @@ func (r *Recorder) Metrics() *Metrics {
 }
 
 func (r *Recorder) nicMetrics() []NICMetrics {
-	if len(r.nic) == 0 {
-		return nil
-	}
-	byNode := map[int]*NICMetrics{}
-	var order []int
-	for _, s := range r.nic {
-		nm := byNode[s.Node]
-		if nm == nil {
-			nm = &NICMetrics{Node: s.Node}
-			byNode[s.Node] = nm
-			order = append(order, s.Node)
+	var out []NICMetrics
+	for node, spans := range r.nicByNode {
+		if len(spans) == 0 {
+			continue
 		}
-		if s.Dir == TX {
-			nm.TxBusy += s.End - s.Start
-			nm.TxBytes += int64(s.Bytes)
-		} else {
-			nm.RxBusy += s.End - s.Start
-			nm.RxBytes += int64(s.Bytes)
+		nm := NICMetrics{Node: node}
+		for _, s := range spans {
+			if s.Dir == TX {
+				nm.TxBusy += s.End - s.Start
+				nm.TxBytes += int64(s.Bytes)
+			} else {
+				nm.RxBusy += s.End - s.Start
+				nm.RxBytes += int64(s.Bytes)
+			}
 		}
-	}
-	sort.Ints(order)
-	out := make([]NICMetrics, 0, len(order))
-	for _, nd := range order {
-		out = append(out, *byNode[nd])
+		out = append(out, nm)
 	}
 	return out
 }

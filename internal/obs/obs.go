@@ -16,8 +16,14 @@
 // safe on a nil receiver (a single branch), which is what makes the
 // instrumentation zero-cost when disabled: call sites never check for nil.
 //
-// The recorder is not goroutine-safe; the sim engine runs one goroutine at a
-// time, and the experiment runner attaches at most one recorder per job.
+// Storage is partitioned for the PDES single-writer discipline (DESIGN.md
+// §13): everything rank-scoped (timelines, ops, marks, per-algorithm bytes)
+// lives with its rank, and NIC spans live with their node. A sharded world
+// assigns each rank — and each node, and each node's NIC tx/rx recording —
+// to exactly one shard, so concurrent shards never touch the same slice and
+// the recorder needs no locks. Sequential runs are unaffected. Accessors
+// and exporters flatten in canonical (rank, then node) order, so exported
+// artifacts are byte-identical at any shard count.
 package obs
 
 // State classifies what a rank is doing at a point in virtual time.
@@ -97,6 +103,8 @@ type Mark struct {
 type rankTimeline struct {
 	intervals []Interval
 	ops       []OpSpan
+	marks     []Mark
+	algoBytes map[string]int64 // lazily allocated on first AlgoBytes
 
 	progressCalls    int64
 	progressAdvanced int64
@@ -111,18 +119,26 @@ type rankTimeline struct {
 //
 // All methods are no-ops on a nil *Recorder.
 type Recorder struct {
-	ranks       []rankTimeline
-	nic         []NICSpan
-	marks       []Mark
-	bytesByAlgo map[string]int64
+	ranks     []rankTimeline
+	nicByNode [][]NICSpan // per node; written only by the node's shard
 }
 
 // NewRecorder creates a recorder for a world of the given rank count.
 func NewRecorder(ranks int) *Recorder {
-	return &Recorder{
-		ranks:       make([]rankTimeline, ranks),
-		bytesByAlgo: map[string]int64{},
+	return &Recorder{ranks: make([]rankTimeline, ranks)}
+}
+
+// EnsureNodes pre-sizes the per-node NIC storage. Sequential runs grow it
+// lazily; a sharded world must call this before starting (attaching a
+// recorder does so), because growing the outer slice from concurrent shards
+// would race.
+func (r *Recorder) EnsureNodes(n int) {
+	if r == nil || n <= len(r.nicByNode) {
+		return
 	}
+	grown := make([][]NICSpan, n)
+	copy(grown, r.nicByNode)
+	r.nicByNode = grown
 }
 
 // StateSpan records that rank spent [t0, t1] in state s. Contiguous spans of
@@ -166,10 +182,11 @@ func (r *Recorder) OpEnd(rank, id int, t float64) {
 
 // MarkInstant records an instant annotation on rank's timeline.
 func (r *Recorder) MarkInstant(rank int, name string, t float64) {
-	if r == nil {
+	if r == nil || rank < 0 || rank >= len(r.ranks) {
 		return
 	}
-	r.marks = append(r.marks, Mark{Rank: rank, Name: name, T: t})
+	tl := &r.ranks[rank]
+	tl.marks = append(tl.marks, Mark{Rank: rank, Name: name, T: t})
 }
 
 // ProgressCall counts one explicit progress call made by rank.
@@ -200,21 +217,30 @@ func (r *Recorder) RendezvousStall(rank int, d float64) {
 	r.ranks[rank].stallTime += d
 }
 
-// AlgoBytes attributes n payload bytes put on the wire to the named
-// algorithm (schedule name).
-func (r *Recorder) AlgoBytes(name string, n int) {
-	if r == nil || n <= 0 {
+// AlgoBytes attributes n payload bytes sent by rank to the named algorithm
+// (schedule name). Attribution is per-rank so concurrent shards never share
+// a counter; Metrics sums the ranks back into one map.
+func (r *Recorder) AlgoBytes(rank int, name string, n int) {
+	if r == nil || n <= 0 || rank < 0 || rank >= len(r.ranks) {
 		return
 	}
-	r.bytesByAlgo[name] += int64(n)
+	tl := &r.ranks[rank]
+	if tl.algoBytes == nil {
+		tl.algoBytes = map[string]int64{}
+	}
+	tl.algoBytes[name] += int64(n)
 }
 
 // NIC records one occupancy span of a node's NIC channel.
 func (r *Recorder) NIC(node, channel int, dir Dir, t0, t1 float64, bytes int) {
-	if r == nil || t1 <= t0 {
+	if r == nil || t1 <= t0 || node < 0 {
 		return
 	}
-	r.nic = append(r.nic, NICSpan{Node: node, Channel: channel, Dir: dir, Start: t0, End: t1, Bytes: bytes})
+	if node >= len(r.nicByNode) {
+		r.EnsureNodes(node + 1)
+	}
+	r.nicByNode[node] = append(r.nicByNode[node],
+		NICSpan{Node: node, Channel: channel, Dir: dir, Start: t0, End: t1, Bytes: bytes})
 }
 
 // Ranks returns the number of ranks the recorder tracks.
@@ -231,8 +257,28 @@ func (r *Recorder) Intervals(rank int) []Interval { return r.ranks[rank].interva
 // Ops returns rank's collective-operation spans, oldest first.
 func (r *Recorder) Ops(rank int) []OpSpan { return r.ranks[rank].ops }
 
-// NICSpans returns all recorded NIC occupancy spans in recording order.
-func (r *Recorder) NICSpans() []NICSpan { return r.nic }
+// NICSpans returns all recorded NIC occupancy spans in canonical order:
+// by node, then recording order within the node.
+func (r *Recorder) NICSpans() []NICSpan {
+	if r == nil {
+		return nil
+	}
+	var out []NICSpan
+	for _, ns := range r.nicByNode {
+		out = append(out, ns...)
+	}
+	return out
+}
 
-// Marks returns all instant annotations in recording order.
-func (r *Recorder) Marks() []Mark { return r.marks }
+// Marks returns all instant annotations in canonical order: by rank, then
+// recording order within the rank.
+func (r *Recorder) Marks() []Mark {
+	if r == nil {
+		return nil
+	}
+	var out []Mark
+	for i := range r.ranks {
+		out = append(out, r.ranks[i].marks...)
+	}
+	return out
+}

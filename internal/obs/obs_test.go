@@ -168,8 +168,8 @@ func TestRendezvousStallAndBytes(t *testing.T) {
 	r.RendezvousStall(0, 0.25)
 	r.RendezvousStall(0, 0.75)
 	r.RendezvousStall(0, 0) // non-positive: ignored
-	r.AlgoBytes("ibcast-binomial", 100)
-	r.AlgoBytes("ibcast-binomial", 28)
+	r.AlgoBytes(0, "ibcast-binomial", 100)
+	r.AlgoBytes(0, "ibcast-binomial", 28)
 	m := r.Metrics()
 	if m.RendezvousStalls != 2 || !approx(m.RendezvousStallTime, 1.0) {
 		t.Errorf("stalls = %d/%v, want 2/1.0", m.RendezvousStalls, m.RendezvousStallTime)
@@ -209,7 +209,7 @@ func TestNilRecorder(t *testing.T) {
 	r.ProgressCall(0)
 	r.ProgressAdvanced(0)
 	r.RendezvousStall(0, 1)
-	r.AlgoBytes("x", 1)
+	r.AlgoBytes(0, "x", 1)
 	r.NIC(0, 0, TX, 0, 1, 1)
 	if r.Ranks() != 0 {
 		t.Errorf("nil Ranks() = %d", r.Ranks())

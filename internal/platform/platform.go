@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 
 	"nbctune/internal/chaos"
@@ -297,6 +298,58 @@ func (p Platform) NewWorldChaos(nprocs int, seed int64, pl Placement, prof *chao
 	}
 	w := mpi.NewWorld(eng, net, nprocs, opts)
 	return eng, w, nil
+}
+
+// NewWorldPDES assembles a sharded (PDES) world: `shards` engines, each
+// driving a node-aligned partition of the ranks, synchronized in
+// conservative time windows bounded by the platform's lookahead floor
+// (minimum cross-node wire latency). shards <= 0 selects an automatic count
+// — min(GOMAXPROCS, used nodes); any request is clamped to the number of
+// nodes the placement actually uses, since a shard without nodes would idle.
+//
+// Every simulated quantity is independent of the shard count (DESIGN.md
+// §13); only wall-clock changes. Chaos profiles, one-sided windows, and
+// snapshot/fork are not available on sharded worlds.
+func (p Platform) NewWorldPDES(nprocs int, seed int64, pl Placement, shards int) (*mpi.ShardedWorld, error) {
+	nodeOf, err := p.NodeOf(nprocs, pl)
+	if err != nil {
+		return nil, err
+	}
+	usedNodes := 0
+	for _, nd := range nodeOf {
+		if nd+1 > usedNodes {
+			usedNodes = nd + 1
+		}
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > usedNodes {
+		shards = usedNodes
+	}
+	if p.Net.Latency <= 0 {
+		return nil, fmt.Errorf("platform %s: latency %g leaves no PDES lookahead", p.Name, p.Net.Latency)
+	}
+	engs := make([]*sim.Engine, shards)
+	for s := range engs {
+		engs[s] = sim.NewEngine(seed)
+	}
+	win := sim.NewWindows(engs, p.Net.LookaheadFloor(usedNodes))
+	// Contiguous node ranges per shard: node-aligned by construction, and
+	// balanced to within one node.
+	shardOfNode := make([]int, usedNodes)
+	for nd := range shardOfNode {
+		shardOfNode[nd] = nd * shards / usedNodes
+	}
+	nets, err := netmodel.NewSharded(engs, win, p.Net, nodeOf, shardOfNode)
+	if err != nil {
+		return nil, err
+	}
+	shardOf := make([]int, nprocs)
+	for r := range shardOf {
+		shardOf[r] = shardOfNode[nodeOf[r]]
+	}
+	return mpi.NewSharded(engs, nets, win, nprocs, mpi.Options{Seed: seed, Noise: p.Noise}, shardOf)
 }
 
 // FFTComputeTime estimates the per-rank time to compute k complex-FFT

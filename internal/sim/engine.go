@@ -114,6 +114,7 @@ type Engine struct {
 	seq  int64
 
 	deadline  Time          // horizon of the current Run/RunUntil
+	strictEnd bool          // exclusive horizon: stop before t == deadline (PDES windows)
 	toMain    chan struct{} // token handoff back to the Run caller
 	procPanic *ProcPanic    // pending fault captured from a process body
 
@@ -306,6 +307,27 @@ func (e *Engine) AtTimeCall(t Time, fn func(any), arg any) Event {
 	return e.AtCall(t-e.now, fn, arg)
 }
 
+// InjectAt enqueues fn(arg) at absolute virtual time t, bypassing the
+// delay-relative schedule path. It exists for the PDES window barrier: the
+// destination engine's clock at a barrier depends on how ranks are
+// partitioned, so computing a relative delay (t - now) and adding it back
+// would reintroduce partition-dependent floating-point round-off. Injected
+// events receive the engine's next sequence number, so the caller's
+// injection order is the tie-break order for simultaneous events.
+func (e *Engine) InjectAt(t Time, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: injecting event in the past (t=%g, now=%g)", t, e.now))
+	}
+	e.seq++
+	idx := e.allocRec()
+	r := &e.recs[idx]
+	r.t = t
+	r.seq = e.seq
+	r.kind = evCall
+	r.fn2, r.arg = fn, arg
+	e.heapPush(idx)
+}
+
 // atWake schedules a wake ticket for p's park generation g. Wake tickets are
 // plain pooled records — no closure, no handle — and stale tickets (the
 // process was already woken, re-parked, or finished) are dropped in the
@@ -326,9 +348,25 @@ func (e *Engine) atWake(d Time, p *Proc, g uint64) {
 //     token over, and (self != nil) the caller blocks until its own wake is
 //     eventually popped by a later token holder;
 //   - the queue drains past e.deadline: the token returns to the Run caller.
+// horizonReached reports whether no queued event may fire under the current
+// horizon. Run/RunUntil use an inclusive deadline; a PDES window sets
+// strictEnd so events at exactly the window boundary wait for the next
+// window (a cross-shard message can arrive precisely at now + lookahead, and
+// it must be merged at the barrier before anything at that instant fires).
+func (e *Engine) horizonReached() bool {
+	if len(e.heap) == 0 {
+		return true
+	}
+	t := e.recs[e.heap[0]].t
+	if e.strictEnd {
+		return t >= e.deadline
+	}
+	return t > e.deadline
+}
+
 func (e *Engine) dispatch(self *Proc) {
 	for {
-		if len(e.heap) == 0 || e.recs[e.heap[0]].t > e.deadline {
+		if e.horizonReached() {
 			e.toMain <- struct{}{}
 			if self != nil {
 				<-self.resume
@@ -372,7 +410,7 @@ func (e *Engine) dispatch(self *Proc) {
 func (e *Engine) runLoop(deadline Time) {
 	e.deadline = deadline
 	for {
-		if len(e.heap) == 0 || e.recs[e.heap[0]].t > deadline {
+		if e.horizonReached() {
 			return
 		}
 		idx := e.heapPop()
@@ -437,6 +475,25 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		e.now = deadline
 	}
 	return e.now
+}
+
+// runWindow executes events with time strictly below end, leaving the clock
+// at the last fired event. It is the per-shard leg of one PDES time window:
+// the caller (Windows) guarantees that no event below end can be created by
+// another shard, which is exactly the conservative-lookahead contract.
+func (e *Engine) runWindow(end Time) {
+	e.strictEnd = true
+	e.runLoop(end)
+	e.strictEnd = false
+}
+
+// nextEventTime returns the earliest queued event time, if any. The Windows
+// coordinator reduces this across shards to place the next window boundary.
+func (e *Engine) nextEventTime() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.recs[e.heap[0]].t, true
 }
 
 // Spawn starts a new process executing fn. The process begins running at the

@@ -1,0 +1,261 @@
+// Conservative parallel discrete-event simulation (PDES) across shards.
+//
+// A sharded world partitions its ranks over K engines, each driven on its
+// own goroutine (pinned to an OS thread while a window runs). Shards
+// synchronize on global time windows: every window ends at
+//
+//	end = min over shards of (earliest queued event) + lookahead
+//
+// where the lookahead is the minimum virtual latency any cross-shard
+// interaction can have (netmodel's minimum cross-node wire latency). Inside
+// a window each shard fires its local events independently — conservatively
+// safe, because a message sent by another shard during the same window
+// cannot become visible earlier than the window's end.
+//
+// Cross-shard events never touch a foreign engine directly. Producers
+// append them to their shard's Outbox; at the window barrier the
+// coordinator merges all outboxes in a canonical (time, producer rank,
+// per-producer sequence) order and injects them at absolute virtual times.
+// Both the window boundaries and the merge order are functions of the
+// simulation's (deterministic) virtual timeline only — not of the
+// partition — which is what makes every artifact byte-identical at any
+// shard count (DESIGN.md §13).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Pending is one cross-shard event awaiting injection at the next window
+// barrier. Src and Seq identify the producing rank and its per-rank message
+// sequence number; together with T they form the canonical merge key.
+type Pending struct {
+	T   Time
+	Src int32
+	Seq uint64
+	Dst int // destination shard index
+	Fn  func(any)
+	Arg any
+}
+
+// Outbox collects one shard's outbound cross-shard events during a window.
+// Exactly one shard appends to it (from engine-event context, so appends
+// are serialized); the Windows coordinator drains it at the barrier.
+type Outbox struct {
+	pend []Pending
+}
+
+// Add records one cross-shard event firing at absolute time t on shard dst.
+func (o *Outbox) Add(t Time, src int32, seq uint64, dst int, fn func(any), arg any) {
+	o.pend = append(o.pend, Pending{T: t, Src: src, Seq: seq, Dst: dst, Fn: fn, Arg: arg})
+}
+
+// pendingByKey sorts by (T, Src, Seq) — a strict total order, since a
+// producer never emits two events with the same sequence number.
+type pendingByKey []Pending
+
+func (p pendingByKey) Len() int      { return len(p) }
+func (p pendingByKey) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
+func (p pendingByKey) Less(i, j int) bool {
+	if p[i].T != p[j].T {
+		return p[i].T < p[j].T
+	}
+	if p[i].Src != p[j].Src {
+		return p[i].Src < p[j].Src
+	}
+	return p[i].Seq < p[j].Seq
+}
+
+// Windows coordinates K shard engines through conservative time windows.
+type Windows struct {
+	engs []*Engine
+	la   float64  // lookahead: minimum cross-shard latency
+	out  []Outbox // one per shard, owned by that shard between barriers
+
+	merged pendingByKey // barrier scratch
+
+	// Stats for benchmarks and overhead reporting.
+	Barriers int64 // windows executed
+	Injected int64 // cross-shard events merged
+
+	workers []windowWorker
+}
+
+// windowWorker is one persistent shard goroutine: it runs its engine's leg
+// of each window, reporting a recovered panic (or nil) per window.
+type windowWorker struct {
+	start chan Time
+	done  chan any
+}
+
+// NewWindows creates a coordinator over the given engines. lookahead must be
+// positive: a zero lookahead would make every window empty and the
+// simulation unable to advance.
+func NewWindows(engs []*Engine, lookahead float64) *Windows {
+	if len(engs) == 0 {
+		panic("sim: NewWindows needs at least one engine")
+	}
+	if !(lookahead > 0) {
+		panic(fmt.Sprintf("sim: PDES lookahead must be positive, got %g", lookahead))
+	}
+	return &Windows{engs: engs, la: lookahead, out: make([]Outbox, len(engs))}
+}
+
+// Outbox returns shard i's outbox. The netmodel layer appends cross-shard
+// deliveries to it from shard i's engine context.
+func (ws *Windows) Outbox(i int) *Outbox { return &ws.out[i] }
+
+// Lookahead returns the window lookahead in virtual seconds.
+func (ws *Windows) Lookahead() float64 { return ws.la }
+
+// Shards returns the number of shard engines.
+func (ws *Windows) Shards() int { return len(ws.engs) }
+
+// Now returns the global virtual time: the maximum clock over all shards.
+func (ws *Windows) Now() Time {
+	var t Time
+	for _, e := range ws.engs {
+		if e.now > t {
+			t = e.now
+		}
+	}
+	return t
+}
+
+// EventsFired sums the event counters of all shards.
+func (ws *Windows) EventsFired() int64 {
+	var n int64
+	for _, e := range ws.engs {
+		n += e.EventsFired
+	}
+	return n
+}
+
+// drain merges every shard's outbox in canonical order and injects the
+// events into their destination engines. Injection happens between windows,
+// when no shard goroutine is running, so it may touch every engine.
+func (ws *Windows) drain() {
+	ws.merged = ws.merged[:0]
+	for i := range ws.out {
+		ws.merged = append(ws.merged, ws.out[i].pend...)
+		ws.out[i].pend = ws.out[i].pend[:0]
+	}
+	if len(ws.merged) == 0 {
+		return
+	}
+	sort.Sort(ws.merged)
+	for i := range ws.merged {
+		p := &ws.merged[i]
+		ws.engs[p.Dst].InjectAt(p.T, p.Fn, p.Arg)
+		p.Fn, p.Arg = nil, nil // drop refs so fired callbacks can be collected
+	}
+	ws.Injected += int64(len(ws.merged))
+}
+
+// Run drives the windowed simulation until every shard's queue drains and
+// no cross-shard events remain in flight. It returns the global virtual
+// time. Like Engine.Run it panics on deadlock (parked processes with no
+// runnable events anywhere) and re-raises process panics as *ProcPanic.
+func (ws *Windows) Run() Time {
+	if len(ws.engs) > 1 {
+		ws.startWorkers()
+		defer ws.stopWorkers()
+	}
+	for {
+		ws.drain()
+		minNext := math.Inf(1)
+		any := false
+		for _, e := range ws.engs {
+			if t, ok := e.nextEventTime(); ok && (!any || t < minNext) {
+				minNext, any = t, true
+			}
+		}
+		if !any {
+			break
+		}
+		ws.Barriers++
+		ws.runWindow(minNext + ws.la)
+	}
+	live := 0
+	var stuck []string
+	for s, e := range ws.engs {
+		if e.live == 0 {
+			continue
+		}
+		live += e.live
+		for _, p := range e.procs {
+			if !p.done {
+				stuck = append(stuck, fmt.Sprintf("%s(shard %d)", p.name, s))
+			}
+		}
+	}
+	if live > 0 {
+		sort.Strings(stuck)
+		panic(fmt.Sprintf("sim: PDES deadlock at t=%g, %d process(es) parked: %v", ws.Now(), live, stuck))
+	}
+	return ws.Now()
+}
+
+// runWindow executes one window boundary-exclusively on every shard. With a
+// single shard it runs inline; otherwise the persistent workers run their
+// engines concurrently and the first (lowest-shard) recovered panic is
+// re-raised after the barrier.
+func (ws *Windows) runWindow(end Time) {
+	if len(ws.engs) == 1 {
+		ws.engs[0].runWindow(end)
+		return
+	}
+	for i := range ws.workers {
+		ws.workers[i].start <- end
+	}
+	var fail any
+	for i := range ws.workers {
+		if r := <-ws.workers[i].done; r != nil && fail == nil {
+			fail = r
+		}
+	}
+	if fail != nil {
+		panic(fail)
+	}
+}
+
+// startWorkers launches one persistent goroutine per shard. Each pins
+// itself to an OS thread for the lifetime of the run: the shard's event
+// loop executes on it whenever a simulated process is not holding the
+// scheduler token.
+func (ws *Windows) startWorkers() {
+	ws.workers = make([]windowWorker, len(ws.engs))
+	var ready sync.WaitGroup
+	for i := range ws.engs {
+		ws.workers[i] = windowWorker{start: make(chan Time), done: make(chan any, 1)}
+		ready.Add(1)
+		go func(w windowWorker, e *Engine) {
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			ready.Done()
+			for end := range w.start {
+				w.done <- runOneWindow(e, end)
+			}
+		}(ws.workers[i], ws.engs[i])
+	}
+	ready.Wait()
+}
+
+// runOneWindow runs one engine's window leg, converting a panic (engine
+// fault or re-raised *ProcPanic) into a value the coordinator re-raises.
+func runOneWindow(e *Engine, end Time) (fail any) {
+	defer func() { fail = recover() }()
+	e.runWindow(end)
+	return nil
+}
+
+func (ws *Windows) stopWorkers() {
+	for i := range ws.workers {
+		close(ws.workers[i].start)
+	}
+	ws.workers = nil
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunWindowExclusiveBoundary pins the strict horizon: an event at
+// exactly the window end must not fire inside the window (a cross-shard
+// message can land precisely at now + lookahead).
+func TestRunWindowExclusiveBoundary(t *testing.T) {
+	e := NewEngine(1)
+	var fired []float64
+	e.At(1, func() { fired = append(fired, 1) })
+	e.At(2, func() { fired = append(fired, 2) })
+	e.runWindow(2)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("window [*,2) fired %v, want [1]", fired)
+	}
+	e.runWindow(3)
+	if len(fired) != 2 || fired[1] != 2 {
+		t.Fatalf("second window fired %v, want [1 2]", fired)
+	}
+}
+
+// TestInjectAtExact pins that injection places the event at the exact
+// absolute time, with no relative-delay float round trip.
+func TestInjectAtExact(t *testing.T) {
+	e := NewEngine(1)
+	// Move the clock to an awkward value first.
+	e.At(0.1+0.2, func() {})
+	e.Run()
+	target := 1.0000000000000002 // representable, but (target-now)+now != target in general
+	var at float64 = -1
+	e.InjectAt(target, func(any) { at = e.Now() }, nil)
+	e.Run()
+	if at != target {
+		t.Fatalf("injected event fired at %v, want exactly %v", at, target)
+	}
+}
+
+// TestWindowsCrossShardExchange runs two shards that ping-pong events
+// through the outbox and checks both shards' clocks advance and the
+// exchange completes.
+func TestWindowsCrossShardExchange(t *testing.T) {
+	engs := []*Engine{NewEngine(1), NewEngine(2)}
+	ws := NewWindows(engs, 0.5)
+	var got []float64
+	// Shard 0 sends three messages to shard 1, each one lookahead apart.
+	for i := 1; i <= 3; i++ {
+		tt := float64(i)
+		engs[0].At(tt-0.5, func() {
+			ws.Outbox(0).Add(tt, 0, uint64(tt), 1, func(any) { got = append(got, engs[1].Now()) }, nil)
+		})
+	}
+	end := ws.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("deliveries at %v, want [1 2 3]", got)
+	}
+	if end != 3 {
+		t.Fatalf("global end time %v, want 3", end)
+	}
+	if ws.Barriers == 0 || ws.Injected != 3 {
+		t.Fatalf("barriers=%d injected=%d, want >0 and 3", ws.Barriers, ws.Injected)
+	}
+}
+
+// TestWindowsCanonicalMergeOrder checks that simultaneous cross-shard
+// events are injected in (T, Src, Seq) order regardless of the order they
+// entered the outboxes.
+func TestWindowsCanonicalMergeOrder(t *testing.T) {
+	engs := []*Engine{NewEngine(1), NewEngine(2), NewEngine(3)}
+	ws := NewWindows(engs, 0.25)
+	var order []int32
+	note := func(src int32) func(any) {
+		return func(any) { order = append(order, src) }
+	}
+	// Shards 0 and 1 both send to shard 2 at the same virtual time, appended
+	// in scrambled producer order.
+	engs[1].At(0, func() {
+		ws.Outbox(1).Add(1, 7, 0, 2, note(7), nil)
+		ws.Outbox(1).Add(1, 5, 1, 2, note(5), nil)
+	})
+	engs[0].At(0, func() {
+		ws.Outbox(0).Add(1, 9, 0, 2, note(9), nil)
+		ws.Outbox(0).Add(1, 2, 0, 2, note(2), nil)
+	})
+	ws.Run()
+	want := []int32{2, 5, 7, 9}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+// TestWindowsProcPanicPropagates re-raises a process panic from a shard
+// worker on the Run caller.
+func TestWindowsProcPanicPropagates(t *testing.T) {
+	engs := []*Engine{NewEngine(1), NewEngine(2)}
+	ws := NewWindows(engs, 1)
+	engs[1].Spawn("boom", func(p *Proc) { panic("shard fault") })
+	defer func() {
+		r := recover()
+		pp, ok := r.(*ProcPanic)
+		if !ok || pp.Value != "shard fault" {
+			t.Fatalf("recovered %v, want ProcPanic(shard fault)", r)
+		}
+	}()
+	ws.Run()
+	t.Fatal("Run returned despite process panic")
+}
+
+// TestWindowsDeadlockDiagnosis panics with the parked processes when the
+// whole sharded world runs dry with procs still parked.
+func TestWindowsDeadlockDiagnosis(t *testing.T) {
+	engs := []*Engine{NewEngine(1), NewEngine(2)}
+	ws := NewWindows(engs, 1)
+	engs[0].Spawn("stuck", func(p *Proc) {
+		c := NewCond(engs[0])
+		c.Wait(p) // nobody will ever signal
+	})
+	defer func() {
+		r := recover()
+		s, ok := r.(string)
+		if !ok || !strings.Contains(s, "PDES deadlock") || !strings.Contains(s, "stuck(shard 0)") {
+			t.Fatalf("recovered %v, want PDES deadlock naming stuck(shard 0)", r)
+		}
+	}()
+	ws.Run()
+	t.Fatal("Run returned despite deadlock")
+}
